@@ -1,0 +1,77 @@
+// Ablation — the re-balancing procedure of §3.4.
+//
+// Reallocate_IPs() only fills holes, so repeated fail/recover churn piles
+// every address onto the surviving servers. The balance timeout trades
+// responsiveness (smaller timeout -> less time spent unbalanced) against
+// background traffic. This bench runs a churn sequence and reports the
+// load imbalance (max - min groups per server) right after the churn and
+// after the balance round, for several balance timeouts.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace wam;
+
+namespace {
+
+std::size_t imbalance(apps::ClusterScenario& s,
+                      const std::vector<int>& servers) {
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (int i : servers) {
+    auto n = s.wam(i).owned().size();
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: balance timeout vs load imbalance after churn",
+      "without balancing the allocation stays arbitrarily lopsided; the "
+      "timeout bounds how long (§3.4)");
+
+  std::printf("\n  %-18s %-22s %-22s %-16s\n", "balance timeout",
+              "imbalance after churn", "imbalance at +65 s",
+              "balance rounds");
+  for (double timeout_s : {0.0, 5.0, 20.0, 60.0}) {
+    apps::ClusterOptions opt;
+    opt.num_servers = 4;
+    opt.num_vips = 12;
+    opt.gcs = gcs::Config::spread_tuned();
+    opt.balance_timeout = sim::seconds(timeout_s);
+    apps::ClusterScenario s(opt);
+    s.start();
+    s.run_until_stable(sim::seconds(30.0));
+
+    // Churn: kill and revive servers 1..3 in sequence. Every revival
+    // returns a server with zero load.
+    for (int victim : {1, 2, 3}) {
+      s.disconnect_server(victim);
+      s.run(sim::seconds(5.0));
+      s.reconnect_server(victim);
+      s.run(sim::seconds(5.0));
+    }
+    auto after_churn = imbalance(s, s.all_servers());
+    s.run(sim::seconds(65.0));
+    auto later = imbalance(s, s.all_servers());
+    std::uint64_t rounds = 0;
+    for (int i = 0; i < 4; ++i) {
+      rounds += s.wam(i).counters().balance_rounds;
+    }
+    char label[32];
+    if (timeout_s == 0.0) {
+      std::snprintf(label, sizeof(label), "disabled");
+    } else {
+      std::snprintf(label, sizeof(label), "%.0f s", timeout_s);
+    }
+    std::printf("  %-18s %-22zu %-22zu %-16llu\n", label, after_churn, later,
+                static_cast<unsigned long long>(rounds));
+  }
+  std::printf(
+      "\n(12 VIPs over 4 servers: perfectly balanced = imbalance 0, all on "
+      "one server = 12.)\n");
+  return 0;
+}

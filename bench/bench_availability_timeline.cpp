@@ -1,0 +1,65 @@
+// Availability timeline (extension): the operator's-eye view of a
+// fail-over — aggregate request success rate over time, through a fault,
+// for both Table 1 configurations. The dip's width is Figure 5's
+// interruption; its depth is the failed server's share of the VIP set.
+#include <cstdio>
+
+#include "apps/workload.hpp"
+
+#include "bench_common.hpp"
+
+using namespace wam;
+
+namespace {
+
+void run_timeline(const char* label, const gcs::Config& config) {
+  apps::ClusterOptions opt;
+  opt.num_servers = 4;
+  opt.num_vips = 8;
+  opt.gcs = config;
+  apps::ClusterScenario s(opt);
+  s.start();
+  s.run_until_stable(sim::seconds(30.0));
+  s.wam(0).trigger_balance();
+  s.run(sim::seconds(1.0));
+
+  apps::WorkloadOptions wo;
+  for (int k = 0; k < opt.num_vips; ++k) wo.targets.push_back(s.vip(k));
+  wo.clients = 8;
+  apps::Workload w(s.client_host(), wo);
+  w.start();
+
+  s.run(sim::seconds(4.0));
+  auto fault_at = sim::to_seconds(s.sched.now().time_since_epoch());
+  s.disconnect_server(1);
+  s.run(config.fault_detection_timeout + config.discovery_timeout +
+        sim::seconds(8.0));
+  w.stop();
+  s.run(sim::milliseconds(200));
+
+  std::printf("\n%s (fault at t=%.1fs, 1 of 4 servers = 25%% of VIPs):\n",
+              label, fault_at);
+  std::printf("  %-8s %-10s %s\n", "t (s)", "avail", "");
+  for (const auto& b : w.timeline(sim::seconds(1.0))) {
+    double t = sim::to_seconds(b.start.time_since_epoch());
+    int bars = static_cast<int>(b.availability() * 40);
+    std::printf("  %-8.1f %-10.3f |%.*s\n", t, b.availability(), bars,
+                "........................................");
+  }
+  std::printf("  overall availability: %.4f (%llu of %llu requests lost)\n",
+              w.availability(),
+              static_cast<unsigned long long>(w.lost()),
+              static_cast<unsigned long long>(w.requests_sent()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Availability timeline through a fail-over (8 streams, 8 VIPs)",
+      "dip width = Figure 5 interruption; dip depth = failed server's VIP "
+      "share");
+  run_timeline("tuned-spread", gcs::Config::spread_tuned());
+  run_timeline("default-spread", gcs::Config::spread_default());
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Related-work comparison (Section 7) — fail-over time by protocol.
+//
+// The same fault (the VIP owner's interface disconnects) measured with the
+// same probing client (10 ms interval) across:
+//   * Wackamole (tuned + default Table 1 configurations),
+//   * VRRP (1 s advertisements, master-down = 3*advert + skew),
+//   * HSRP (3 s hellos, 10 s hold time — the defaults the paper quotes),
+//   * Linux Fake (1 s service probes, 4 misses to take over).
+//
+// The paper's argument: Wackamole matches or beats the dedicated pairwise
+// protocols while additionally providing N-way coverage, balanced
+// allocation, and safe partition/merge semantics that none of them have.
+#include <cstdio>
+#include <memory>
+
+#include "apps/echo.hpp"
+#include "apps/probe_client.hpp"
+#include "baselines/fake.hpp"
+#include "baselines/hsrp.hpp"
+#include "baselines/vrrp.hpp"
+#include "sim/stats.hpp"
+
+#include "bench_common.hpp"
+
+using namespace wam;
+
+namespace {
+
+struct Lan {
+  sim::Scheduler sched;
+  sim::Log log{sched};
+  net::Fabric fabric{sched, &log};
+  net::SegmentId seg = fabric.add_segment();
+  std::unique_ptr<net::Host> a, b, client;
+  std::unique_ptr<apps::EchoServer> echo_a, echo_b;
+  std::unique_ptr<apps::ProbeClient> probe;
+  net::Ipv4Address vip{10, 0, 0, 100};
+
+  Lan() {
+    a = std::make_unique<net::Host>(sched, fabric, "primary", &log);
+    a->add_interface(seg, net::Ipv4Address(10, 0, 0, 1), 24);
+    b = std::make_unique<net::Host>(sched, fabric, "backup", &log);
+    b->add_interface(seg, net::Ipv4Address(10, 0, 0, 2), 24);
+    client = std::make_unique<net::Host>(sched, fabric, "client", &log);
+    client->add_interface(seg, net::Ipv4Address(10, 0, 0, 50), 24);
+    echo_a = std::make_unique<apps::EchoServer>(*a);
+    echo_b = std::make_unique<apps::EchoServer>(*b);
+    echo_a->start();
+    echo_b->start();
+  }
+
+  double measure(sim::Duration settle, sim::Duration phase,
+                 sim::Duration after) {
+    probe = std::make_unique<apps::ProbeClient>(*client, vip);
+    sched.run_for(settle);
+    probe->start();
+    sched.run_for(sim::seconds(1.0) + phase);
+    a->fail();
+    sched.run_for(after);
+    auto gaps = probe->interruptions();
+    if (gaps.empty()) return -1.0;
+    return sim::to_seconds(gaps.back().length());
+  }
+};
+
+double vrrp_trial(int trial) {
+  Lan lan;
+  baselines::VrrpRouter ra(
+      *lan.a, baselines::VrrpConfig{1, {lan.vip}, 0, 200,
+                                    sim::seconds(1.0), true, 112});
+  baselines::VrrpRouter rb(
+      *lan.b, baselines::VrrpConfig{1, {lan.vip}, 0, 100,
+                                    sim::seconds(1.0), true, 112});
+  ra.start();
+  rb.start();
+  return lan.measure(sim::seconds(8.0), sim::milliseconds(137 * trial),
+                     sim::seconds(20.0));
+}
+
+double hsrp_trial(int trial) {
+  Lan lan;
+  baselines::HsrpRouter ra(
+      *lan.a, baselines::HsrpConfig{1, {lan.vip}, 0, 200, sim::seconds(3.0),
+                                    sim::seconds(10.0), 1985});
+  baselines::HsrpRouter rb(
+      *lan.b, baselines::HsrpConfig{1, {lan.vip}, 0, 100, sim::seconds(3.0),
+                                    sim::seconds(10.0), 1985});
+  ra.start();
+  rb.start();
+  return lan.measure(sim::seconds(40.0), sim::milliseconds(557 * trial),
+                     sim::seconds(30.0));
+}
+
+double fake_trial(int trial) {
+  Lan lan;
+  lan.a->add_alias(0, lan.vip);
+  baselines::FakeResponder responder(*lan.a);
+  responder.start();
+  baselines::FakeConfig cfg;
+  cfg.main_ip = net::Ipv4Address(10, 0, 0, 1);
+  cfg.vips = {lan.vip};
+  baselines::FakeBackup fb(*lan.b, cfg);
+  fb.start();
+  return lan.measure(sim::seconds(5.0), sim::milliseconds(171 * trial),
+                     sim::seconds(20.0));
+}
+
+double wackamole_trial(const gcs::Config& config, int trial) {
+  apps::ClusterOptions opt;
+  opt.num_servers = 2;
+  opt.num_vips = 1;
+  opt.gcs = config;
+  opt.with_router = false;  // same-LAN client, like the baselines
+  opt.seed = static_cast<std::uint64_t>(trial + 1);
+  auto phase =
+      sim::Duration(config.heartbeat_timeout.count() * (2 * trial + 1) / 10);
+  return bench::interruption_trial(opt, phase);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Baseline comparison: client-perceived fail-over time by protocol",
+      "Wackamole tuned ~2-3 s; VRRP ~3-3.6 s; HSRP ~7-10 s; Fake ~4-5 s; "
+      "Wackamole default ~10-12 s");
+
+  struct Proto {
+    const char* label;
+    double (*fn)(int);
+  };
+  sim::Stats wam_tuned, wam_default;
+  for (int t = 0; t < 5; ++t) {
+    double v = wackamole_trial(gcs::Config::spread_tuned(), t);
+    if (v >= 0) wam_tuned.add(v);
+    v = wackamole_trial(gcs::Config::spread_default(), t);
+    if (v >= 0) wam_default.add(v);
+  }
+  bench::print_row("wackamole (tuned)", wam_tuned, "s");
+  bench::print_row("wackamole (default)", wam_default, "s");
+
+  Proto protos[] = {
+      {"vrrp (1s advert)", vrrp_trial},
+      {"hsrp (3s/10s)", hsrp_trial},
+      {"fake (1s probe x4)", fake_trial},
+  };
+  for (const auto& p : protos) {
+    sim::Stats stats;
+    for (int t = 0; t < 5; ++t) {
+      double v = p.fn(t);
+      if (v >= 0) stats.add(v);
+    }
+    bench::print_row(p.label, stats, "s");
+  }
+
+  std::printf(
+      "\nCapability notes (not visible in raw latency):\n"
+      "  - VRRP/HSRP/Fake protect ONE address set per instance "
+      "(1:1/active-standby);\n"
+      "    Wackamole provides N-way coverage of many VIPs with balancing.\n"
+      "  - Only Wackamole guarantees conflict-free coverage across\n"
+      "    partitions and merges (Property 1 per connected component).\n");
+  return 0;
+}

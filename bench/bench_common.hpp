@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/cluster_scenario.hpp"
+#include "sim/stats.hpp"
+
+namespace wam::bench {
+
+/// One fail-over trial against a ClusterScenario: stabilize, balance,
+/// probe VIP 0, disconnect its owner at a phase-shifted moment, and return
+/// the client-perceived availability interruption in seconds.
+/// Returns a negative value if the trial failed to produce a clean gap.
+inline double interruption_trial(apps::ClusterOptions opt,
+                                 sim::Duration fault_phase) {
+  apps::ClusterScenario s(std::move(opt));
+  s.start();
+  if (!s.run_until_stable(sim::seconds(60.0))) return -1.0;
+  s.wam(0).trigger_balance();
+  s.run(sim::seconds(1.0));
+  s.start_probe(0);
+  // Phase-shift the fault against the heartbeat/advert cycles so trials
+  // sample the detection-latency range rather than one fixed point.
+  s.run(sim::seconds(1.0) + fault_phase);
+  int victim = s.owner_of(0);
+  if (victim < 0) return -1.0;
+  s.disconnect_server(victim);
+  s.run(sim::seconds(30.0));
+  auto gaps = s.probe().interruptions();
+  if (gaps.size() != 1) return -1.0;
+  return sim::to_seconds(gaps.front().length());
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("==========================================================\n");
+}
+
+inline void print_row(const std::string& label, const sim::Stats& stats,
+                      const char* unit) {
+  if (stats.empty()) {
+    std::printf("  %-28s (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("  %-28s mean=%8.3f %s  min=%8.3f  max=%8.3f  n=%zu\n",
+              label.c_str(), stats.mean(), unit, stats.min(), stats.max(),
+              stats.count());
+}
+
+}  // namespace wam::bench

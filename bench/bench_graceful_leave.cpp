@@ -1,0 +1,56 @@
+// Section 6 (voluntary departure) — availability interruption when a
+// Wackamole daemon leaves gracefully.
+//
+// Leaving is a lightweight group-membership change (no daemon
+// reconfiguration, no fault-detection wait), so the survivors reallocate
+// within milliseconds. The paper reports a conservative upper bound of
+// 250 ms with most measurements around 10 ms.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace wam;
+
+namespace {
+
+double graceful_trial(int num_servers, int trial) {
+  apps::ClusterOptions opt;
+  opt.num_servers = num_servers;
+  opt.num_vips = 10;
+  opt.gcs = gcs::Config::spread_tuned();
+  opt.seed = static_cast<std::uint64_t>(trial + 1);
+  apps::ClusterScenario s(opt);
+  s.start();
+  if (!s.run_until_stable(sim::seconds(30.0))) return -1.0;
+  s.wam(0).trigger_balance();
+  s.run(sim::seconds(1.0));
+  s.start_probe(0);
+  s.run(sim::milliseconds(1000 + 37 * trial));
+  int victim = s.owner_of(0);
+  if (victim < 0) return -1.0;
+  s.graceful_leave(victim);
+  s.run(sim::seconds(3.0));
+  return sim::to_millis(s.probe().longest_gap());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Graceful leave: availability interruption on voluntary departure",
+      "most measurements ~10 ms; conservative upper bound 250 ms");
+
+  for (int n : {3, 6, 12}) {
+    sim::Stats stats;
+    for (int trial = 0; trial < 10; ++trial) {
+      double ms = graceful_trial(n, trial);
+      if (ms >= 0) stats.add(ms);
+    }
+    bench::print_row(std::to_string(n) + " servers", stats, "ms");
+  }
+  std::printf(
+      "\nNote: the gap is the worst spacing between consecutive probe\n"
+      "responses (10 ms probe interval), so ~20-30 ms means the hand-off\n"
+      "itself cost only a few probe intervals.\n");
+  return 0;
+}

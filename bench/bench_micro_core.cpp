@@ -1,0 +1,158 @@
+// Google-benchmark microbenchmarks for the hot algorithm and substrate
+// paths: the deterministic allocation procedures, wire codecs, ARP cache
+// and end-to-end simulated packet delivery.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/echo.hpp"
+#include "gcs/message.hpp"
+#include "net/fabric.hpp"
+#include "net/host.hpp"
+#include "wackamole/balance.hpp"
+#include "wackamole/wire.hpp"
+
+using namespace wam;
+
+namespace {
+
+gcs::MemberId member(int n) {
+  return gcs::MemberId{
+      gcs::DaemonId(net::Ipv4Address(10, 0, static_cast<std::uint8_t>(n / 250),
+                                     static_cast<std::uint8_t>(n % 250 + 1))),
+      1, "w"};
+}
+
+std::vector<std::string> make_groups(int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back("vip-" + std::to_string(1000 + i));
+  }
+  return out;
+}
+
+std::vector<wackamole::MemberInfo> make_members(int m) {
+  std::vector<wackamole::MemberInfo> out;
+  for (int i = 0; i < m; ++i) {
+    out.push_back(wackamole::MemberInfo{member(i), true, 1, {}});
+  }
+  return out;
+}
+
+void BM_ReallocateIps(benchmark::State& state) {
+  auto groups = make_groups(static_cast<int>(state.range(0)));
+  auto members = make_members(static_cast<int>(state.range(1)));
+  wackamole::VipTable table;  // everything uncovered
+  for (auto _ : state) {
+    auto a = wackamole::reallocate_ips(groups, table, members);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_ReallocateIps)->Args({10, 4})->Args({100, 12})->Args({1000, 32});
+
+void BM_BalanceIps(benchmark::State& state) {
+  auto groups = make_groups(static_cast<int>(state.range(0)));
+  auto members = make_members(static_cast<int>(state.range(1)));
+  wackamole::VipTable table;
+  for (const auto& g : groups) table.set_owner(g, members[0].id);
+  for (auto _ : state) {
+    auto a = wackamole::balance_ips(groups, table, members);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_BalanceIps)->Args({10, 4})->Args({100, 12})->Args({1000, 32});
+
+void BM_ResolveConflictClaims(benchmark::State& state) {
+  auto groups = make_groups(64);
+  gcs::GroupView view;
+  view.members = {member(0), member(1)};
+  for (auto _ : state) {
+    wackamole::VipTable table;
+    for (const auto& g : groups) table.claim(g, member(0), view);
+    for (const auto& g : groups) table.claim(g, member(1), view);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ResolveConflictClaims);
+
+void BM_StateMsgCodec(benchmark::State& state) {
+  wackamole::StateMsg m;
+  m.view = wackamole::ViewTag{42, 1, 7};
+  m.mature = true;
+  for (int i = 0; i < 32; ++i) m.owned.push_back("vip-" + std::to_string(i));
+  for (auto _ : state) {
+    auto bytes = wackamole::encode_state(m);
+    auto decoded = wackamole::decode_state(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_StateMsgCodec);
+
+void BM_GcsDataCodec(benchmark::State& state) {
+  gcs::DataMessage d;
+  d.view = gcs::ViewId{7, member(0).daemon};
+  d.seq = 42;
+  d.sender = member(1);
+  d.group = "wackamole";
+  d.payload.assign(256, 0xab);
+  for (auto _ : state) {
+    auto bytes = gcs::encode(gcs::Message(d));
+    auto decoded = gcs::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_GcsDataCodec);
+
+void BM_ArpCacheLookup(benchmark::State& state) {
+  net::ArpCache cache;
+  for (int i = 0; i < 256; ++i) {
+    cache.put(net::Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i)),
+              net::MacAddress::from_index(static_cast<std::uint16_t>(i)),
+              sim::TimePoint{});
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto mac = cache.lookup(
+        net::Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i++ & 0xff)),
+        sim::TimePoint{});
+    benchmark::DoNotOptimize(mac);
+  }
+}
+BENCHMARK(BM_ArpCacheLookup);
+
+// End-to-end: one UDP request/response round trip through the simulated
+// stack (ARP resolved once up front).
+void BM_SimulatedUdpRoundTrip(benchmark::State& state) {
+  sim::Scheduler sched;
+  net::Fabric fabric(sched);
+  auto seg = fabric.add_segment();
+  net::Host server(sched, fabric, "server");
+  server.add_interface(seg, net::Ipv4Address(10, 0, 0, 1), 24);
+  net::Host client(sched, fabric, "client");
+  client.add_interface(seg, net::Ipv4Address(10, 0, 0, 2), 24);
+  apps::EchoServer echo(server);
+  echo.start();
+  std::uint64_t replies = 0;
+  client.open_udp(5000, [&](const net::Host::UdpContext&,
+                            const util::Bytes&) { ++replies; });
+  // Warm the ARP caches.
+  client.send_udp(net::Ipv4Address(10, 0, 0, 1), 9000, 5000, {0});
+  sched.run_all();
+  for (auto _ : state) {
+    client.send_udp(net::Ipv4Address(10, 0, 0, 1), 9000, 5000, {1});
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(replies);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedUdpRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

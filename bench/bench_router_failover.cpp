@@ -1,0 +1,94 @@
+// Figure 4 — virtual-router fail-over time.
+//
+// N physical routers form one virtual router (an indivisible VIP group on
+// three networks). An external client's traffic flows through it to a web
+// server; we crash the active physical router and measure the
+// client-perceived interruption, for both Table 1 configurations, plus the
+// graceful hand-off (administrative removal of the active router).
+#include <cstdio>
+
+#include "apps/router_scenario.hpp"
+#include "sim/stats.hpp"
+
+#include "bench_common.hpp"
+
+using namespace wam;
+
+namespace {
+
+double failover_trial(const gcs::Config& config, int trial, bool graceful,
+                      sim::Duration routing_delay = sim::kZero) {
+  apps::RouterScenarioOptions opt;
+  opt.gcs = config;
+  opt.seed = static_cast<std::uint64_t>(trial + 1);
+  opt.routing_convergence_delay = routing_delay;
+  apps::RouterScenario s(opt);
+  s.start();
+  s.run(config.discovery_timeout * 4 + sim::seconds(5.0) + routing_delay);
+  if (s.active_router() < 0) return -1.0;
+  s.start_probe();
+  s.run(sim::milliseconds(1000 + 73 * trial));
+  int active = s.active_router();
+  if (active < 0) return -1.0;
+  if (graceful) {
+    s.graceful_leave(active);
+  } else {
+    s.fail_router(active);
+  }
+  s.run(sim::seconds(30.0) + routing_delay);
+  // Whole-group invariant must hold afterwards.
+  int heir = s.active_router();
+  if (heir < 0 || !s.holds_whole_group(heir)) return -1.0;
+  return sim::to_seconds(s.probe().longest_gap());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4: virtual-router fail-over (indivisible VIP group, 3 nets)",
+      "crash fail-over dominated by GCS timeouts; graceful hand-off ~ms; "
+      "no routing-table transfer needed in the all-routers-advertise setup");
+
+  struct Row {
+    const char* label;
+    gcs::Config config;
+    bool graceful;
+  };
+  Row rows[] = {
+      {"crash, default-spread", gcs::Config::spread_default(), false},
+      {"crash, tuned-spread", gcs::Config::spread_tuned(), false},
+      {"graceful, tuned-spread", gcs::Config::spread_tuned(), true},
+  };
+  for (const auto& row : rows) {
+    sim::Stats stats;
+    for (int trial = 0; trial < 5; ++trial) {
+      double secs = failover_trial(row.config, trial, row.graceful);
+      if (secs >= 0) stats.add(secs);
+    }
+    bench::print_row(row.label, stats, "s");
+  }
+
+  // §5.2's deployment comparison: the naive setup pays dynamic-routing
+  // reconvergence (~30 s) on top of the Wackamole hand-off; the
+  // all-routers-advertise setup does not.
+  std::printf("\ndeployment comparison (tuned config, crash fail-over):\n");
+  {
+    sim::Stats advertise, naive;
+    for (int trial = 0; trial < 3; ++trial) {
+      double a = failover_trial(gcs::Config::spread_tuned(), trial, false);
+      if (a >= 0) advertise.add(a);
+      double n = failover_trial(gcs::Config::spread_tuned(), trial, false,
+                                sim::seconds(30.0));
+      if (n >= 0) naive.add(n);
+    }
+    bench::print_row("all-routers-advertise", advertise, "s");
+    bench::print_row("naive (30 s OSPF/RIP)", naive, "s");
+  }
+  std::printf(
+      "\nNote: in the paper's alternate setup all fail-over routers run the\n"
+      "dynamic routing protocol continuously, so hand-off completes as soon\n"
+      "as Wackamole reconfigures — no ~30 s OSPF/RIP reconvergence. Our\n"
+      "routers hold connected routes only, which models that setup.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Service-level latency (extension): the cost of each delivery guarantee.
+//
+// One multicast, measured from send to the LAST member's dispatch, across
+// the four service levels and both ordering engines. Expectations:
+// FIFO/CAUSAL ~ one broadcast hop; AGREED adds the sequencer hop (or a
+// half token rotation); SAFE adds the wait for stability gossip.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "gcs/client.hpp"
+#include "sim/stats.hpp"
+
+#include "bench_common.hpp"
+
+using namespace wam;
+
+namespace {
+
+struct Lab {
+  sim::Scheduler sched;
+  sim::Log log{sched};
+  net::Fabric fabric{sched, &log};
+  net::SegmentId seg = fabric.add_segment();
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+  std::vector<std::unique_ptr<gcs::Client>> clients;
+  std::vector<std::vector<sim::TimePoint>> deliveries;
+
+  Lab(int n, const gcs::Config& config) {
+    deliveries.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto h = std::make_unique<net::Host>(sched, fabric,
+                                           "s" + std::to_string(i + 1), &log);
+      h->add_interface(
+          seg, net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+          24);
+      auto d = std::make_unique<gcs::Daemon>(*h, config, &log);
+      d->start();
+      hosts.push_back(std::move(h));
+      daemons.push_back(std::move(d));
+    }
+    sched.run_for(sim::seconds(5.0));
+    for (int i = 0; i < n; ++i) {
+      gcs::ClientCallbacks cb;
+      auto idx = static_cast<std::size_t>(i);
+      cb.on_message = [this, idx](const gcs::GroupMessage&) {
+        deliveries[idx].push_back(sched.now());
+      };
+      auto c = std::make_unique<gcs::Client>("c" + std::to_string(i),
+                                             std::move(cb));
+      c->connect(*daemons[idx]);
+      c->join("g");
+      clients.push_back(std::move(c));
+    }
+    sched.run_for(sim::seconds(1.0));
+  }
+
+  double latency_ms(gcs::ServiceType service, int trials) {
+    sim::Stats stats;
+    for (int t = 0; t < trials; ++t) {
+      for (auto& d : deliveries) d.clear();
+      auto t0 = sched.now();
+      clients[static_cast<std::size_t>(t % clients.size())]->multicast(
+          "g", util::Bytes{'x'}, service);
+      sched.run_for(sim::seconds(2.0));
+      sim::TimePoint last{};
+      bool all = true;
+      for (auto& d : deliveries) {
+        if (d.empty()) {
+          all = false;
+          break;
+        }
+        last = std::max(last, d.front());
+      }
+      if (all) stats.add(sim::to_millis(last - t0));
+    }
+    return stats.empty() ? -1.0 : stats.mean();
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Service levels: delivery latency by guarantee (5 daemons)",
+      "FIFO/CAUSAL ~ 1 hop; AGREED adds ordering; SAFE waits for "
+      "stability gossip");
+
+  struct Engine {
+    const char* label;
+    gcs::Config config;
+  };
+  Engine engines[] = {
+      {"sequencer", gcs::Config::spread_tuned()},
+      {"token-ring", gcs::Config::spread_tuned().with_token_ring()},
+  };
+  std::printf("\n  %-12s %-10s %-10s %-10s %-10s   (ms to last member)\n",
+              "engine", "fifo", "causal", "agreed", "safe");
+  for (const auto& engine : engines) {
+    Lab lab(5, engine.config);
+    double fifo = lab.latency_ms(gcs::ServiceType::kFifo, 10);
+    double causal = lab.latency_ms(gcs::ServiceType::kCausal, 10);
+    double agreed = lab.latency_ms(gcs::ServiceType::kAgreed, 10);
+    double safe = lab.latency_ms(gcs::ServiceType::kSafe, 10);
+    std::printf("  %-12s %-10.2f %-10.2f %-10.2f %-10.2f\n", engine.label,
+                fifo, causal, agreed, safe);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// wackamoled: the production shape of a Wackamole node, end to end.
+//
+// Each simulated server assembles exactly what a real deployment runs:
+//   * a wackamole.conf parsed from text,
+//   * the GCS daemon,
+//   * the Wackamole daemon driven by the parsed config,
+//   * a ControlServer (the wackatrl endpoint),
+//   * a HealthMonitor probing the local application.
+// An operator host then drives the cluster over the wire: status queries,
+// a balance, and finally watches the health monitor evict a server whose
+// application died.
+//
+//   ./wackamoled
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/echo.hpp"
+#include "gcs/daemon.hpp"
+#include "net/fabric.hpp"
+#include "gcs/conf_parser.hpp"
+#include "wackamole/conf_parser.hpp"
+#include "wackamole/control_server.hpp"
+#include "wackamole/health.hpp"
+
+using namespace wam;
+
+namespace {
+
+constexpr const char* kSpreadConf = R"(
+# spread.conf — tuned timeouts, multicast transport
+Multicast = 239.192.0.7
+FaultDetection = 1s
+Heartbeat = 0.4s
+Discovery = 1.4s
+)";
+
+constexpr const char* kConf = R"(
+Group = production
+Mature = 0s
+Balance = 5s
+ArpShare = 0s
+Announce = 10s
+Prefer = None
+
+VirtualInterfaces {
+  { if0: 10.0.0.100/32 }
+  { if0: 10.0.0.101/32 }
+  { if0: 10.0.0.102/32 }
+  { if0: 10.0.0.103/32 }
+}
+)";
+
+struct Node {
+  std::unique_ptr<net::Host> host;
+  std::unique_ptr<gcs::Daemon> gcs;
+  std::unique_ptr<wackamole::SimIpManager> ipmgr;
+  std::unique_ptr<wackamole::Daemon> wam;
+  std::unique_ptr<wackamole::ControlServer> control;
+  std::unique_ptr<wackamole::HealthMonitor> health;
+  std::unique_ptr<apps::EchoServer> app;
+};
+
+}  // namespace
+
+int main() {
+  sim::Scheduler sched;
+  sim::Log log(sched);
+  net::Fabric fabric(sched, &log);
+  auto seg = fabric.add_segment();
+
+  std::printf("parsing spread.conf:\n%s\n", kSpreadConf);
+  auto gcs_config = gcs::parse_config(kSpreadConf);
+  std::printf("parsing wackamole.conf:\n%s\n", kConf);
+  auto config = wackamole::parse_config(kConf);
+
+  std::vector<Node> nodes;
+  for (int i = 0; i < 3; ++i) {
+    Node n;
+    n.host = std::make_unique<net::Host>(sched, fabric,
+                                         "node" + std::to_string(i + 1), &log);
+    n.host->add_interface(
+        seg, net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+        24);
+    n.gcs = std::make_unique<gcs::Daemon>(*n.host, gcs_config, &log);
+    n.ipmgr = std::make_unique<wackamole::SimIpManager>(*n.host);
+    n.wam = std::make_unique<wackamole::Daemon>(sched, config, *n.gcs,
+                                                *n.ipmgr, &log);
+    n.control = std::make_unique<wackamole::ControlServer>(*n.host, *n.wam);
+    n.app = std::make_unique<apps::EchoServer>(*n.host);
+    n.health = std::make_unique<wackamole::HealthMonitor>(
+        sched, *n.wam,
+        wackamole::HealthMonitorConfig{sim::seconds(1.0), 3, 2}, &log);
+    n.health->add_check(std::make_unique<wackamole::UdpServiceCheck>(
+        *n.host, n.host->primary_ip(0), 9000));
+
+    n.gcs->start();
+    n.wam->start();
+    n.control->start();
+    n.app->start();
+    n.health->start();
+    nodes.push_back(std::move(n));
+  }
+
+  auto operator_host = std::make_unique<net::Host>(sched, fabric, "operator",
+                                                   &log);
+  operator_host->add_interface(seg, net::Ipv4Address(10, 0, 0, 50), 24);
+  wackamole::ControlClient wackatrl(*operator_host);
+
+  sched.run_for(sim::seconds(10.0));  // converge + one balance round
+
+  auto ask = [&](int node, const std::string& cmd) {
+    std::printf("$ wackatrl -h node%d %s\n", node + 1, cmd.c_str());
+    wackatrl.send(nodes[static_cast<std::size_t>(node)].host->primary_ip(0),
+                  cmd, [](const std::string& reply) {
+                    std::printf("%s\n", reply.c_str());
+                  });
+    sched.run_for(sim::seconds(0.5));
+  };
+
+  ask(0, "status");
+
+  std::printf("*** killing node2's application (the NETWORK stays up) ***\n");
+  nodes[1].app->stop();
+  sched.run_for(sim::seconds(8.0));
+  std::printf("health monitor verdict on node2: %s after %llu withdrawal(s)\n\n",
+              nodes[1].health->withdrawn() ? "WITHDRAWN" : "healthy",
+              static_cast<unsigned long long>(nodes[1].health->withdrawals()));
+  ask(0, "status");
+
+  std::printf("*** restarting node2's application ***\n");
+  nodes[1].app->start();
+  sched.run_for(sim::seconds(15.0));
+  std::printf("node2 rejoined: %s, owns %zu groups\n\n",
+              nodes[1].wam->running() ? "yes" : "no",
+              nodes[1].wam->owned().size());
+  ask(1, "status");
+  return 0;
+}

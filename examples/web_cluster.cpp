@@ -1,0 +1,67 @@
+// Figure 3: N-way fail-over for web clusters.
+//
+// A client on the far side of a router continuously probes one of the
+// cluster's virtual addresses (10 ms interval, as in the paper's §6
+// experiment). We disconnect the interface of the VIP's current owner and
+// report the availability interruption the client perceived — with both
+// the default and the tuned Spread-style timeout configurations of Table 1.
+//
+//   ./web_cluster
+#include <cstdio>
+
+#include "apps/cluster_scenario.hpp"
+
+using namespace wam;
+
+namespace {
+
+void run_experiment(const char* label, const gcs::Config& gcs_config) {
+  apps::ClusterOptions opt;
+  opt.num_servers = 4;
+  opt.num_vips = 10;
+  opt.gcs = gcs_config;
+
+  apps::ClusterScenario s(opt);
+  s.start();
+  s.run_until_stable(sim::seconds(30.0));
+  s.start_probe(0);
+  s.run(sim::seconds(2.0));
+
+  int victim = s.owner_of(0);
+  std::printf("[%s] probing %s, currently served by %s\n", label,
+              s.vip(0).to_string().c_str(),
+              s.server_host(victim).name().c_str());
+
+  std::printf("[%s] *** disconnecting %s's interface ***\n", label,
+              s.server_host(victim).name().c_str());
+  s.disconnect_server(victim);
+  s.run(sim::seconds(20.0));
+
+  auto gaps = s.probe().interruptions();
+  if (gaps.empty()) {
+    std::printf("[%s] no interruption detected?!\n", label);
+    return;
+  }
+  const auto& gap = gaps.front();
+  std::printf(
+      "[%s] availability interruption: %.3f s "
+      "(last response from %s at t=%.3fs, first from %s at t=%.3fs)\n",
+      label, sim::to_seconds(gap.length()), gap.server_before.c_str(),
+      sim::to_seconds(gap.last_response.time_since_epoch()),
+      gap.server_after.c_str(),
+      sim::to_seconds(gap.first_response.time_since_epoch()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Web-cluster fail-over (Figure 3) — 4 servers, 10 VIPs,\n");
+  std::printf("client probes one VIP through the router at 10 ms.\n\n");
+  run_experiment("default-spread", gcs::Config::spread_default());
+  std::printf("\n");
+  run_experiment("tuned-spread", gcs::Config::spread_tuned());
+  std::printf(
+      "\nPaper reference: ~10-12 s with default timeouts, ~2-3 s tuned "
+      "(Figure 5).\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "apps/cluster_scenario.hpp"
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace wam::apps {
+
+namespace {
+constexpr int kVipBase = 100;  // VIPs are 10.0.0.(100+k)
+}
+
+ClusterScenario::ClusterScenario(ClusterOptions options)
+    : options_(std::move(options)) {
+  WAM_EXPECTS(options_.num_servers >= 1);
+  WAM_EXPECTS(options_.num_vips >= 1 && options_.num_vips <= 100);
+
+  cluster_seg_ = fabric.add_segment();
+
+  // The shared VIP set (one single-address group per VIP: web-cluster mode).
+  std::vector<net::Ipv4Address> vips;
+  for (int k = 0; k < options_.num_vips; ++k) {
+    vips.push_back(net::Ipv4Address(10, 0, 0,
+                                    static_cast<std::uint8_t>(kVipBase + k)));
+  }
+
+  if (options_.with_router) {
+    external_seg_ = fabric.add_segment();
+    router_ = std::make_unique<net::Router>(sched, fabric, "router", &log);
+    router_->attach_network(cluster_seg_, net::Ipv4Address(10, 0, 0, 254), 24);
+    router_->attach_network(external_seg_, net::Ipv4Address(172, 16, 0, 1),
+                            24);
+    client_ = std::make_unique<net::Host>(sched, fabric, "client", &log);
+    client_->add_interface(external_seg_, net::Ipv4Address(172, 16, 0, 2), 24);
+    client_->set_default_gateway(net::Ipv4Address(172, 16, 0, 1));
+  } else {
+    client_ = std::make_unique<net::Host>(sched, fabric, "client", &log);
+    client_->add_interface(cluster_seg_, net::Ipv4Address(10, 0, 0, 253), 24);
+  }
+
+  for (int i = 0; i < options_.num_servers; ++i) {
+    auto host = std::make_unique<net::Host>(
+        sched, fabric, "server" + std::to_string(i + 1), &log);
+    host->add_interface(
+        cluster_seg_,
+        net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)), 24);
+    if (options_.with_router) {
+      host->set_default_gateway(net::Ipv4Address(10, 0, 0, 254));
+    }
+
+    auto gcsd = std::make_unique<gcs::Daemon>(*host, options_.gcs, &log);
+
+    auto ipmgr = std::make_unique<wackamole::SimIpManager>(*host);
+    if (options_.with_router) {
+      ipmgr->set_router(0, net::Ipv4Address(10, 0, 0, 254));
+    }
+
+    auto config = wackamole::Config::web_cluster(vips, 0);
+    config.balance_timeout = options_.balance_timeout;
+    config.maturity_timeout = options_.maturity_timeout;
+    config.start_mature = options_.maturity_timeout == sim::kZero;
+    auto wamd = std::make_unique<wackamole::Daemon>(sched, config, *gcsd,
+                                                    *ipmgr, &log);
+    auto echo = std::make_unique<EchoServer>(*host);
+
+    servers_.push_back(std::move(host));
+    gcs_.push_back(std::move(gcsd));
+    ipmgrs_.push_back(std::move(ipmgr));
+    wams_.push_back(std::move(wamd));
+    echos_.push_back(std::move(echo));
+  }
+}
+
+void ClusterScenario::start() {
+  for (auto& d : gcs_) d->start();
+  for (auto& w : wams_) w->start();
+  for (auto& e : echos_) e->start();
+}
+
+void ClusterScenario::start_probe(int vip_index) {
+  probe_ = std::make_unique<ProbeClient>(*client_, vip(vip_index), 9000,
+                                         options_.probe_interval);
+  probe_->start();
+}
+
+bool ClusterScenario::run_until_stable(sim::Duration limit) {
+  auto deadline = sched.now() + limit;
+  while (sched.now() < deadline) {
+    run(sim::milliseconds(100));
+    bool stable = true;
+    for (auto& w : wams_) {
+      if (w->running() && w->connected() &&
+          w->state() != wackamole::WamState::kRun) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) return true;
+  }
+  return false;
+}
+
+void ClusterScenario::disconnect_server(int i) {
+  servers_[static_cast<std::size_t>(i)]->set_interface_up(0, false);
+}
+
+void ClusterScenario::reconnect_server(int i) {
+  servers_[static_cast<std::size_t>(i)]->set_interface_up(0, true);
+}
+
+void ClusterScenario::graceful_leave(int i) {
+  wams_[static_cast<std::size_t>(i)]->graceful_shutdown();
+}
+
+void ClusterScenario::partition(const std::vector<std::vector<int>>& groups) {
+  // Partition only the cluster segment; the router and any non-server NICs
+  // stay with group 0.
+  std::vector<std::vector<net::NicId>> nic_groups;
+  std::set<int> assigned;
+  for (const auto& group : groups) {
+    std::vector<net::NicId> nics;
+    for (int idx : group) {
+      nics.push_back(servers_[static_cast<std::size_t>(idx)]->nic_id(0));
+      assigned.insert(idx);
+    }
+    nic_groups.push_back(std::move(nics));
+  }
+  WAM_EXPECTS(assigned.size() ==
+              static_cast<std::size_t>(options_.num_servers));
+  if (router_) nic_groups[0].push_back(router_->host().nic_id(0));
+  if (!options_.with_router) nic_groups[0].push_back(client_->nic_id(0));
+  fabric.set_partition(cluster_seg_, nic_groups);
+}
+
+void ClusterScenario::merge() { fabric.merge_segment(cluster_seg_); }
+
+net::Ipv4Address ClusterScenario::vip(int index) const {
+  WAM_EXPECTS(index >= 0 && index < options_.num_vips);
+  return net::Ipv4Address(10, 0, 0,
+                          static_cast<std::uint8_t>(kVipBase + index));
+}
+
+int ClusterScenario::coverage_count(net::Ipv4Address ip,
+                                    const std::vector<int>& servers) const {
+  int count = 0;
+  for (int idx : servers) {
+    const auto& host = *servers_[static_cast<std::size_t>(idx)];
+    if (host.owns_ip(ip)) ++count;
+  }
+  return count;
+}
+
+bool ClusterScenario::coverage_exactly_once(
+    const std::vector<int>& servers) const {
+  for (int k = 0; k < options_.num_vips; ++k) {
+    if (coverage_count(vip(k), servers) != 1) return false;
+  }
+  return true;
+}
+
+int ClusterScenario::owner_of(int vip_index) const {
+  auto ip = vip(vip_index);
+  for (int i = 0; i < options_.num_servers; ++i) {
+    if (servers_[static_cast<std::size_t>(i)]->owns_ip(ip)) return i;
+  }
+  return -1;
+}
+
+std::vector<int> ClusterScenario::all_servers() const {
+  std::vector<int> out;
+  for (int i = 0; i < options_.num_servers; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace wam::apps

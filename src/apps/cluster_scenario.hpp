@@ -1,0 +1,105 @@
+// Figure 3's web-cluster deployment as a one-call scenario:
+//
+//   client --- external LAN --- router --- cluster LAN --- N servers
+//
+// Every server runs a GCS daemon, a Wackamole daemon managing K virtual
+// addresses (one VIP group each, web-cluster style), and the UDP echo
+// server of Section 6. The client probes one VIP through the router at the
+// paper's 10 ms interval. Fault injectors mirror the paper's experiments:
+// interface disconnection, graceful leave, partitions and merges.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/echo.hpp"
+#include "apps/probe_client.hpp"
+#include "gcs/daemon.hpp"
+#include "net/router.hpp"
+#include "sim/random.hpp"
+#include "wackamole/control.hpp"
+#include "wackamole/daemon.hpp"
+
+namespace wam::apps {
+
+struct ClusterOptions {
+  int num_servers = 3;
+  int num_vips = 10;  // the paper's experiments maintain 10 VIPs
+  gcs::Config gcs = gcs::Config::spread_tuned();
+  sim::Duration balance_timeout = sim::seconds(60.0);
+  sim::Duration maturity_timeout = sim::kZero;  // 0 = start mature
+  sim::Duration probe_interval = sim::milliseconds(10);
+  bool with_router = true;  // client reaches VIPs through a router
+  std::uint64_t seed = 1;
+};
+
+class ClusterScenario {
+ public:
+  explicit ClusterScenario(ClusterOptions options);
+
+  /// Start GCS daemons, Wackamole daemons and echo servers.
+  void start();
+  /// Start the probe client against VIP index `vip_index`.
+  void start_probe(int vip_index = 0);
+  void run(sim::Duration d) { sched.run_for(d); }
+  /// Run until every running Wackamole daemon reports RUN or `limit` passes.
+  bool run_until_stable(sim::Duration limit);
+
+  // ---- fault injection (the paper's §6 experiment and beyond) ----
+  /// "Disconnecting the interface through which Spread, Wackamole and the
+  /// experimental server access the network."
+  void disconnect_server(int i);
+  void reconnect_server(int i);
+  void graceful_leave(int i);
+  void partition(const std::vector<std::vector<int>>& groups);
+  void merge();
+
+  // ---- queries ----
+  [[nodiscard]] net::Ipv4Address vip(int index) const;
+  /// How many of the given servers hold `ip` on an up interface.
+  [[nodiscard]] int coverage_count(net::Ipv4Address ip,
+                                   const std::vector<int>& servers) const;
+  /// True iff every VIP is covered exactly once among `servers`.
+  [[nodiscard]] bool coverage_exactly_once(
+      const std::vector<int>& servers) const;
+  /// Index of the server owning VIP `vip_index`, or -1.
+  [[nodiscard]] int owner_of(int vip_index) const;
+
+  [[nodiscard]] wackamole::Daemon& wam(int i) {
+    return *wams_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] gcs::Daemon& gcs_daemon(int i) {
+    return *gcs_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] net::Host& server_host(int i) {
+    return *servers_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] wackamole::SimIpManager& ip_manager(int i) {
+    return *ipmgrs_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] net::Host& client_host() { return *client_; }
+  [[nodiscard]] ProbeClient& probe() { return *probe_; }
+  [[nodiscard]] net::Router* router() { return router_.get(); }
+  [[nodiscard]] int num_servers() const { return options_.num_servers; }
+  [[nodiscard]] const ClusterOptions& options() const { return options_; }
+  [[nodiscard]] std::vector<int> all_servers() const;
+
+  sim::Scheduler sched;
+  sim::Log log{sched};
+  net::Fabric fabric{sched, &log};
+
+ private:
+  ClusterOptions options_;
+  net::SegmentId cluster_seg_;
+  net::SegmentId external_seg_ = -1;
+  std::unique_ptr<net::Router> router_;
+  std::vector<std::unique_ptr<net::Host>> servers_;
+  std::vector<std::unique_ptr<gcs::Daemon>> gcs_;
+  std::vector<std::unique_ptr<wackamole::SimIpManager>> ipmgrs_;
+  std::vector<std::unique_ptr<wackamole::Daemon>> wams_;
+  std::vector<std::unique_ptr<EchoServer>> echos_;
+  std::unique_ptr<net::Host> client_;
+  std::unique_ptr<ProbeClient> probe_;
+};
+
+}  // namespace wam::apps

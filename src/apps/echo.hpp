@@ -1,0 +1,33 @@
+// The experiment server of Section 6: "responds to UDP packets by sending
+// a packet containing its hostname". Replies are sourced from the address
+// the request targeted, so a client probing a VIP can tell WHICH physical
+// server currently covers it.
+#pragma once
+
+#include <cstdint>
+
+#include "net/host.hpp"
+
+namespace wam::apps {
+
+class EchoServer {
+ public:
+  explicit EchoServer(net::Host& host, std::uint16_t port = 9000)
+      : host_(host), port_(port) {}
+  ~EchoServer() { stop(); }
+  EchoServer(const EchoServer&) = delete;
+  EchoServer& operator=(const EchoServer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  net::Host& host_;
+  std::uint16_t port_;
+  bool running_ = false;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace wam::apps

@@ -1,0 +1,73 @@
+#include "apps/probe_client.hpp"
+
+namespace wam::apps {
+
+ProbeClient::ProbeClient(net::Host& host, net::Ipv4Address target,
+                         std::uint16_t target_port, sim::Duration interval,
+                         std::uint16_t local_port)
+    : host_(host),
+      target_(target),
+      target_port_(target_port),
+      interval_(interval),
+      local_port_(local_port) {}
+
+void ProbeClient::start() {
+  if (running_) return;
+  running_ = host_.open_udp(
+      local_port_,
+      [this](const net::Host::UdpContext&, const util::Bytes& payload) {
+        std::string hostname;
+        try {
+          util::ByteReader r(payload);
+          hostname = r.str();
+        } catch (const util::DecodeError&) {
+          return;  // not an echo reply
+        }
+        responses_.push_back(
+            Response{host_.scheduler().now(), std::move(hostname)});
+      });
+  tick();
+}
+
+void ProbeClient::stop() {
+  if (!running_) return;
+  timer_.cancel();
+  host_.close_udp(local_port_);
+  running_ = false;
+}
+
+void ProbeClient::tick() {
+  if (!running_) return;
+  ++sent_;
+  host_.send_udp(target_, target_port_, local_port_, {'p', 'i', 'n', 'g'});
+  timer_ = host_.scheduler().schedule(interval_, [this] { tick(); });
+}
+
+std::vector<ProbeClient::Interruption> ProbeClient::interruptions(
+    sim::Duration min_gap) const {
+  if (min_gap == sim::kZero) min_gap = interval_ * 5;
+  std::vector<Interruption> out;
+  for (std::size_t i = 1; i < responses_.size(); ++i) {
+    auto gap = responses_[i].time - responses_[i - 1].time;
+    if (gap >= min_gap) {
+      out.push_back(Interruption{responses_[i - 1].time, responses_[i].time,
+                                 responses_[i - 1].hostname,
+                                 responses_[i].hostname});
+    }
+  }
+  return out;
+}
+
+sim::Duration ProbeClient::longest_gap() const {
+  sim::Duration longest = sim::kZero;
+  for (std::size_t i = 1; i < responses_.size(); ++i) {
+    longest = std::max(longest, responses_[i].time - responses_[i - 1].time);
+  }
+  return longest;
+}
+
+std::string ProbeClient::current_server() const {
+  return responses_.empty() ? "" : responses_.back().hostname;
+}
+
+}  // namespace wam::apps

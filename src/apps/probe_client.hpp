@@ -1,0 +1,73 @@
+// The measuring client of Section 6: sends UDP requests to one virtual
+// address at a fixed interval (the paper uses 10 ms) and records which
+// hostname answers and when. The availability interruption is "the time
+// elapsed between the receipt of the last response from the disabled
+// computer and the first response from the new server".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wam::apps {
+
+class ProbeClient {
+ public:
+  struct Response {
+    sim::TimePoint time;
+    std::string hostname;
+  };
+
+  /// A gap in service: the span between the last response before silence
+  /// and the first response after it.
+  struct Interruption {
+    sim::TimePoint last_response;
+    sim::TimePoint first_response;
+    std::string server_before;
+    std::string server_after;
+    [[nodiscard]] sim::Duration length() const {
+      return first_response - last_response;
+    }
+  };
+
+  ProbeClient(net::Host& host, net::Ipv4Address target,
+              std::uint16_t target_port = 9000,
+              sim::Duration interval = sim::milliseconds(10),
+              std::uint16_t local_port = 30000);
+  ~ProbeClient() { stop(); }
+  ProbeClient(const ProbeClient&) = delete;
+  ProbeClient& operator=(const ProbeClient&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<Response>& responses() const {
+    return responses_;
+  }
+  [[nodiscard]] std::uint64_t requests_sent() const { return sent_; }
+  /// Gaps longer than `min_gap` (default: 5 probe intervals).
+  [[nodiscard]] std::vector<Interruption> interruptions(
+      sim::Duration min_gap = sim::kZero) const;
+  /// Longest gap observed (zero when fewer than two responses).
+  [[nodiscard]] sim::Duration longest_gap() const;
+  /// Hostname of the most recent responder ("" if none yet).
+  [[nodiscard]] std::string current_server() const;
+
+ private:
+  void tick();
+
+  net::Host& host_;
+  net::Ipv4Address target_;
+  std::uint16_t target_port_;
+  sim::Duration interval_;
+  std::uint16_t local_port_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  std::vector<Response> responses_;
+  sim::TimerHandle timer_;
+};
+
+}  // namespace wam::apps

@@ -1,0 +1,239 @@
+#include "apps/scenario.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "net/trace.hpp"
+#include "sim/script.hpp"
+#include "wackamole/control.hpp"
+
+namespace wam::apps {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& line,
+                       const std::string& why) {
+  throw ScriptError("scenario line " + std::to_string(line_no) + " ('" +
+                    line + "'): " + why);
+}
+
+int parse_server(const std::string& token, int num_servers, int line_no,
+                 const std::string& line) {
+  if (token.rfind("server", 0) != 0) {
+    fail(line_no, line, "expected serverN, got '" + token + "'");
+  }
+  int idx = 0;
+  try {
+    idx = std::stoi(token.substr(6)) - 1;
+  } catch (const std::exception&) {
+    fail(line_no, line, "bad server number in '" + token + "'");
+  }
+  if (idx < 0 || idx >= num_servers) {
+    fail(line_no, line, "server index out of range: " + token);
+  }
+  return idx;
+}
+
+std::vector<int> parse_server_list(const std::string& csv, int num_servers,
+                                   int line_no, const std::string& line) {
+  std::vector<int> out;
+  std::istringstream items(csv);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(parse_server(item, num_servers, line_no, line));
+    }
+  }
+  if (out.empty()) fail(line_no, line, "empty server list");
+  return out;
+}
+
+}  // namespace
+
+ParsedScenario parse_scenario(const std::string& text) {
+  ParsedScenario parsed;
+  parsed.options.gcs = gcs::Config::spread_tuned();
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_run = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string verb;
+    if (!(words >> verb)) continue;
+
+    if (verb == "servers") {
+      if (!(words >> parsed.options.num_servers) ||
+          parsed.options.num_servers < 1) {
+        fail(line_no, line, "servers needs a positive count");
+      }
+    } else if (verb == "vips") {
+      if (!(words >> parsed.options.num_vips) ||
+          parsed.options.num_vips < 1) {
+        fail(line_no, line, "vips needs a positive count");
+      }
+    } else if (verb == "gcs") {
+      std::string which;
+      words >> which;
+      if (which == "tuned") {
+        parsed.options.gcs = gcs::Config::spread_tuned();
+      } else if (which == "default") {
+        parsed.options.gcs = gcs::Config::spread_default();
+      } else {
+        fail(line_no, line, "gcs must be 'tuned' or 'default'");
+      }
+    } else if (verb == "balance") {
+      double secs = 0;
+      if (!(words >> secs) || secs < 0) {
+        fail(line_no, line, "balance needs a timeout in seconds");
+      }
+      parsed.options.balance_timeout = sim::seconds(secs);
+    } else if (verb == "run") {
+      double secs = 0;
+      if (!(words >> secs) || secs <= 0) {
+        fail(line_no, line, "run needs a positive end time");
+      }
+      parsed.run_until = sim::seconds(secs);
+      saw_run = true;
+    } else if (verb == "at") {
+      double at = 0;
+      std::string action;
+      if (!(words >> at >> action) || at < 0) {
+        fail(line_no, line, "at needs a time and an action");
+      }
+      ScenarioAction sa;
+      sa.at = sim::seconds(at);
+      sa.verb = action;
+      int n = parsed.options.num_servers;
+      if (action == "disconnect" || action == "reconnect" ||
+          action == "leave" || action == "status") {
+        std::string target;
+        if (!(words >> target)) fail(line_no, line, action + " needs a server");
+        sa.servers.push_back(parse_server(target, n, line_no, line));
+      } else if (action == "partition") {
+        // Remainder: comma-lists separated by '|'.
+        std::string rest;
+        std::getline(words, rest);
+        std::string cleaned;
+        for (char ch : rest) {
+          if (!std::isspace(static_cast<unsigned char>(ch))) cleaned += ch;
+        }
+        std::istringstream sides(cleaned);
+        std::string side;
+        while (std::getline(sides, side, '|')) {
+          sa.groups.push_back(parse_server_list(side, n, line_no, line));
+        }
+        if (sa.groups.size() < 2) {
+          fail(line_no, line, "partition needs at least two groups");
+        }
+      } else if (action == "merge" || action == "balance" ||
+                 action == "coverage") {
+        // no operands
+      } else {
+        fail(line_no, line, "unknown action '" + action + "'");
+      }
+      parsed.actions.push_back(std::move(sa));
+    } else {
+      fail(line_no, line, "unknown directive '" + verb + "'");
+    }
+  }
+  if (!saw_run) {
+    // Default: run a bit past the last action.
+    sim::Duration latest = sim::seconds(10.0);
+    for (const auto& a : parsed.actions) {
+      latest = std::max(latest, a.at + sim::seconds(10.0));
+    }
+    parsed.run_until = latest;
+  }
+  return parsed;
+}
+
+bool run_scenario(const std::string& text, std::ostream& out,
+                  std::size_t trace_tail) {
+  auto parsed = parse_scenario(text);
+  ClusterScenario s(parsed.options);
+  std::unique_ptr<net::FrameTrace> trace;
+  if (trace_tail > 0) {
+    trace = std::make_unique<net::FrameTrace>(s.sched, s.fabric, trace_tail);
+  }
+  s.start();
+  s.run_until_stable(sim::seconds(60.0));
+  out << "cluster up: " << parsed.options.num_servers << " servers, "
+      << parsed.options.num_vips << " VIPs\n";
+
+  auto coverage_report = [&] {
+    for (int k = 0; k < parsed.options.num_vips; ++k) {
+      int owner = -1;
+      int count = 0;
+      for (int i = 0; i < s.num_servers(); ++i) {
+        if (s.server_host(i).owns_ip(s.vip(k)) && s.server_host(i).is_up()) {
+          owner = i;
+          ++count;
+        }
+      }
+      out << "    " << s.vip(k).to_string() << " -> ";
+      if (count == 0) {
+        out << "(unreachable)";
+      } else if (count > 1) {
+        out << "(CONFLICT x" << count << ")";
+      } else {
+        out << s.server_host(owner).name();
+      }
+      out << "\n";
+    }
+  };
+
+  sim::Script script;
+  for (const auto& action : parsed.actions) {
+    auto describe = action.verb;
+    script.at(action.at, describe, [&s, &out, action, &coverage_report] {
+      if (action.verb == "disconnect") {
+        s.disconnect_server(action.servers[0]);
+      } else if (action.verb == "reconnect") {
+        s.reconnect_server(action.servers[0]);
+      } else if (action.verb == "leave") {
+        s.graceful_leave(action.servers[0]);
+      } else if (action.verb == "partition") {
+        s.partition(action.groups);
+      } else if (action.verb == "merge") {
+        s.merge();
+      } else if (action.verb == "balance") {
+        for (int i = 0; i < s.num_servers(); ++i) {
+          if (s.wam(i).trigger_balance()) break;
+        }
+      } else if (action.verb == "status") {
+        wackamole::AdminControl ctl(s.wam(action.servers[0]));
+        out << ctl.execute("status");
+      } else if (action.verb == "coverage") {
+        coverage_report();
+      }
+    });
+  }
+  script.arm(s.sched, [&out](const sim::Script::Entry& entry) {
+    out << "t=" << sim::to_seconds(entry.when.time_since_epoch()) << "s  "
+        << entry.description << "\n";
+  });
+  s.sched.run_until(sim::TimePoint(parsed.run_until));
+
+  // Final verdict over the reachable servers.
+  std::vector<int> reachable;
+  for (int i = 0; i < s.num_servers(); ++i) {
+    if (s.server_host(i).is_up() && s.wam(i).running()) reachable.push_back(i);
+  }
+  out << "final coverage:\n";
+  coverage_report();
+  bool ok = !reachable.empty() && s.coverage_exactly_once(reachable);
+  out << "exactly-once over reachable servers: " << (ok ? "OK" : "VIOLATED")
+      << "\n";
+  if (trace) {
+    out << "\nlast " << trace->size() << " frames:\n" << trace->dump();
+  }
+  return ok;
+}
+
+}  // namespace wam::apps

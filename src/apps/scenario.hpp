@@ -1,0 +1,64 @@
+// Text-scripted cluster scenarios.
+//
+// A tiny DSL drives a ClusterScenario — topology knobs up front, then
+// timed fault-injection actions — so experiments can be written as data:
+//
+//     # 4 web servers, 8 VIPs, tuned timeouts
+//     servers 4
+//     vips 8
+//     gcs tuned
+//     balance 30
+//
+//     at 5   disconnect server2
+//     at 15  reconnect server2
+//     at 20  partition server1,server2 | server3,server4
+//     at 30  merge
+//     at 40  leave server3
+//     at 45  balance
+//     at 50  status server1
+//     at 55  coverage
+//     run 60
+//
+// parse_scenario() validates and returns the structured form;
+// run_scenario() executes it against a fresh simulation and streams a
+// narrated timeline plus the requested reports to `out`.
+#pragma once
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/cluster_scenario.hpp"
+
+namespace wam::apps {
+
+/// Thrown on malformed scenario text (message names the offending line).
+class ScriptError : public std::runtime_error {
+ public:
+  explicit ScriptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ScenarioAction {
+  sim::Duration at{};
+  std::string verb;                // disconnect|reconnect|leave|partition|...
+  std::vector<int> servers;        // operands as server indices
+  std::vector<std::vector<int>> groups;  // for partition
+};
+
+struct ParsedScenario {
+  ClusterOptions options;
+  std::vector<ScenarioAction> actions;
+  sim::Duration run_until = sim::seconds(30.0);
+};
+
+[[nodiscard]] ParsedScenario parse_scenario(const std::string& text);
+
+/// Parse + execute, narrating to `out`. Returns the final exactly-once
+/// coverage verdict for the reachable servers (true = invariant holds).
+/// With `trace_tail` > 0, the last that many captured frames are dumped to
+/// `out` after the run (tcpdump-style).
+bool run_scenario(const std::string& text, std::ostream& out,
+                  std::size_t trace_tail = 0);
+
+}  // namespace wam::apps

@@ -1,0 +1,97 @@
+#include "apps/workload.hpp"
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace wam::apps {
+
+Workload::Workload(net::Host& host, WorkloadOptions options)
+    : host_(host), options_(std::move(options)) {
+  WAM_EXPECTS(!options_.targets.empty());
+  WAM_EXPECTS(options_.clients >= 1);
+}
+
+void Workload::start() {
+  if (running_) return;
+  running_ = true;
+  for (int i = 0; i < options_.clients; ++i) {
+    Stream stream;
+    stream.port = static_cast<std::uint16_t>(31000 + i);
+    stream.next_target = static_cast<std::size_t>(i) %
+                         options_.targets.size();
+    host_.open_udp(stream.port, [this](const net::Host::UdpContext&,
+                                       const util::Bytes& payload) {
+      // Echo replies carry (hostname, original payload); our payload is
+      // the request id.
+      std::uint64_t id = 0;
+      try {
+        util::ByteReader r(payload);
+        (void)r.str();  // responder hostname
+        id = r.u64();
+      } catch (const util::DecodeError&) {
+        return;
+      }
+      if (id < requests_.size() && !requests_[id].answered) {
+        requests_[id].answered = true;
+        ++answered_;
+      }
+    });
+    streams_.push_back(std::move(stream));
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) tick(i);
+}
+
+void Workload::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& stream : streams_) {
+    stream.timer.cancel();
+    host_.close_udp(stream.port);
+  }
+  streams_.clear();
+}
+
+void Workload::tick(std::size_t stream_index) {
+  if (!running_) return;
+  auto& stream = streams_[stream_index];
+  auto target = options_.targets[stream.next_target];
+  stream.next_target = (stream.next_target + 1) % options_.targets.size();
+
+  auto id = static_cast<std::uint64_t>(requests_.size());
+  requests_.push_back(Request{host_.scheduler().now(), false});
+  ++sent_;
+  util::ByteWriter w;
+  w.u64(id);
+  host_.send_udp(target, options_.port, stream.port, w.take());
+
+  stream.timer = host_.scheduler().schedule(
+      options_.request_interval, [this, stream_index] { tick(stream_index); });
+}
+
+std::uint64_t Workload::lost() const {
+  return sent_ > answered_ ? sent_ - answered_ : 0;
+}
+
+double Workload::availability() const {
+  if (sent_ == 0) return 1.0;
+  return static_cast<double>(answered_) / static_cast<double>(sent_);
+}
+
+std::vector<Workload::Bucket> Workload::timeline(sim::Duration bucket) const {
+  std::vector<Bucket> out;
+  if (requests_.empty()) return out;
+  auto first = requests_.front().sent;
+  for (const auto& req : requests_) {
+    auto idx = static_cast<std::size_t>((req.sent - first) / bucket);
+    while (out.size() <= idx) {
+      Bucket b;
+      b.start = first + bucket * static_cast<int>(out.size());
+      out.push_back(b);
+    }
+    ++out[idx].requests;
+    if (req.answered) ++out[idx].answered;
+  }
+  return out;
+}
+
+}  // namespace wam::apps

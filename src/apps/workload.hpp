@@ -1,0 +1,80 @@
+// Multi-client workload generation and availability accounting.
+//
+// Where ProbeClient measures one client's view of one VIP (the paper's §6
+// methodology), Workload drives a population of clients against the whole
+// VIP set and aggregates *service availability over time*: per time
+// bucket, the fraction of requests that received a response. This is the
+// operator's-eye view of a fail-over event — the area of the dip is
+// (requests lost), its width the interruption.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/probe_client.hpp"
+#include "net/host.hpp"
+
+namespace wam::apps {
+
+struct WorkloadOptions {
+  std::vector<net::Ipv4Address> targets;  // VIPs to spread requests over
+  std::uint16_t port = 9000;
+  sim::Duration request_interval = sim::milliseconds(10);  // per client
+  int clients = 4;  // concurrent request streams
+};
+
+class Workload {
+ public:
+  /// All request streams originate from `host` (distinct local ports).
+  Workload(net::Host& host, WorkloadOptions options);
+  ~Workload() { stop(); }
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t requests_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t responses() const { return answered_; }
+  /// Requests whose reply never arrived within the timeout.
+  [[nodiscard]] std::uint64_t lost() const;
+
+  /// Availability per bucket: fraction of the bucket's requests answered.
+  struct Bucket {
+    sim::TimePoint start;
+    std::uint64_t requests = 0;
+    std::uint64_t answered = 0;
+    [[nodiscard]] double availability() const {
+      return requests == 0 ? 1.0
+                           : static_cast<double>(answered) /
+                                 static_cast<double>(requests);
+    }
+  };
+  [[nodiscard]] std::vector<Bucket> timeline(sim::Duration bucket) const;
+  /// Overall availability across the whole run.
+  [[nodiscard]] double availability() const;
+
+ private:
+  struct Request {
+    sim::TimePoint sent;
+    bool answered = false;
+  };
+  struct Stream {
+    std::uint16_t port;
+    std::size_t next_target = 0;
+    sim::TimerHandle timer;
+  };
+
+  void tick(std::size_t stream_index);
+
+  net::Host& host_;
+  WorkloadOptions options_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t answered_ = 0;
+  std::vector<Stream> streams_;
+  std::vector<Request> requests_;  // indexed by request id
+};
+
+}  // namespace wam::apps

@@ -1,0 +1,72 @@
+// The Linux Fake project's approach (paper §7): pairwise IP fail-over via
+// service probing and ARP spoofing. A backup host pings the main server's
+// stationary address at a fixed interval; after `miss_threshold` missed
+// replies it instantiates the virtual interface and sends a gratuitous ARP.
+// Optionally it releases the address when the main server answers again.
+//
+// This is the 1:1 baseline: no group membership, no conflict-free merge
+// guarantees, no N-way coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/log.hpp"
+
+namespace wam::baselines {
+
+struct FakeConfig {
+  net::Ipv4Address main_ip;  // stationary address of the protected server
+  std::vector<net::Ipv4Address> vips;
+  int ifindex = 0;
+  sim::Duration probe_interval = sim::seconds(1.0);
+  int miss_threshold = 4;
+  bool release_on_return = true;
+  std::uint16_t port = 1999;
+};
+
+/// Runs on the protected (main) server: answers probe pings.
+class FakeResponder {
+ public:
+  FakeResponder(net::Host& host, std::uint16_t port = 1999);
+  ~FakeResponder() { stop(); }
+  void start();
+  void stop();
+
+ private:
+  net::Host& host_;
+  std::uint16_t port_;
+  bool running_ = false;
+};
+
+/// Runs on the backup: probes the main and takes over its VIPs on failure.
+class FakeBackup {
+ public:
+  FakeBackup(net::Host& host, FakeConfig config, sim::Log* log = nullptr);
+  ~FakeBackup() { stop(); }
+  FakeBackup(const FakeBackup&) = delete;
+  FakeBackup& operator=(const FakeBackup&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool holding() const { return holding_; }
+  [[nodiscard]] int consecutive_misses() const { return misses_; }
+
+ private:
+  void probe_tick();
+  void take_over();
+  void hand_back();
+
+  net::Host& host_;
+  FakeConfig config_;
+  sim::Logger log_;
+  bool running_ = false;
+  bool holding_ = false;
+  int misses_ = 0;
+  bool reply_seen_ = false;
+  sim::TimerHandle timer_;
+};
+
+}  // namespace wam::baselines

@@ -1,0 +1,75 @@
+// Cisco's Hot Standby Router Protocol, as characterized in the paper's
+// related work: one Active router and one Standby; both send hello messages
+// (default every 3 s); the Standby takes over when the Active timeout
+// (default 10 s) elapses without hellos from the Active, and a monitoring
+// router with the next-best (priority, IP) promotes to Standby when the
+// Standby timeout elapses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/log.hpp"
+
+namespace wam::baselines {
+
+struct HsrpConfig {
+  std::uint8_t group = 1;
+  std::vector<net::Ipv4Address> vips;
+  int ifindex = 0;
+  std::uint8_t priority = 100;
+  sim::Duration hello_interval = sim::seconds(3.0);
+  sim::Duration hold_time = sim::seconds(10.0);
+  std::uint16_t port = 1985;  // HSRP's real UDP port
+};
+
+enum class HsrpState : std::uint8_t { kInit, kListen, kStandby, kActive };
+
+const char* hsrp_state_name(HsrpState s);
+
+class HsrpRouter {
+ public:
+  HsrpRouter(net::Host& host, HsrpConfig config, sim::Log* log = nullptr);
+  ~HsrpRouter() { stop(); }
+  HsrpRouter(const HsrpRouter&) = delete;
+  HsrpRouter& operator=(const HsrpRouter&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] HsrpState state() const { return state_; }
+  [[nodiscard]] bool is_active() const { return state_ == HsrpState::kActive; }
+
+ private:
+  struct Hello {
+    std::uint8_t group;
+    std::uint8_t state;  // HsrpState of the sender
+    std::uint8_t priority;
+    std::uint32_t ip;
+  };
+
+  void hello_tick();
+  void on_packet(const net::Host::UdpContext& ctx, const util::Bytes& payload);
+  void arm_active_timer();
+  void arm_standby_timer();
+  void active_timeout();
+  void standby_timeout();
+  void become_active();
+  void become_standby();
+  void resign_active();
+  /// True when (priority, ip) beats the peer's.
+  [[nodiscard]] bool beats(std::uint8_t peer_priority,
+                           std::uint32_t peer_ip) const;
+
+  net::Host& host_;
+  HsrpConfig config_;
+  sim::Logger log_;
+  bool running_ = false;
+  HsrpState state_ = HsrpState::kInit;
+  sim::TimerHandle hello_timer_;
+  sim::TimerHandle active_timer_;
+  sim::TimerHandle standby_timer_;
+};
+
+}  // namespace wam::baselines

@@ -1,0 +1,68 @@
+// Virtual Router Redundancy Protocol (RFC 2338-style), the paper's primary
+// related-work comparison for router fail-over.
+//
+// One elected Master owns the virtual addresses and multicasts
+// advertisements every advertisement_interval (default 1 s). Backups run a
+// master-down timer of 3 * advertisement_interval + skew, where
+// skew = (256 - priority) / 256 s; on expiry the backup promotes itself,
+// acquires the addresses and gratuitously ARPs. Unlike Wackamole, VRRP
+// protects ONE address set per instance (pairwise/active-standby at the
+// address level) and offers no N-way balancing of many VIPs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/log.hpp"
+
+namespace wam::baselines {
+
+struct VrrpConfig {
+  std::uint8_t vrid = 1;
+  std::vector<net::Ipv4Address> vips;
+  int ifindex = 0;
+  std::uint8_t priority = 100;  // 255 = address owner
+  sim::Duration advertisement_interval = sim::seconds(1.0);
+  bool preempt = true;
+  std::uint16_t port = 112;  // stand-in for IP protocol 112
+};
+
+enum class VrrpState : std::uint8_t { kInit, kBackup, kMaster };
+
+const char* vrrp_state_name(VrrpState s);
+
+class VrrpRouter {
+ public:
+  VrrpRouter(net::Host& host, VrrpConfig config, sim::Log* log = nullptr);
+  ~VrrpRouter() { stop(); }
+  VrrpRouter(const VrrpRouter&) = delete;
+  VrrpRouter& operator=(const VrrpRouter&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] VrrpState state() const { return state_; }
+  [[nodiscard]] bool is_master() const { return state_ == VrrpState::kMaster; }
+  [[nodiscard]] sim::Duration master_down_interval() const;
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  void become_master();
+  void become_backup();
+  void send_advertisement();
+  void on_packet(const net::Host::UdpContext& ctx, const util::Bytes& payload);
+  void arm_master_down_timer();
+  void master_down();
+
+  net::Host& host_;
+  VrrpConfig config_;
+  sim::Logger log_;
+  bool running_ = false;
+  VrrpState state_ = VrrpState::kInit;
+  sim::TimerHandle advert_timer_;
+  sim::TimerHandle master_down_timer_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace wam::baselines

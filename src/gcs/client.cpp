@@ -1,0 +1,60 @@
+#include "gcs/client.hpp"
+
+#include "util/assert.hpp"
+
+namespace wam::gcs {
+
+Client::Client(std::string name, ClientCallbacks callbacks)
+    : name_(std::move(name)), callbacks_(std::move(callbacks)) {}
+
+Client::~Client() {
+  if (connected()) disconnect();
+}
+
+bool Client::connect(Daemon& daemon) {
+  WAM_EXPECTS(!connected());
+  if (!daemon.running()) return false;
+  ClientCallbacks wrapped = callbacks_;
+  auto user_disconnect = callbacks_.on_disconnect;
+  // Intercept daemon-initiated disconnects so connected() stays truthful.
+  wrapped.on_disconnect = [this, user_disconnect] {
+    daemon_ = nullptr;
+    id_ = 0;
+    if (user_disconnect) user_disconnect();
+  };
+  id_ = daemon.register_client(name_, std::move(wrapped));
+  daemon_ = &daemon;
+  return true;
+}
+
+void Client::disconnect() {
+  if (!connected()) return;
+  auto* daemon = daemon_;
+  auto id = id_;
+  daemon_ = nullptr;
+  id_ = 0;
+  daemon->unregister_client(id);
+}
+
+void Client::join(const std::string& group) {
+  WAM_EXPECTS(connected());
+  daemon_->client_join(id_, group);
+}
+
+void Client::leave(const std::string& group) {
+  WAM_EXPECTS(connected());
+  daemon_->client_leave(id_, group);
+}
+
+void Client::multicast(const std::string& group, util::Bytes payload,
+                       ServiceType service) {
+  WAM_EXPECTS(connected());
+  daemon_->client_multicast(id_, group, std::move(payload), service);
+}
+
+MemberId Client::self() const {
+  WAM_EXPECTS(connected());
+  return daemon_->member_id(id_);
+}
+
+}  // namespace wam::gcs

@@ -1,0 +1,47 @@
+// Client-side session handle to a local GCS daemon.
+//
+// Mirrors Spread's client library: connect to the daemon on the same host,
+// join named groups, multicast with Agreed ordering, receive messages and
+// group membership notifications through callbacks. If the daemon stops,
+// the client learns through on_disconnect and may reconnect later —
+// Wackamole uses exactly this to implement its "drop all virtual interfaces
+// and periodically retry" behaviour (Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gcs/daemon.hpp"
+
+namespace wam::gcs {
+
+class Client {
+ public:
+  Client(std::string name, ClientCallbacks callbacks);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Attach to a daemon; returns false if the daemon is not running.
+  bool connect(Daemon& daemon);
+  /// Detach (leaving all groups gracefully).
+  void disconnect();
+  [[nodiscard]] bool connected() const { return daemon_ != nullptr; }
+
+  void join(const std::string& group);
+  void leave(const std::string& group);
+  void multicast(const std::string& group, util::Bytes payload,
+                 ServiceType service = ServiceType::kAgreed);
+
+  /// Identity within the current connection; only valid while connected.
+  [[nodiscard]] MemberId self() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  ClientCallbacks callbacks_;
+  Daemon* daemon_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+}  // namespace wam::gcs

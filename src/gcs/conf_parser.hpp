@@ -1,0 +1,35 @@
+// spread.conf-style configuration parsing for the GCS daemon.
+//
+// The real Spread daemon is driven by a text file; this parser accepts a
+// compact dialect covering everything our daemon supports:
+//
+//     # spread.conf
+//     Port = 4803
+//     Multicast = 239.192.0.7     # omit for limited broadcast
+//     Ordering = ring             # or: sequencer
+//     FaultDetection = 1s
+//     Heartbeat = 0.4s            # the distributed heartbeat timeout
+//     Discovery = 1.4s
+//     TokenHold = 2ms
+//     TokenRetry = 50ms
+//     TokenWindow = 64
+//
+// Durations take `s` or `ms` suffixes. The result is validate()d.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "gcs/config.hpp"
+
+namespace wam::gcs {
+
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[nodiscard]] Config parse_config(const std::string& text);
+[[nodiscard]] std::string render_config(const Config& config);
+
+}  // namespace wam::gcs

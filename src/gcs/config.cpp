@@ -1,0 +1,34 @@
+#include "gcs/config.hpp"
+
+#include "util/assert.hpp"
+
+namespace wam::gcs {
+
+Config Config::spread_default() {
+  Config c;
+  c.fault_detection_timeout = sim::seconds(5.0);
+  c.heartbeat_timeout = sim::seconds(2.0);
+  c.discovery_timeout = sim::seconds(7.0);
+  return c;
+}
+
+Config Config::spread_tuned() {
+  Config c;
+  c.fault_detection_timeout = sim::seconds(1.0);
+  c.heartbeat_timeout = sim::seconds(0.4);
+  c.discovery_timeout = sim::seconds(1.4);
+  return c;
+}
+
+void Config::validate() const {
+  WAM_EXPECTS(heartbeat_timeout > sim::kZero);
+  WAM_EXPECTS(fault_detection_timeout > heartbeat_timeout);
+  WAM_EXPECTS(discovery_timeout > sim::kZero);
+  WAM_EXPECTS(nack_delay > sim::kZero);
+  WAM_EXPECTS(token_hold > sim::kZero);
+  WAM_EXPECTS(token_retry > token_hold);
+  WAM_EXPECTS(token_window > 0);
+  WAM_EXPECTS(multicast_group.is_any() || multicast_group.is_multicast());
+}
+
+}  // namespace wam::gcs

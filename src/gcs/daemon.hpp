@@ -1,0 +1,257 @@
+// The GCS daemon: partitionable membership, Virtual Synchrony, Agreed
+// delivery, and process groups, over the simulated LAN.
+//
+// Protocol sketch (a compact stand-in for Spread with the same external
+// contract, §3.1 of the paper):
+//
+//   * OPERATIONAL — a coordinator-sequenced total order. Clients hand
+//     messages to their daemon; the daemon forwards to the view's
+//     sequencer (the lowest DaemonId); the sequencer stamps a per-view
+//     sequence number and broadcasts. Receivers deliver contiguously,
+//     NACKing gaps. Heartbeats (every heartbeat_timeout) double as the
+//     failure detector input and carry delivery watermarks from which the
+//     sequencer derives message stability (min delivered across members —
+//     everything at or below it may be garbage-collected).
+//
+//   * FAILURE DETECTION — a per-member deadline of fault_detection_timeout
+//     re-armed on every packet from that member. Because heartbeats arrive
+//     every heartbeat_timeout, detection lags a crash by
+//     [fault_detection - heartbeat, fault_detection], exactly the range
+//     discussed with Table 1.
+//
+//   * MEMBERSHIP CHANGE — on suspicion or on hearing a foreign daemon, a
+//     daemon floods DISCOVERY (its id, a proposed epoch, everyone heard so
+//     far) and collects for discovery_timeout. The lowest-id participant
+//     then PROPOSEs the view; members ACCEPT carrying their unstable
+//     messages and group tables; the coordinator broadcasts INSTALL with
+//     the per-old-view union of unstable messages (the Virtual-Synchrony
+//     exchange: daemons that transition together first deliver identical
+//     message sets) and the merged group table. Any disturbance or timeout
+//     restarts discovery with a higher epoch (cascading faults).
+//
+//   * GROUPS — join/leave are totally ordered control messages (lightweight
+//     membership: no daemon reconfiguration, the fast path behind the
+//     paper's ~10 ms graceful leave). Group views carry the daemon view id
+//     and a per-group sequence number, and member lists are uniquely
+//     ordered by (rank of hosting daemon in the view, client id).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gcs/config.hpp"
+#include "gcs/groups.hpp"
+#include "gcs/message.hpp"
+#include "gcs/types.hpp"
+#include "net/host.hpp"
+#include "sim/log.hpp"
+
+namespace wam::gcs {
+
+/// Callbacks a client registers with its local daemon.
+struct ClientCallbacks {
+  std::function<void(const GroupView&)> on_membership;
+  std::function<void(const GroupMessage&)> on_message;
+  std::function<void()> on_disconnect;
+};
+
+struct DaemonCounters {
+  std::uint64_t views_installed = 0;
+  std::uint64_t discoveries_started = 0;
+  std::uint64_t data_sequenced = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t fifo_sent = 0;
+  std::uint64_t fifo_delivered = 0;
+  std::uint64_t fifo_dropped_reconfig = 0;
+  std::uint64_t token_rotations = 0;
+  std::uint64_t token_retries = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t sync_messages_delivered = 0;
+  std::uint64_t decode_errors = 0;
+};
+
+class Daemon {
+ public:
+  /// The daemon binds UDP `config.port` on `host` interface `ifindex` and
+  /// identifies itself by that interface's stationary primary IP.
+  Daemon(net::Host& host, Config config, sim::Log* log = nullptr,
+         int ifindex = 0);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Open the socket and begin: a fresh daemon floods discovery to find
+  /// peers (or installs a singleton view if alone).
+  void start();
+  /// Abrupt shutdown: close the socket, kill timers, disconnect clients.
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] DaemonId id() const { return id_; }
+  [[nodiscard]] const View& view() const { return view_; }
+  [[nodiscard]] bool in_op() const { return state_ == State::kOp; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const DaemonCounters& counters() const { return counters_; }
+  [[nodiscard]] const GroupTable& groups() const { return group_table_; }
+
+  // ---- Client session interface (used by gcs::Client) ----
+  std::uint32_t register_client(std::string name, ClientCallbacks callbacks);
+  void unregister_client(std::uint32_t client);
+  void client_join(std::uint32_t client, const std::string& group);
+  void client_leave(std::uint32_t client, const std::string& group);
+  void client_multicast(std::uint32_t client, const std::string& group,
+                        util::Bytes payload,
+                        ServiceType service = ServiceType::kAgreed);
+  [[nodiscard]] MemberId member_id(std::uint32_t client) const;
+
+ private:
+  enum class State { kOp, kDiscovery, kAwaitInstall };
+
+  struct LocalClient {
+    std::string name;
+    ClientCallbacks callbacks;
+    std::set<std::string> groups;
+  };
+
+  // ---- I/O ----
+  void on_udp(const net::Host::UdpContext& ctx, const util::Bytes& payload);
+  void broadcast(const Message& msg);
+  void unicast(DaemonId to, const Message& msg);
+
+  // ---- Operational state ----
+  void on_heartbeat(const Heartbeat& hb);
+  void heartbeat_tick();
+  void arm_fault_timer(DaemonId member);
+  void note_alive(DaemonId member);
+  void on_forward(DataMessage data);
+  void sequence_and_broadcast(DataMessage data);
+  void on_data(const DataMessage& data);
+  void try_deliver_buffered();
+  void deliver(const DataMessage& data);
+  void schedule_nack();
+  void nack_tick();
+  void on_nack(const Nack& nack);
+  void on_fifo_data(const DataMessage& data);
+  void deliver_fifo(const DataMessage& data);
+  void drain_origin_streams();
+  [[nodiscard]] bool causally_ready(const DataMessage& data) const;
+  void schedule_fifo_nack();
+  void fifo_nack_tick();
+  void dispatch_to_clients(const DataMessage& data);
+  void dispatch(const DataMessage& data);
+  void drain_dispatch(bool force = false);
+  void prune_stable(std::uint64_t stable);
+  [[nodiscard]] DaemonId sequencer() const;
+  [[nodiscard]] bool is_sequencer() const { return sequencer() == id_; }
+  void submit(DataMessage data);
+  void reforward_pending();
+
+  // ---- Token-ring ordering (OrderingEngine::kTokenRing) ----
+  [[nodiscard]] bool token_mode() const {
+    return config_.ordering == OrderingEngine::kTokenRing;
+  }
+  [[nodiscard]] DaemonId ring_successor() const;
+  void on_token(Token token);
+  void pass_token(Token token);
+  void token_retry_tick();
+
+  // ---- Membership protocol ----
+  void enter_discovery(const char* reason);
+  void discovery_broadcast();
+  void on_discovery(const Discovery& d);
+  void discovery_deadline();
+  void on_propose(const Propose& p);
+  void send_accept(const ViewId& proposal, DaemonId coordinator);
+  void on_accept(const Accept& a);
+  void maybe_finish_collect();
+  void on_install(const Install& inst);
+  void install_view(const Install& inst);
+  void install_deadline();
+  [[nodiscard]] Accept make_own_accept(const ViewId& proposal) const;
+
+  // ---- Group bookkeeping ----
+  void apply_group_control(const DataMessage& data);
+  void notify_group(const std::string& group, GroupChangeReason reason);
+  void refresh_groups_after_install();
+  [[nodiscard]] std::vector<std::uint32_t> local_members_of(
+      const std::string& group) const;
+
+  net::Host& host_;
+  Config config_;
+  int ifindex_;
+  DaemonId id_;
+  sim::Logger log_;
+  bool running_ = false;
+
+  State state_ = State::kOp;
+  View view_;
+
+  // Total order state (per installed view).
+  std::uint64_t next_seq_ = 1;          // sequencer: next seq to assign
+  std::uint64_t delivered_seq_ = 0;     // highest contiguously delivered
+  std::uint64_t stable_seq_ = 0;        // GC watermark
+  std::map<std::uint64_t, DataMessage> store_;   // delivered, > stable
+  std::map<std::uint64_t, DataMessage> buffer_;  // received out of order
+  std::deque<DataMessage> dispatch_queue_;       // delivered, not dispatched
+                                                 // (SAFE holds the line)
+  std::set<std::pair<std::uint32_t, std::uint64_t>> sequenced_;  // dedup
+  std::map<DaemonId, std::uint64_t> member_delivered_;
+  std::map<ViewId, std::vector<DataMessage>> preinstall_;  // future-view data
+
+  // FIFO/causal service state (per installed view). Both services share
+  // the per-origin streams; causal messages additionally hold their
+  // origin's dispatch queue until their vector-clock dependencies on other
+  // origins' streams are satisfied.
+  std::uint64_t fifo_out_seq_ = 0;                       // our stream
+  std::map<std::uint64_t, DataMessage> fifo_store_;      // sent, for rexmit
+  std::map<DaemonId, std::uint64_t> fifo_delivered_;     // reception (contig)
+  std::map<DaemonId, std::uint64_t> fifo_dispatched_;    // handed to clients
+  std::map<DaemonId, std::uint64_t> fifo_advertised_;    // heard stream heads
+  std::map<DaemonId, std::map<std::uint64_t, DataMessage>> fifo_buffer_;
+  std::map<DaemonId, std::deque<DataMessage>> fifo_dispatch_;  // held streams
+  sim::TimerHandle fifo_nack_timer_;
+
+  // Token-ring state (per installed view).
+  std::uint64_t last_rotation_seen_ = 0;
+  std::uint64_t prev_token_aru_ = 0;
+  std::optional<Token> last_sent_token_;
+  sim::TimerHandle token_pass_timer_;
+  sim::TimerHandle token_retry_timer_;
+
+  // Outgoing messages not yet seen back in the total order.
+  std::deque<DataMessage> pending_out_;
+  std::uint64_t next_out_id_ = 1;
+
+  // Failure detection.
+  std::map<DaemonId, sim::TimerHandle> fault_timers_;
+  sim::TimerHandle heartbeat_timer_;
+  sim::TimerHandle nack_timer_;
+
+  // Discovery / install state.
+  std::uint64_t discovery_epoch_ = 0;
+  std::set<DaemonId> known_;
+  sim::TimerHandle discovery_rebroadcast_timer_;
+  sim::TimerHandle discovery_deadline_timer_;
+  sim::TimerHandle install_deadline_timer_;
+  std::optional<ViewId> accepted_proposal_;
+  bool coordinator_ = false;
+  std::vector<DaemonId> proposed_members_;
+  std::map<DaemonId, Accept> accepts_;
+
+  // Groups and clients.
+  GroupTable group_table_;
+  std::map<std::uint32_t, LocalClient> clients_;
+  std::uint32_t next_client_id_ = 1;
+
+  DaemonCounters counters_;
+};
+
+}  // namespace wam::gcs

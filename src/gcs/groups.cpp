@@ -1,0 +1,104 @@
+#include "gcs/groups.hpp"
+
+#include <algorithm>
+
+namespace wam::gcs {
+
+bool GroupTable::join(const std::string& group, const MemberId& m) {
+  auto& members = groups_[group];
+  if (std::find(members.begin(), members.end(), m) != members.end()) {
+    return false;
+  }
+  members.push_back(m);
+  return true;
+}
+
+bool GroupTable::leave(const std::string& group, const MemberId& m) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  auto& members = it->second;
+  auto pos = std::find(members.begin(), members.end(), m);
+  if (pos == members.end()) return false;
+  members.erase(pos);
+  if (members.empty()) groups_.erase(it);
+  return true;
+}
+
+bool GroupTable::has_member(const std::string& group, const MemberId& m) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), m) != it->second.end();
+}
+
+std::vector<std::string> GroupTable::drop_daemons_not_in(const View& v) {
+  std::vector<std::string> changed;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    auto& members = it->second;
+    auto before = members.size();
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&v](const MemberId& m) {
+                                   return !v.contains(m.daemon);
+                                 }),
+                  members.end());
+    if (members.size() != before) changed.push_back(it->first);
+    if (members.empty()) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+std::vector<MemberId> GroupTable::members_of(const std::string& group,
+                                             const View& v) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  std::vector<MemberId> out = it->second;
+  std::sort(out.begin(), out.end(), [&v](const MemberId& a, const MemberId& b) {
+    int ra = v.rank_of(a.daemon);
+    int rb = v.rank_of(b.daemon);
+    if (ra != rb) return ra < rb;
+    return a.client < b.client;
+  });
+  return out;
+}
+
+std::vector<std::string> GroupTable::group_names() const {
+  std::vector<std::string> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, members] : groups_) out.push_back(name);
+  return out;
+}
+
+std::vector<GroupEntry> GroupTable::entries() const {
+  std::vector<GroupEntry> out;
+  for (const auto& [name, members] : groups_) {
+    for (const auto& m : members) out.push_back(GroupEntry{name, m});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> GroupTable::seqs() const {
+  return {seqs_.begin(), seqs_.end()};
+}
+
+void GroupTable::replace(
+    const std::vector<GroupEntry>& entries,
+    const std::vector<std::pair<std::string, std::uint64_t>>& seqs) {
+  groups_.clear();
+  seqs_.clear();
+  for (const auto& e : entries) join(e.group, e.member);
+  for (const auto& [name, seq] : seqs) seqs_[name] = seq;
+}
+
+std::uint64_t GroupTable::bump_seq(const std::string& group) {
+  return ++seqs_[group];
+}
+
+std::uint64_t GroupTable::seq(const std::string& group) const {
+  auto it = seqs_.find(group);
+  return it == seqs_.end() ? 0 : it->second;
+}
+
+}  // namespace wam::gcs

@@ -1,0 +1,54 @@
+// Process-group membership table.
+//
+// Each daemon maintains the same table, updated deterministically from the
+// totally ordered join/leave control messages (lightweight membership: no
+// daemon reconfiguration — the fast path behind the paper's ~10 ms graceful
+// leave) and rebuilt from the coordinator's merged snapshot on daemon view
+// installation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gcs/message.hpp"
+#include "gcs/types.hpp"
+
+namespace wam::gcs {
+
+class GroupTable {
+ public:
+  /// Returns false when the member is already present (duplicate join).
+  bool join(const std::string& group, const MemberId& m);
+  /// Returns false when the member is absent (stale leave).
+  bool leave(const std::string& group, const MemberId& m);
+  [[nodiscard]] bool has_member(const std::string& group,
+                                const MemberId& m) const;
+
+  /// Remove members hosted on daemons outside `v`; returns the names of
+  /// groups whose membership changed.
+  std::vector<std::string> drop_daemons_not_in(const View& v);
+
+  /// Uniquely ordered member list: (rank of hosting daemon in `v`, client id).
+  [[nodiscard]] std::vector<MemberId> members_of(const std::string& group,
+                                                 const View& v) const;
+  [[nodiscard]] std::vector<std::string> group_names() const;
+
+  /// Snapshot / restore for the Virtual-Synchrony exchange.
+  [[nodiscard]] std::vector<GroupEntry> entries() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> seqs() const;
+  void replace(const std::vector<GroupEntry>& entries,
+               const std::vector<std::pair<std::string, std::uint64_t>>& seqs);
+
+  /// Per-group monotone view counter.
+  std::uint64_t bump_seq(const std::string& group);
+  [[nodiscard]] std::uint64_t seq(const std::string& group) const;
+
+ private:
+  std::map<std::string, std::vector<MemberId>> groups_;
+  std::map<std::string, std::uint64_t> seqs_;
+};
+
+}  // namespace wam::gcs

@@ -1,0 +1,319 @@
+#include "gcs/message.hpp"
+
+#include "util/assert.hpp"
+
+namespace wam::gcs {
+
+namespace {
+
+void put_view_id(util::ByteWriter& w, const ViewId& v) {
+  w.u64(v.epoch);
+  w.u32(v.coordinator.value());
+}
+
+ViewId get_view_id(util::ByteReader& r) {
+  ViewId v;
+  v.epoch = r.u64();
+  v.coordinator = DaemonId(r.u32());
+  return v;
+}
+
+void put_member(util::ByteWriter& w, const MemberId& m) {
+  w.u32(m.daemon.value());
+  w.u32(m.client);
+  w.str(m.name);
+}
+
+MemberId get_member(util::ByteReader& r) {
+  MemberId m;
+  m.daemon = DaemonId(r.u32());
+  m.client = r.u32();
+  m.name = r.str();
+  return m;
+}
+
+void put_daemons(util::ByteWriter& w, const std::vector<DaemonId>& ds) {
+  w.u32(static_cast<std::uint32_t>(ds.size()));
+  for (auto d : ds) w.u32(d.value());
+}
+
+std::vector<DaemonId> get_daemons(util::ByteReader& r) {
+  auto n = r.u32();
+  std::vector<DaemonId> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.emplace_back(r.u32());
+  return out;
+}
+
+void put_data(util::ByteWriter& w, const DataMessage& d) {
+  put_view_id(w, d.view);
+  w.u64(d.seq);
+  put_member(w, d.sender);
+  w.u64(d.origin_msg_id);
+  w.u8(static_cast<std::uint8_t>(d.service));
+  w.u8(static_cast<std::uint8_t>(d.kind));
+  w.str(d.group);
+  w.bytes(d.payload);
+  w.u32(static_cast<std::uint32_t>(d.vclock.size()));
+  for (const auto& [daemon, seq] : d.vclock) {
+    w.u32(daemon);
+    w.u64(seq);
+  }
+}
+
+DataMessage get_data(util::ByteReader& r) {
+  DataMessage d;
+  d.view = get_view_id(r);
+  d.seq = r.u64();
+  d.sender = get_member(r);
+  d.origin_msg_id = r.u64();
+  auto service = r.u8();
+  if (service > 3) throw util::DecodeError("bad ServiceType");
+  d.service = static_cast<ServiceType>(service);
+  auto kind = r.u8();
+  if (kind > 2) throw util::DecodeError("bad DataKind");
+  d.kind = static_cast<DataKind>(kind);
+  d.group = r.str();
+  d.payload = r.bytes();
+  auto nclock = r.u32();
+  d.vclock.reserve(nclock);
+  for (std::uint32_t i = 0; i < nclock; ++i) {
+    auto daemon = r.u32();
+    auto seq = r.u64();
+    d.vclock.emplace_back(daemon, seq);
+  }
+  return d;
+}
+
+void put_data_vec(util::ByteWriter& w, const std::vector<DataMessage>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& d : v) put_data(w, d);
+}
+
+std::vector<DataMessage> get_data_vec(util::ByteReader& r) {
+  auto n = r.u32();
+  std::vector<DataMessage> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_data(r));
+  return out;
+}
+
+void put_groups(util::ByteWriter& w, const std::vector<GroupEntry>& gs) {
+  w.u32(static_cast<std::uint32_t>(gs.size()));
+  for (const auto& g : gs) {
+    w.str(g.group);
+    put_member(w, g.member);
+  }
+}
+
+std::vector<GroupEntry> get_groups(util::ByteReader& r) {
+  auto n = r.u32();
+  std::vector<GroupEntry> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GroupEntry g;
+    g.group = r.str();
+    g.member = get_member(r);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+void put_group_seqs(
+    util::ByteWriter& w,
+    const std::vector<std::pair<std::string, std::uint64_t>>& gs) {
+  w.u32(static_cast<std::uint32_t>(gs.size()));
+  for (const auto& [name, seq] : gs) {
+    w.str(name);
+    w.u64(seq);
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> get_group_seqs(
+    util::ByteReader& r) {
+  auto n = r.u32();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto name = r.str();
+    auto seq = r.u64();
+    out.emplace_back(std::move(name), seq);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Bytes encode(const Message& msg) {
+  util::ByteWriter w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Heartbeat>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+          w.u32(m.sender.value());
+          put_view_id(w, m.view);
+          w.boolean(m.in_op);
+          w.u64(m.delivered_seq);
+          w.u64(m.stable_seq);
+          w.u64(m.fifo_seq);
+        } else if constexpr (std::is_same_v<T, Discovery>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kDiscovery));
+          w.u32(m.sender.value());
+          w.u64(m.epoch);
+          put_daemons(w, m.known);
+        } else if constexpr (std::is_same_v<T, Propose>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kPropose));
+          put_view_id(w, m.view);
+          put_daemons(w, m.members);
+        } else if constexpr (std::is_same_v<T, Accept>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kAccept));
+          put_view_id(w, m.view);
+          w.u32(m.sender.value());
+          put_view_id(w, m.old_view);
+          put_data_vec(w, m.retained);
+          put_groups(w, m.groups);
+          put_group_seqs(w, m.group_seqs);
+        } else if constexpr (std::is_same_v<T, Install>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kInstall));
+          put_view_id(w, m.view.id);
+          put_daemons(w, m.view.members);
+          put_data_vec(w, m.sync);
+          put_groups(w, m.groups);
+          put_group_seqs(w, m.group_seqs);
+        } else if constexpr (std::is_same_v<T, Forward>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kForward));
+          put_data(w, m.data);
+        } else if constexpr (std::is_same_v<T, DataMessage>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kData));
+          put_data(w, m);
+        } else if constexpr (std::is_same_v<T, Nack>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kNack));
+          put_view_id(w, m.view);
+          w.u32(m.sender.value());
+          w.u32(m.fifo_origin.value());
+          w.u32(static_cast<std::uint32_t>(m.missing.size()));
+          for (auto s : m.missing) w.u64(s);
+        } else if constexpr (std::is_same_v<T, Token>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kToken));
+          put_view_id(w, m.view);
+          w.u64(m.rotation);
+          w.u64(m.seq);
+          w.u64(m.aru);
+          w.u32(m.aru_setter.value());
+          w.u32(static_cast<std::uint32_t>(m.rtr.size()));
+          for (auto s : m.rtr) w.u64(s);
+        }
+      },
+      msg);
+  return w.take();
+}
+
+Message decode(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  auto type = r.u8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHeartbeat: {
+      Heartbeat m;
+      m.sender = DaemonId(r.u32());
+      m.view = get_view_id(r);
+      m.in_op = r.boolean();
+      m.delivered_seq = r.u64();
+      m.stable_seq = r.u64();
+      m.fifo_seq = r.u64();
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kDiscovery: {
+      Discovery m;
+      m.sender = DaemonId(r.u32());
+      m.epoch = r.u64();
+      m.known = get_daemons(r);
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kPropose: {
+      Propose m;
+      m.view = get_view_id(r);
+      m.members = get_daemons(r);
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kAccept: {
+      Accept m;
+      m.view = get_view_id(r);
+      m.sender = DaemonId(r.u32());
+      m.old_view = get_view_id(r);
+      m.retained = get_data_vec(r);
+      m.groups = get_groups(r);
+      m.group_seqs = get_group_seqs(r);
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kInstall: {
+      Install m;
+      m.view.id = get_view_id(r);
+      m.view.members = get_daemons(r);
+      m.sync = get_data_vec(r);
+      m.groups = get_groups(r);
+      m.group_seqs = get_group_seqs(r);
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kForward: {
+      Forward m;
+      m.data = get_data(r);
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kData: {
+      auto m = get_data(r);
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kNack: {
+      Nack m;
+      m.view = get_view_id(r);
+      m.sender = DaemonId(r.u32());
+      m.fifo_origin = DaemonId(r.u32());
+      auto n = r.u32();
+      m.missing.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m.missing.push_back(r.u64());
+      r.expect_end();
+      return m;
+    }
+    case MsgType::kToken: {
+      Token m;
+      m.view = get_view_id(r);
+      m.rotation = r.u64();
+      m.seq = r.u64();
+      m.aru = r.u64();
+      m.aru_setter = DaemonId(r.u32());
+      auto n = r.u32();
+      m.rtr.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m.rtr.push_back(r.u64());
+      r.expect_end();
+      return m;
+    }
+  }
+  throw util::DecodeError("unknown GCS message type " + std::to_string(type));
+}
+
+const char* msg_type_name(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Heartbeat>) return "HEARTBEAT";
+        else if constexpr (std::is_same_v<T, Discovery>) return "DISCOVERY";
+        else if constexpr (std::is_same_v<T, Propose>) return "PROPOSE";
+        else if constexpr (std::is_same_v<T, Accept>) return "ACCEPT";
+        else if constexpr (std::is_same_v<T, Install>) return "INSTALL";
+        else if constexpr (std::is_same_v<T, Forward>) return "FORWARD";
+        else if constexpr (std::is_same_v<T, DataMessage>) return "DATA";
+        else if constexpr (std::is_same_v<T, Nack>) return "NACK";
+        else if constexpr (std::is_same_v<T, Token>) return "TOKEN";
+      },
+      msg);
+}
+
+}  // namespace wam::gcs

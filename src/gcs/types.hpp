@@ -1,0 +1,121 @@
+// Core identifier types for the group communication system (GCS).
+//
+// The GCS plays the role Spread plays in the paper: partitionable
+// membership with Virtual Synchrony and Agreed (totally ordered) delivery,
+// consumed by Wackamole through a client-daemon architecture. Daemons are
+// identified by their stationary IP address, which also provides the
+// "uniquely ordered list of the currently connected participants" the
+// Wackamole algorithm requires (Section 3.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+
+namespace wam::gcs {
+
+/// A daemon is identified by its stationary IP; the total order on
+/// DaemonIds is the membership-list order Reallocate_IPs() relies on.
+using DaemonId = net::Ipv4Address;
+
+/// View identifier: lexicographically ordered (epoch, coordinator).
+struct ViewId {
+  std::uint64_t epoch = 0;
+  DaemonId coordinator;
+
+  friend auto operator<=>(const ViewId&, const ViewId&) = default;
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(epoch) + "@" + coordinator.to_string();
+  }
+};
+
+/// Installed daemon membership: id plus the uniquely ordered member list.
+struct View {
+  ViewId id;
+  std::vector<DaemonId> members;  // sorted ascending
+
+  [[nodiscard]] bool contains(DaemonId d) const;
+  /// Index of d in the ordered list, or -1.
+  [[nodiscard]] int rank_of(DaemonId d) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A group participant: a client process attached to a daemon.
+struct MemberId {
+  DaemonId daemon;
+  std::uint32_t client = 0;
+  std::string name;  // informational ("wackamole" etc.), not part of identity
+
+  friend bool operator==(const MemberId& a, const MemberId& b) {
+    return a.daemon == b.daemon && a.client == b.client;
+  }
+  friend auto operator<=>(const MemberId& a, const MemberId& b) {
+    if (auto c = a.daemon <=> b.daemon; c != 0) return c;
+    return a.client <=> b.client;
+  }
+  [[nodiscard]] std::string to_string() const {
+    return name + "#" + std::to_string(client) + "@" + daemon.to_string();
+  }
+};
+
+/// Message ordering service levels (a subset of Spread's FIFO / causal /
+/// agreed / safe).
+enum class ServiceType : std::uint8_t {
+  /// Total order across all senders, Virtual-Synchrony guarantees across
+  /// view changes. What the Wackamole algorithm requires.
+  kAgreed = 0,
+  /// Per-sender order only, reliable within a view (NACK-based recovery),
+  /// no cross-view synchronization. Cheaper: one broadcast, no sequencer
+  /// hop.
+  kFifo = 1,
+  /// Per-sender order plus happened-before across senders (vector-clock
+  /// holdback on the per-origin streams): if the sender had seen message X
+  /// when it sent Y, every receiver dispatches X before Y. Reliable within
+  /// a view, like kFifo.
+  kCausal = 3,
+  /// Total order AND delivery withheld until the message is known to have
+  /// been received by every member of the view (the stability watermark
+  /// passes it). Costs up to ~2 heartbeat periods of extra latency. On a
+  /// view change, withheld messages are released through the
+  /// Virtual-Synchrony exchange (all co-moving members release the same
+  /// set).
+  kSafe = 2,
+};
+
+enum class GroupChangeReason : std::uint8_t {
+  kJoin = 0,     // a member joined gracefully
+  kLeave = 1,    // a member left gracefully
+  kNetwork = 2,  // daemon membership changed (fault, partition, merge)
+};
+
+/// Group membership notification delivered to clients, in total order with
+/// respect to the group's message stream.
+struct GroupView {
+  std::string group;
+  ViewId daemon_view;           // the daemon view this group view exists in
+  std::uint64_t group_seq = 0;  // monotonically increasing per group
+  GroupChangeReason reason = GroupChangeReason::kNetwork;
+  /// Extended-Virtual-Synchrony transitional signal: delivered right
+  /// before the remaining old-view messages during a membership change,
+  /// listing only the members continuing together into the next view.
+  /// Carries the OLD daemon view id and does not advance group_seq.
+  bool transitional = false;
+  std::vector<MemberId> members;  // ordered: (rank of daemon in view, client)
+
+  [[nodiscard]] bool contains(const MemberId& m) const;
+  [[nodiscard]] int rank_of(const MemberId& m) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Message delivered to a client.
+struct GroupMessage {
+  std::string group;
+  MemberId sender;
+  util::Bytes payload;
+};
+
+}  // namespace wam::gcs

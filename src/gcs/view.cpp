@@ -1,0 +1,47 @@
+#include <algorithm>
+
+#include "gcs/types.hpp"
+
+namespace wam::gcs {
+
+bool View::contains(DaemonId d) const {
+  return std::binary_search(members.begin(), members.end(), d);
+}
+
+int View::rank_of(DaemonId d) const {
+  auto it = std::lower_bound(members.begin(), members.end(), d);
+  if (it == members.end() || *it != d) return -1;
+  return static_cast<int>(it - members.begin());
+}
+
+std::string View::to_string() const {
+  std::string out = "view " + id.to_string() + " {";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += members[i].to_string();
+  }
+  return out + "}";
+}
+
+bool GroupView::contains(const MemberId& m) const {
+  return rank_of(m) >= 0;
+}
+
+int GroupView::rank_of(const MemberId& m) const {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == m) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string GroupView::to_string() const {
+  std::string out = group + " v" + std::to_string(group_seq) + "/" +
+                    daemon_view.to_string() + " {";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += members[i].to_string();
+  }
+  return out + "}";
+}
+
+}  // namespace wam::gcs

@@ -1,0 +1,93 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace wam::net {
+
+MacAddress MacAddress::from_index(std::uint16_t index) {
+  return MacAddress({0x02, 0x00, 0x00, 0x00,
+                     static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index & 0xff)});
+}
+
+MacAddress MacAddress::multicast_for(const Ipv4Address& group) {
+  auto v = group.value();
+  return MacAddress({0x01, 0x00, 0x5e,
+                     static_cast<std::uint8_t>((v >> 16) & 0x7f),
+                     static_cast<std::uint8_t>((v >> 8) & 0xff),
+                     static_cast<std::uint8_t>(v & 0xff)});
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> octets{};
+  unsigned int v[6];
+  char tail = 0;
+  // %c probe detects trailing garbage.
+  int n = std::sscanf(std::string(text).c_str(), "%x:%x:%x:%x:%x:%x%c", &v[0],
+                      &v[1], &v[2], &v[3], &v[4], &v[5], &tail);
+  if (n != 6) return std::nullopt;
+  for (int i = 0; i < 6; ++i) {
+    if (v[i] > 0xff) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i]);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  unsigned int a, b, c, d;
+  char tail = 0;
+  int n = std::sscanf(std::string(text).c_str(), "%u.%u.%u.%u%c", &a, &b, &c,
+                      &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Network::Ipv4Network(Ipv4Address base, int prefix_len)
+    : prefix_len_(prefix_len) {
+  WAM_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
+  mask_ = prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  base_ = Ipv4Address(base.value() & mask_);
+}
+
+std::optional<Ipv4Network> Ipv4Network::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = Ipv4Address::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  int len = 0;
+  auto tail = text.substr(slash + 1);
+  if (tail.empty() || tail.size() > 2) return std::nullopt;
+  for (char ch : tail) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    len = len * 10 + (ch - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Ipv4Network(*ip, len);
+}
+
+bool Ipv4Network::contains(Ipv4Address ip) const {
+  return (ip.value() & mask_) == base_.value();
+}
+
+std::string Ipv4Network::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace wam::net

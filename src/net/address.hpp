@@ -1,0 +1,99 @@
+// Link-layer and network-layer address types.
+//
+// MacAddress and Ipv4Address are small value types with total ordering so
+// they can key maps; Ipv4Network models a CIDR prefix for routing and
+// egress-interface selection.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wam::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Locally-administered unicast MAC derived from a small integer id:
+  /// 02:00:00:00:hh:ll.
+  static MacAddress from_index(std::uint16_t index);
+  /// IPv4 multicast MAC mapping: 01:00:5e + low 23 bits of the group.
+  static MacAddress multicast_for(const class Ipv4Address& group);
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] bool is_broadcast() const { return *this == broadcast(); }
+  [[nodiscard]] bool is_null() const { return *this == MacAddress{}; }
+  /// Group bit (I/G) of the first octet — set for multicast and broadcast.
+  [[nodiscard]] bool is_group() const { return (octets_[0] & 0x01) != 0; }
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4Address> parse(std::string_view text);
+  static constexpr Ipv4Address broadcast() { return Ipv4Address(0xffffffffu); }
+  static constexpr Ipv4Address any() { return Ipv4Address(0u); }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] bool is_broadcast() const { return value_ == 0xffffffffu; }
+  [[nodiscard]] bool is_any() const { return value_ == 0; }
+  /// 224.0.0.0/4 (class D).
+  [[nodiscard]] bool is_multicast() const {
+    return (value_ & 0xf0000000u) == 0xe0000000u;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&,
+                                    const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix, e.g. 192.168.0.0/24.
+class Ipv4Network {
+ public:
+  constexpr Ipv4Network() = default;
+  Ipv4Network(Ipv4Address base, int prefix_len);
+
+  static std::optional<Ipv4Network> parse(std::string_view text);  // "a.b.c.d/len"
+
+  [[nodiscard]] bool contains(Ipv4Address ip) const;
+  [[nodiscard]] Ipv4Address base() const { return base_; }
+  [[nodiscard]] int prefix_len() const { return prefix_len_; }
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Network&, const Ipv4Network&) = default;
+
+ private:
+  Ipv4Address base_{};
+  int prefix_len_ = 0;
+  std::uint32_t mask_ = 0;
+};
+
+}  // namespace wam::net

@@ -1,0 +1,43 @@
+#include "net/arp_cache.hpp"
+
+namespace wam::net {
+
+void ArpCache::put(Ipv4Address ip, MacAddress mac, sim::TimePoint now) {
+  entries_[ip] = Entry{mac, now};
+}
+
+bool ArpCache::update_existing(Ipv4Address ip, MacAddress mac,
+                               sim::TimePoint now) {
+  auto it = entries_.find(ip);
+  if (it == entries_.end()) return false;
+  it->second = Entry{mac, now};
+  return true;
+}
+
+std::optional<MacAddress> ArpCache::lookup(Ipv4Address ip,
+                                           sim::TimePoint now) const {
+  auto it = entries_.find(ip);
+  if (it == entries_.end()) return std::nullopt;
+  if (ttl_ != sim::kZero && now - it->second.updated > ttl_) {
+    return std::nullopt;
+  }
+  return it->second.mac;
+}
+
+std::vector<Ipv4Address> ArpCache::known_ips() const {
+  std::vector<Ipv4Address> out;
+  out.reserve(entries_.size());
+  for (const auto& [ip, entry] : entries_) out.push_back(ip);
+  return out;
+}
+
+std::string ArpCache::describe() const {
+  std::string out;
+  for (const auto& [ip, entry] : entries_) {
+    if (!out.empty()) out += ", ";
+    out += ip.to_string() + "=" + entry.mac.to_string();
+  }
+  return "{" + out + "}";
+}
+
+}  // namespace wam::net

@@ -1,0 +1,61 @@
+// Per-host ARP cache.
+//
+// Semantics chosen to match the behaviour the paper's ARP-spoofing relies
+// on (Section 5.1):
+//  * a reply addressed to this host inserts or updates an entry;
+//  * a broadcast gratuitous announcement only UPDATES an existing entry —
+//    hence Wackamole must also unicast spoofed replies at the router to be
+//    sure its cache flips to the new owner;
+//  * entries do not age out by default (like a busy router's cache within
+//    the fail-over window), so a stale entry keeps black-holing traffic
+//    until a spoof arrives.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace wam::net {
+
+class ArpCache {
+ public:
+  struct Entry {
+    MacAddress mac;
+    sim::TimePoint updated;
+  };
+
+  explicit ArpCache(sim::Duration ttl = sim::kZero) : ttl_(ttl) {}
+
+  /// Insert or overwrite.
+  void put(Ipv4Address ip, MacAddress mac, sim::TimePoint now);
+  /// Overwrite only if an entry exists (gratuitous-broadcast semantics).
+  /// Returns true if an entry was updated.
+  bool update_existing(Ipv4Address ip, MacAddress mac, sim::TimePoint now);
+  /// nullopt on miss or on an expired entry (when a ttl is configured).
+  [[nodiscard]] std::optional<MacAddress> lookup(Ipv4Address ip,
+                                                 sim::TimePoint now) const;
+  [[nodiscard]] bool contains(Ipv4Address ip) const {
+    return entries_.count(ip) > 0;
+  }
+  void erase(Ipv4Address ip) { entries_.erase(ip); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// All cached IPs (used by the router application's ARP-knowledge sharing).
+  [[nodiscard]] std::vector<Ipv4Address> known_ips() const;
+  [[nodiscard]] const std::map<Ipv4Address, Entry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  sim::Duration ttl_;  // zero = never expires
+  std::map<Ipv4Address, Entry> entries_;
+};
+
+}  // namespace wam::net

@@ -1,0 +1,181 @@
+#include "net/fabric.hpp"
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace wam::net {
+
+Fabric::Fabric(sim::Scheduler& sched, sim::Log* log, std::uint64_t seed)
+    : sched_(sched), log_(log, "net/fabric"), rng_(seed) {}
+
+SegmentId Fabric::add_segment(SegmentConfig config) {
+  segments_.push_back(Segment{std::move(config), {}});
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+SegmentId Fabric::add_segment() { return add_segment(SegmentConfig{}); }
+
+Fabric::SegmentConfig& Fabric::segment_config(SegmentId seg) {
+  WAM_EXPECTS(seg >= 0 && seg < segment_count());
+  return segments_[static_cast<std::size_t>(seg)].config;
+}
+
+NicId Fabric::attach(SegmentId seg, MacAddress mac, DeliverFn deliver) {
+  WAM_EXPECTS(seg >= 0 && seg < segment_count());
+  WAM_EXPECTS(deliver != nullptr);
+  WAM_EXPECTS(!mac.is_broadcast() && !mac.is_null());
+  for (const auto& existing : nics_) {
+    WAM_EXPECTS(!(existing.segment == seg && existing.mac == mac));
+  }
+  auto id = static_cast<NicId>(nics_.size());
+  nics_.push_back(Nic{seg, mac, true, 0, std::move(deliver)});
+  segments_[static_cast<std::size_t>(seg)].nics.push_back(id);
+  return id;
+}
+
+const Fabric::Nic& Fabric::nic(NicId id) const {
+  WAM_EXPECTS(id >= 0 && id < static_cast<NicId>(nics_.size()));
+  return nics_[static_cast<std::size_t>(id)];
+}
+
+Fabric::Nic& Fabric::nic(NicId id) {
+  WAM_EXPECTS(id >= 0 && id < static_cast<NicId>(nics_.size()));
+  return nics_[static_cast<std::size_t>(id)];
+}
+
+void Fabric::set_nic_up(NicId id, bool up) {
+  auto& n = nic(id);
+  if (n.up != up) {
+    log_.debug("nic %d (%s) %s", id, n.mac.to_string().c_str(),
+               up ? "up" : "down");
+  }
+  n.up = up;
+}
+
+void Fabric::add_mac_filter(NicId id, MacAddress mac) {
+  WAM_EXPECTS(mac.is_group());
+  nic(id).filters.insert(mac);
+}
+
+void Fabric::remove_mac_filter(NicId id, MacAddress mac) {
+  nic(id).filters.erase(mac);
+}
+
+bool Fabric::nic_up(NicId id) const { return nic(id).up; }
+SegmentId Fabric::segment_of(NicId id) const { return nic(id).segment; }
+MacAddress Fabric::mac_of(NicId id) const { return nic(id).mac; }
+int Fabric::component_of(NicId id) const { return nic(id).component; }
+
+void Fabric::set_partition(SegmentId seg,
+                           const std::vector<std::vector<NicId>>& groups) {
+  WAM_EXPECTS(seg >= 0 && seg < segment_count());
+  const auto& members = segments_[static_cast<std::size_t>(seg)].nics;
+  std::set<NicId> seen;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NicId id : groups[g]) {
+      WAM_EXPECTS(nic(id).segment == seg);
+      WAM_EXPECTS(seen.insert(id).second);
+      nic(id).component = static_cast<int>(g);
+    }
+  }
+  WAM_EXPECTS(seen.size() == members.size());
+  log_.info("segment %d partitioned into %zu components", seg, groups.size());
+}
+
+void Fabric::block_direction(NicId from, NicId to) {
+  blocked_.emplace(from, to);
+}
+
+void Fabric::unblock_direction(NicId from, NicId to) {
+  blocked_.erase({from, to});
+}
+
+void Fabric::clear_directional_blocks() { blocked_.clear(); }
+
+void Fabric::merge_segment(SegmentId seg) {
+  WAM_EXPECTS(seg >= 0 && seg < segment_count());
+  for (NicId id : segments_[static_cast<std::size_t>(seg)].nics) {
+    nic(id).component = 0;
+  }
+  log_.info("segment %d merged", seg);
+}
+
+void Fabric::deliver_later(const Segment& seg, NicId to, Frame frame) {
+  sim::Duration latency = seg.config.latency;
+  if (seg.config.jitter > sim::kZero) {
+    latency += rng_.duration_range(sim::kZero, seg.config.jitter);
+  }
+  sched_.schedule(latency, [this, to, frame = std::move(frame)]() mutable {
+    const auto& n = nic(to);
+    if (!n.up) {
+      ++counters_.dropped_nic_down;
+      return;
+    }
+    ++counters_.frames_delivered;
+    n.deliver(frame, to);
+  });
+}
+
+void Fabric::send(NicId from, Frame frame) {
+  const auto& sender = nic(from);
+  if (!sender.up) {
+    ++counters_.dropped_nic_down;
+    return;
+  }
+  const auto& seg = segments_[static_cast<std::size_t>(sender.segment)];
+  ++counters_.frames_sent;
+  if (tap_) tap_(sender.segment, frame);
+  if (seg.config.drop_probability > 0 &&
+      rng_.chance(seg.config.drop_probability)) {
+    ++counters_.dropped_random;
+    return;
+  }
+
+  if (frame.dst.is_group()) {
+    // Broadcast goes to everyone; multicast only to NICs with the filter.
+    for (NicId id : seg.nics) {
+      if (id == from) continue;
+      const auto& target = nic(id);
+      if (!frame.dst.is_broadcast() && target.filters.count(frame.dst) == 0) {
+        continue;
+      }
+      if (!target.up) {
+        ++counters_.dropped_nic_down;
+        continue;
+      }
+      if (target.component != sender.component) {
+        ++counters_.dropped_partition;
+        continue;
+      }
+      if (blocked_.count({from, id}) > 0) {
+        ++counters_.dropped_directional;
+        continue;
+      }
+      deliver_later(seg, id, frame);
+    }
+    return;
+  }
+
+  for (NicId id : seg.nics) {
+    const auto& target = nic(id);
+    if (target.mac != frame.dst) continue;
+    if (!target.up) {
+      ++counters_.dropped_nic_down;
+      return;
+    }
+    if (target.component != sender.component) {
+      ++counters_.dropped_partition;
+      return;
+    }
+    if (blocked_.count({from, id}) > 0) {
+      ++counters_.dropped_directional;
+      return;
+    }
+    deliver_later(seg, id, frame);
+    return;
+  }
+  ++counters_.dropped_no_target;
+}
+
+}  // namespace wam::net

@@ -1,0 +1,132 @@
+// The switched-LAN fabric: segments, NIC attachment, partitions, delivery.
+//
+// A Fabric owns zero or more segments (broadcast domains). Hosts attach
+// NICs to segments; frames sent from a NIC are delivered — after a
+// configurable latency and optional loss — to the NIC owning the
+// destination MAC (unicast) or to every NIC (broadcast) *within the same
+// partition component* of that segment.
+//
+// Partitions are the paper's fault model: set_partition() splits a
+// segment's NICs into disjoint components that cannot exchange frames;
+// merge_segment() heals it. NICs can also be taken down individually,
+// which models the paper's experiment fault ("disconnecting the interface
+// through which Spread, Wackamole and the experimental server access the
+// network").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wam::net {
+
+using SegmentId = int;
+using NicId = int;
+
+struct FabricCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t dropped_no_target = 0;   // unicast MAC not present/up
+  std::uint64_t dropped_partition = 0;   // target in another component
+  std::uint64_t dropped_nic_down = 0;    // sender or receiver NIC down
+  std::uint64_t dropped_random = 0;      // loss model
+  std::uint64_t dropped_directional = 0; // one-way link faults
+};
+
+class Fabric {
+ public:
+  /// Delivery callback: (frame, receiving nic).
+  using DeliverFn = std::function<void(const Frame&, NicId)>;
+  /// Optional tap observing every frame accepted for transmission.
+  using TapFn = std::function<void(SegmentId, const Frame&)>;
+
+  struct SegmentConfig {
+    sim::Duration latency = sim::microseconds(50);
+    sim::Duration jitter = sim::microseconds(10);  // uniform [0, jitter]
+    double drop_probability = 0.0;
+    std::string name = "lan";
+  };
+
+  Fabric(sim::Scheduler& sched, sim::Log* log = nullptr,
+         std::uint64_t seed = 1);
+
+  SegmentId add_segment(SegmentConfig config);
+  SegmentId add_segment();  // default-configured segment
+  /// Fabric-unique locally-administered MAC (deterministic per fabric).
+  MacAddress allocate_mac() { return MacAddress::from_index(next_mac_++); }
+  [[nodiscard]] int segment_count() const {
+    return static_cast<int>(segments_.size());
+  }
+  SegmentConfig& segment_config(SegmentId seg);
+
+  /// Attach a NIC with the given MAC; frames for it go to `deliver`.
+  NicId attach(SegmentId seg, MacAddress mac, DeliverFn deliver);
+  void set_nic_up(NicId nic, bool up);
+  /// Multicast filters: a NIC also receives frames addressed to these MACs.
+  void add_mac_filter(NicId nic, MacAddress mac);
+  void remove_mac_filter(NicId nic, MacAddress mac);
+  [[nodiscard]] bool nic_up(NicId nic) const;
+  [[nodiscard]] SegmentId segment_of(NicId nic) const;
+  [[nodiscard]] MacAddress mac_of(NicId nic) const;
+
+  /// Split a segment into components; every NIC of the segment must appear
+  /// in exactly one group. Frames no longer cross groups.
+  void set_partition(SegmentId seg, const std::vector<std::vector<NicId>>& groups);
+  /// Heal all partitions on the segment.
+  void merge_segment(SegmentId seg);
+  [[nodiscard]] int component_of(NicId nic) const;
+
+  /// Asymmetric fault: frames from `from` to `to` are dropped while the
+  /// reverse direction keeps working — the pathological case §2 of the
+  /// paper warns about ("additional connectivity beyond that reported by
+  /// the group communication system"). Applies to unicast, broadcast and
+  /// multicast deliveries alike.
+  void block_direction(NicId from, NicId to);
+  void unblock_direction(NicId from, NicId to);
+  void clear_directional_blocks();
+
+  /// Transmit a frame from `from`. Fire-and-forget (UDP-like) semantics.
+  void send(NicId from, Frame frame);
+
+  [[nodiscard]] const FabricCounters& counters() const { return counters_; }
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct Nic {
+    SegmentId segment = 0;
+    MacAddress mac;
+    bool up = true;
+    int component = 0;
+    DeliverFn deliver;
+    std::set<MacAddress> filters;  // multicast subscriptions
+  };
+  struct Segment {
+    SegmentConfig config;
+    std::vector<NicId> nics;
+  };
+
+  const Nic& nic(NicId id) const;
+  Nic& nic(NicId id);
+  void deliver_later(const Segment& seg, NicId to, Frame frame);
+
+  sim::Scheduler& sched_;
+  sim::Logger log_;
+  sim::Rng rng_;
+  std::vector<Segment> segments_;
+  std::vector<Nic> nics_;
+  FabricCounters counters_;
+  TapFn tap_;
+  std::uint16_t next_mac_ = 1;
+  std::set<std::pair<NicId, NicId>> blocked_;  // (from, to) one-way faults
+};
+
+}  // namespace wam::net

@@ -1,0 +1,90 @@
+#include "net/frame.hpp"
+
+namespace wam::net {
+
+std::string Frame::describe() const {
+  std::string kind = type == EtherType::kArp ? "ARP" : "IPv4";
+  return kind + " " + src.to_string() + " -> " + dst.to_string() + " (" +
+         std::to_string(payload.size()) + "B)";
+}
+
+util::Bytes ArpPacket::encode() const {
+  util::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(op));
+  w.raw(sender_mac.octets());
+  w.u32(sender_ip.value());
+  w.raw(target_mac.octets());
+  w.u32(target_ip.value());
+  return w.take();
+}
+
+ArpPacket ArpPacket::decode(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  ArpPacket p;
+  auto op = r.u16();
+  if (op != 1 && op != 2) throw util::DecodeError("bad ARP op");
+  p.op = static_cast<ArpOp>(op);
+  auto read_mac = [&r] {
+    auto raw = r.raw(6);
+    std::array<std::uint8_t, 6> octets{};
+    std::copy(raw.begin(), raw.end(), octets.begin());
+    return MacAddress(octets);
+  };
+  p.sender_mac = read_mac();
+  p.sender_ip = Ipv4Address(r.u32());
+  p.target_mac = read_mac();
+  p.target_ip = Ipv4Address(r.u32());
+  r.expect_end();
+  return p;
+}
+
+std::string ArpPacket::describe() const {
+  if (op == ArpOp::kRequest) {
+    return "who-has " + target_ip.to_string() + " tell " +
+           sender_ip.to_string();
+  }
+  return sender_ip.to_string() + " is-at " + sender_mac.to_string() +
+         (is_gratuitous() ? " (gratuitous)" : "");
+}
+
+util::Bytes Ipv4Packet::encode() const {
+  util::ByteWriter w;
+  w.u32(src.value());
+  w.u32(dst.value());
+  w.u8(ttl);
+  w.u8(protocol);
+  w.bytes(payload);
+  return w.take();
+}
+
+Ipv4Packet Ipv4Packet::decode(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  Ipv4Packet p;
+  p.src = Ipv4Address(r.u32());
+  p.dst = Ipv4Address(r.u32());
+  p.ttl = r.u8();
+  p.protocol = r.u8();
+  p.payload = r.bytes();
+  r.expect_end();
+  return p;
+}
+
+util::Bytes UdpDatagram::encode() const {
+  util::ByteWriter w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.bytes(payload);
+  return w.take();
+}
+
+UdpDatagram UdpDatagram::decode(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  UdpDatagram d;
+  d.src_port = r.u16();
+  d.dst_port = r.u16();
+  d.payload = r.bytes();
+  r.expect_end();
+  return d;
+}
+
+}  // namespace wam::net

@@ -1,0 +1,75 @@
+// Wire formats for the simulated LAN.
+//
+// Frames carry serialized payloads (not in-memory object graphs) so that the
+// simulation exercises real encode/decode paths: ARP packets and
+// UDP-over-IPv4 datagrams round-trip through the endian-safe ByteWriter /
+// ByteReader, and a corrupted or truncated payload surfaces as DecodeError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+
+namespace wam::net {
+
+enum class EtherType : std::uint16_t {
+  kArp = 0x0806,
+  kIpv4 = 0x0800,
+};
+
+/// Ethernet-like frame: the unit the fabric moves between NICs.
+struct Frame {
+  MacAddress src;
+  MacAddress dst;
+  EtherType type = EtherType::kIpv4;
+  util::Bytes payload;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+/// ARP packet (IPv4-over-Ethernet flavor only).
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // ignored in requests
+  Ipv4Address target_ip;
+
+  /// Gratuitous announcements carry sender_ip == target_ip.
+  [[nodiscard]] bool is_gratuitous() const { return sender_ip == target_ip; }
+
+  [[nodiscard]] util::Bytes encode() const;
+  static ArpPacket decode(const util::Bytes& buf);
+
+  [[nodiscard]] std::string describe() const;
+};
+
+constexpr std::uint8_t kProtoUdp = 17;
+
+/// Minimal IPv4 header + payload.
+struct Ipv4Packet {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static Ipv4Packet decode(const util::Bytes& buf);
+};
+
+/// UDP datagram carried inside an Ipv4Packet payload.
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static UdpDatagram decode(const util::Bytes& buf);
+};
+
+}  // namespace wam::net

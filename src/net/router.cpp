@@ -1,0 +1,15 @@
+#include "net/router.hpp"
+
+namespace wam::net {
+
+Router::Router(sim::Scheduler& sched, Fabric& fabric, std::string name,
+               sim::Log* log)
+    : host_(std::make_unique<Host>(sched, fabric, std::move(name), log)) {
+  host_->enable_forwarding(true);
+}
+
+int Router::attach_network(SegmentId segment, Ipv4Address ip, int prefix_len) {
+  return host_->add_interface(segment, ip, prefix_len);
+}
+
+}  // namespace wam::net

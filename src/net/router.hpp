@@ -1,0 +1,34 @@
+// Convenience wrapper for building a forwarding router host.
+//
+// A Router is a Host with forwarding enabled and one interface per attached
+// network. Its ARP cache is the one Figure 3's fail-over story revolves
+// around: when a server dies, the router keeps unicasting frames at the
+// dead MAC until the new VIP owner spoofs an ARP reply at it.
+#pragma once
+
+#include <memory>
+
+#include "net/host.hpp"
+
+namespace wam::net {
+
+class Router {
+ public:
+  Router(sim::Scheduler& sched, Fabric& fabric, std::string name,
+         sim::Log* log = nullptr);
+
+  /// Attach the router to a segment; `ip` is its address on that network.
+  int attach_network(SegmentId segment, Ipv4Address ip, int prefix_len);
+
+  [[nodiscard]] Host& host() { return *host_; }
+  [[nodiscard]] const Host& host() const { return *host_; }
+  [[nodiscard]] Ipv4Address ip(int ifindex = 0) const {
+    return host_->primary_ip(ifindex);
+  }
+  [[nodiscard]] const ArpCache& arp_cache() const { return host_->arp_cache(); }
+
+ private:
+  std::unique_ptr<Host> host_;
+};
+
+}  // namespace wam::net

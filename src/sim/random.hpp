@@ -1,0 +1,47 @@
+// Deterministic random number generation for the simulation.
+//
+// A small xoshiro256** generator seeded explicitly; every stochastic choice
+// in the simulator (frame jitter, drop decisions, fault times in the
+// property tests) draws from a Rng owned by the scenario, so a seed fully
+// reproduces a run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.hpp"
+
+namespace wam::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+  /// Uniform in [0, bound) via Lemire rejection; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Uniform duration in [lo, hi].
+  Duration duration_range(Duration lo, Duration hi);
+  /// Split off an independently-seeded child stream.
+  Rng fork();
+
+  // UniformRandomBitGenerator interface for <random>/std::shuffle.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wam::sim

@@ -1,0 +1,85 @@
+#include "sim/scheduler.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace wam::sim {
+
+void TimerHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool TimerHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+TimerHandle Scheduler::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < kZero) delay = kZero;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+  WAM_EXPECTS(fn != nullptr);
+  if (when < now_) when = now_;
+  auto state = std::make_shared<TimerHandle::State>();
+  queue_.push(Event{when, next_seq_++, std::move(fn), state});
+  return TimerHandle(state);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) continue;
+    WAM_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ev.state->fired = true;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    // Skip over cancelled events without advancing time.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  auto ns = d.count();
+  if (ns >= 1000000000 || ns <= -1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(d));
+  } else if (ns >= 1000000 || ns <= -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis(d));
+  } else if (ns >= 1000 || ns <= -1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", ns / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  }
+  return buf;
+}
+
+std::string format_time(TimePoint t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", to_seconds(t.time_since_epoch()));
+  return buf;
+}
+
+}  // namespace wam::sim

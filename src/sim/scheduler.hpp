@@ -1,0 +1,87 @@
+// Discrete-event scheduler: the heart of the simulation.
+//
+// Events are (time, sequence, callback) triples in a min-heap; ties on time
+// break by insertion sequence so execution order is deterministic. Timers
+// are cancellable through generation-checked handles, which protocol code
+// uses heavily (every heartbeat / fault-detection / discovery timeout is a
+// Timer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wam::sim {
+
+class Scheduler;
+
+/// Cancellable handle to a scheduled event. Default-constructed handles are
+/// inert; cancel() after the event fired is a harmless no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at now()+delay (delay may be zero; negative delays
+  /// are clamped to zero). Returns a cancellable handle.
+  TimerHandle schedule(Duration delay, std::function<void()> fn);
+  TimerHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Run events until the queue is empty or the virtual clock would pass
+  /// `deadline`. The clock ends at min(deadline, last event time).
+  void run_until(TimePoint deadline);
+  /// Run for a span of virtual time from now().
+  void run_for(Duration span) { run_until(now_ + span); }
+  /// Drain every queued event (careful with self-rearming timers).
+  void run_all();
+  /// Execute the single next event, if any. Returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<TimerHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wam::sim

@@ -1,0 +1,32 @@
+#include "sim/script.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wam::sim {
+
+Script& Script::at(TimePoint when, std::string description,
+                   std::function<void()> action) {
+  WAM_EXPECTS(action != nullptr);
+  entries_.push_back(Entry{when, std::move(description), std::move(action)});
+  return *this;
+}
+
+TimePoint Script::end() const {
+  TimePoint latest{};
+  for (const auto& e : entries_) latest = std::max(latest, e.when);
+  return latest;
+}
+
+void Script::arm(Scheduler& sched,
+                 std::function<void(const Entry&)> narrate) const {
+  for (const auto& entry : entries_) {
+    sched.schedule_at(entry.when, [entry, narrate] {
+      if (narrate) narrate(entry);
+      entry.action();
+    });
+  }
+}
+
+}  // namespace wam::sim

@@ -1,0 +1,48 @@
+// Declarative fault/event scripts.
+//
+// A Script is an ordered list of (time, description, action) entries that
+// can be scheduled onto a Scheduler in one call. Tests and benches use it
+// to express fault loads as data ("at 5 s partition {A,B}|{C}; at 12 s
+// merge") instead of imperative timer plumbing, and the scenario-runner
+// example parses a small text DSL into one.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace wam::sim {
+
+class Script {
+ public:
+  struct Entry {
+    TimePoint when;
+    std::string description;
+    std::function<void()> action;
+  };
+
+  /// Add an action at an absolute virtual time.
+  Script& at(TimePoint when, std::string description,
+             std::function<void()> action);
+  Script& at(Duration when_since_epoch, std::string description,
+             std::function<void()> action) {
+    return at(TimePoint(when_since_epoch), std::move(description),
+              std::move(action));
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  /// Latest entry time (epoch if empty) — handy for run_until.
+  [[nodiscard]] TimePoint end() const;
+
+  /// Schedule every entry; `narrate` (optional) observes each firing.
+  void arm(Scheduler& sched,
+           std::function<void(const Entry&)> narrate = nullptr) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace wam::sim

@@ -1,0 +1,37 @@
+// Small online-statistics accumulator used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wam::sim {
+
+/// Collects samples and reports count/mean/min/max/stddev/percentiles.
+class Stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add(Duration d) { add(to_seconds(d)); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0,100]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50); }
+
+  /// "n=12 mean=2.41 min=2.02 max=2.91 p50=2.40" (values in the sample unit).
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace wam::sim

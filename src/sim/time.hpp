@@ -1,0 +1,42 @@
+// Virtual time types for the discrete-event simulation.
+//
+// The whole protocol stack runs against a virtual clock owned by
+// sim::Scheduler; nothing in the library reads wall-clock time. Durations
+// and time points are nanosecond-resolution int64s wrapped in std::chrono
+// types so arithmetic is type-checked.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace wam::sim {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+using std::chrono::duration_cast;
+
+constexpr Duration kZero = Duration::zero();
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration(n); }
+constexpr Duration microseconds(std::int64_t n) { return Duration(n * 1000); }
+constexpr Duration milliseconds(std::int64_t n) { return Duration(n * 1000000); }
+constexpr Duration seconds(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+
+/// Duration in (fractional) seconds, for reporting.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+/// Render "12.345s" / "87.5ms" / "250us" depending on magnitude.
+std::string format_duration(Duration d);
+/// Render a time point as seconds since simulation start, e.g. "t=12.345s".
+std::string format_time(TimePoint t);
+
+}  // namespace wam::sim

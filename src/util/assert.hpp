@@ -1,0 +1,49 @@
+// Contract-checking macros for the wackamole library.
+//
+// WAM_ASSERT / WAM_EXPECTS / WAM_ENSURES throw wam::util::ContractViolation
+// (a std::logic_error) instead of aborting: in a discrete-event simulation a
+// violated invariant is a test failure we want to surface through gtest, not
+// a process death.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wam::util {
+
+/// Thrown when a WAM_ASSERT / WAM_EXPECTS / WAM_ENSURES contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace wam::util
+
+#define WAM_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::wam::util::contract_failed("assertion", #expr, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (false)
+
+// Precondition on function entry.
+#define WAM_EXPECTS(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::wam::util::contract_failed("precondition", #expr, __FILE__, __LINE__); \
+    }                                                                        \
+  } while (false)
+
+// Postcondition before function exit.
+#define WAM_ENSURES(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::wam::util::contract_failed("postcondition", #expr, __FILE__, __LINE__); \
+    }                                                                         \
+  } while (false)

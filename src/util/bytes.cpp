@@ -1,0 +1,110 @@
+#include "util/bytes.hpp"
+
+namespace wam::util {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void ByteWriter::bytes(std::span<const std::uint8_t> v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw DecodeError("truncated buffer: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  auto v = static_cast<std::uint16_t>((buf_[pos_] << 8) | buf_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(buf_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(buf_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(buf_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(buf_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  auto hi = static_cast<std::uint64_t>(u32());
+  auto lo = static_cast<std::uint64_t>(u32());
+  return (hi << 32) | lo;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+bool ByteReader::boolean() { return u8() != 0; }
+
+Bytes ByteReader::bytes() {
+  auto n = u32();
+  return raw(n);
+}
+
+std::string ByteReader::str() {
+  auto n = u32();
+  need(n);
+  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::expect_end() const {
+  if (!at_end()) {
+    throw DecodeError("trailing garbage: " + std::to_string(remaining()) +
+                      " bytes left");
+  }
+}
+
+}  // namespace wam::util

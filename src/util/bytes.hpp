@@ -1,0 +1,83 @@
+// Endian-safe byte-buffer serialization.
+//
+// All multi-byte integers are written big-endian (network order), matching
+// what the real Wackamole/Spread wire formats do and making the simulated
+// frames independent of host endianness. ByteWriter appends to an internal
+// vector; ByteReader consumes a non-owning span and throws DecodeError on
+// truncated input, so malformed frames surface as exceptions rather than UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wam::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by ByteReader when the input is shorter than the decode requires.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only big-endian encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void boolean(bool v);
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> v);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view v);
+  /// Raw bytes, no length prefix (for fixed-size fields such as MACs).
+  void raw(std::span<const std::uint8_t> v);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consuming big-endian decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::string str();
+  /// Read exactly n raw bytes (no length prefix).
+  [[nodiscard]] Bytes raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+  /// Throws DecodeError unless the whole buffer has been consumed.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wam::util

@@ -1,0 +1,53 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+
+namespace wam::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_hex_byte(std::string& out, std::uint8_t b) {
+  out.push_back(kHexDigits[b >> 4]);
+  out.push_back(kHexDigits[b & 0xf]);
+}
+}  // namespace
+
+std::string hex(std::span<const std::uint8_t> buf) {
+  std::string out;
+  out.reserve(buf.size() * 3);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    append_hex_byte(out, buf[i]);
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const std::uint8_t> buf) {
+  std::string out;
+  for (std::size_t line = 0; line < buf.size(); line += 16) {
+    // Offset column.
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      out.push_back(kHexDigits[(line >> shift) & 0xf]);
+    }
+    out += "  ";
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (line + i < buf.size()) {
+        append_hex_byte(out, buf[line + i]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && line + i < buf.size(); ++i) {
+      auto c = buf[line + i];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace wam::util

@@ -1,0 +1,16 @@
+// Debug helpers for rendering byte buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace wam::util {
+
+/// Render a buffer as "aa bb cc ..." (lowercase hex, space separated).
+[[nodiscard]] std::string hex(std::span<const std::uint8_t> buf);
+
+/// Classic 16-bytes-per-line hexdump with an ASCII gutter.
+[[nodiscard]] std::string hexdump(std::span<const std::uint8_t> buf);
+
+}  // namespace wam::util

@@ -1,0 +1,52 @@
+// The deterministic allocation procedures of the Wackamole algorithm:
+// Reallocate_IPs() (run by every member at the end of GATHER) and
+// Balance_IPs() (run by the representative on the balance timeout).
+//
+// Both are pure functions of (the complete VIP set, the synchronized
+// current_table, the uniquely ordered member list with maturity and
+// preferences). Determinism is what makes the distributed decision safe:
+// every member computes the same answer from the same inputs (Lemma 1/2).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "wackamole/vip_table.hpp"
+
+namespace wam::wackamole {
+
+/// Per-member knowledge gathered from STATE_MSGs, in membership-list order.
+struct MemberInfo {
+  gcs::MemberId id;
+  bool mature = false;
+  int weight = 1;  // relative capacity (balance targets are proportional)
+  std::set<std::string> preferred;
+};
+
+/// Reallocate_IPs(): assign every uncovered group to exactly one mature
+/// member. Scoring favours (a) members that listed the group as preferred,
+/// (b) members with the lowest current load, (c) membership-list order.
+/// Returns the assignments for previously-uncovered groups only; returns
+/// empty if no member is mature (the bootstrap situation of §3.4).
+std::map<std::string, gcs::MemberId> reallocate_ips(
+    const std::vector<std::string>& all_groups, const VipTable& table,
+    const std::vector<MemberInfo>& members);
+
+/// Balance_IPs(): the representative's load-based re-allocation. Produces a
+/// complete allocation in which every mature member's share is
+/// proportional to its capacity weight (within one group), moving as few
+/// groups as possible from the current table and honouring preferences
+/// where it can.
+std::map<std::string, gcs::MemberId> balance_ips(
+    const std::vector<std::string>& all_groups, const VipTable& table,
+    const std::vector<MemberInfo>& members);
+
+/// Largest load difference between two mature members under `table`
+/// (diagnostic used by benches and tests).
+std::size_t load_imbalance(const VipTable& table,
+                           const std::vector<MemberInfo>& members);
+
+}  // namespace wam::wackamole

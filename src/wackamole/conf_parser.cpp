@@ -1,0 +1,238 @@
+#include "wackamole/conf_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wam::wackamole {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& line,
+                       const std::string& why) {
+  throw ConfigError("wackamole.conf line " + std::to_string(line_no) + " ('" +
+                    line + "'): " + why);
+}
+
+std::string trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// "30s" / "250ms" / "0s" -> Duration.
+sim::Duration parse_duration(const std::string& token, int line_no,
+                             const std::string& line) {
+  std::size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    fail(line_no, line, "bad duration '" + token + "'");
+  }
+  auto unit = token.substr(pos);
+  if (unit == "s") return sim::seconds(value);
+  if (unit == "ms") return sim::milliseconds(static_cast<std::int64_t>(value));
+  fail(line_no, line, "duration needs an 's' or 'ms' suffix: '" + token + "'");
+}
+
+/// "if0: 10.0.0.100/32" -> (address, ifindex). The /prefix is optional.
+std::pair<net::Ipv4Address, int> parse_vif(const std::string& token,
+                                           int line_no,
+                                           const std::string& line) {
+  auto colon = token.find(':');
+  if (colon == std::string::npos || token.rfind("if", 0) != 0) {
+    fail(line_no, line, "expected ifN:a.b.c.d[/32], got '" + token + "'");
+  }
+  int ifindex = 0;
+  try {
+    ifindex = std::stoi(token.substr(2, colon - 2));
+  } catch (const std::exception&) {
+    fail(line_no, line, "bad interface index in '" + token + "'");
+  }
+  auto addr_text = token.substr(colon + 1);
+  auto slash = addr_text.find('/');
+  if (slash != std::string::npos) addr_text.resize(slash);
+  auto ip = net::Ipv4Address::parse(addr_text);
+  if (!ip) fail(line_no, line, "bad address '" + addr_text + "'");
+  return {*ip, ifindex};
+}
+
+/// Parse one "{ if0: a.b.c.d ... }" body into a group's addresses.
+void parse_group_body(const std::string& body, VipGroup& group, int line_no,
+                      const std::string& line) {
+  std::istringstream words(body);
+  std::string token;
+  std::string pending;
+  while (words >> token) {
+    // Re-join "if0:" " 10.0.0.1" splits: accept both "if0:addr" and
+    // "if0: addr" forms.
+    if (!pending.empty()) {
+      token = pending + token;
+      pending.clear();
+    }
+    if (token.back() == ':') {
+      pending = token;
+      continue;
+    }
+    group.addresses.push_back(parse_vif(token, line_no, line));
+  }
+  if (!pending.empty()) fail(line_no, line, "dangling interface prefix");
+  if (group.addresses.empty()) fail(line_no, line, "empty VIP group");
+}
+
+}  // namespace
+
+Config parse_config(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool in_vifs = false;
+  std::string prefer_csv;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto stripped = trim(line);
+    if (stripped.empty()) continue;
+
+    if (in_vifs) {
+      if (stripped == "}") {
+        in_vifs = false;
+        continue;
+      }
+      // Either "{ ... }" or "name { ... }".
+      auto open = stripped.find('{');
+      auto close = stripped.rfind('}');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        fail(line_no, line, "expected '[name] { ifN:addr ... }'");
+      }
+      VipGroup group;
+      group.name = trim(stripped.substr(0, open));
+      parse_group_body(stripped.substr(open + 1, close - open - 1), group,
+                       line_no, line);
+      if (group.name.empty()) {
+        group.name = group.addresses.front().first.to_string();
+      }
+      config.vip_groups.push_back(std::move(group));
+      continue;
+    }
+
+    if (lower(stripped).rfind("virtualinterfaces", 0) == 0) {
+      if (stripped.find('{') == std::string::npos) {
+        fail(line_no, line, "VirtualInterfaces needs an opening '{'");
+      }
+      in_vifs = true;
+      continue;
+    }
+
+    auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, line, "expected 'Key = value'");
+    }
+    auto key = lower(trim(stripped.substr(0, eq)));
+    auto value = trim(stripped.substr(eq + 1));
+    if (value.empty()) fail(line_no, line, "missing value");
+
+    if (key == "group") {
+      config.group = value;
+    } else if (key == "mature") {
+      config.maturity_timeout = parse_duration(value, line_no, line);
+      config.start_mature = config.maturity_timeout == sim::kZero;
+    } else if (key == "balance") {
+      config.balance_timeout = parse_duration(value, line_no, line);
+    } else if (key == "spreadretryinterval") {
+      config.reconnect_interval = parse_duration(value, line_no, line);
+    } else if (key == "arpshare") {
+      config.arp_share_interval = parse_duration(value, line_no, line);
+    } else if (key == "announce") {
+      config.announce_interval = parse_duration(value, line_no, line);
+    } else if (key == "representativedriven") {
+      auto v = lower(value);
+      if (v == "yes" || v == "true" || v == "on") {
+        config.representative_driven = true;
+      } else if (v == "no" || v == "false" || v == "off") {
+        config.representative_driven = false;
+      } else {
+        fail(line_no, line, "RepresentativeDriven must be yes/no");
+      }
+    } else if (key == "weight") {
+      try {
+        config.weight = std::stoi(value);
+      } catch (const std::exception&) {
+        fail(line_no, line, "Weight must be an integer");
+      }
+    } else if (key == "prefer") {
+      prefer_csv = value;
+    } else {
+      fail(line_no, line, "unknown key '" + key + "'");
+    }
+  }
+  if (in_vifs) {
+    throw ConfigError("wackamole.conf: unterminated VirtualInterfaces block");
+  }
+
+  // Preferences reference group names, so resolve them last.
+  if (!prefer_csv.empty() && lower(prefer_csv) != "none") {
+    std::istringstream items(prefer_csv);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      auto name = trim(item);
+      if (!name.empty()) config.preferred.push_back(name);
+    }
+  }
+
+  try {
+    config.validate();
+  } catch (const util::ContractViolation& e) {
+    throw ConfigError(std::string("wackamole.conf: invalid configuration: ") +
+                      e.what());
+  }
+  return config;
+}
+
+std::string render_config(const Config& config) {
+  std::ostringstream out;
+  out << "Group = " << config.group << "\n";
+  out << "Mature = " << sim::to_seconds(config.maturity_timeout) << "s\n";
+  out << "Balance = " << sim::to_seconds(config.balance_timeout) << "s\n";
+  out << "SpreadRetryInterval = "
+      << sim::to_seconds(config.reconnect_interval) << "s\n";
+  out << "ArpShare = " << sim::to_seconds(config.arp_share_interval) << "s\n";
+  out << "Announce = " << sim::to_seconds(config.announce_interval) << "s\n";
+  out << "RepresentativeDriven = "
+      << (config.representative_driven ? "yes" : "no") << "\n";
+  out << "Weight = " << config.weight << "\n";
+  if (!config.preferred.empty()) {
+    out << "Prefer = ";
+    for (std::size_t i = 0; i < config.preferred.size(); ++i) {
+      if (i) out << ", ";
+      out << config.preferred[i];
+    }
+    out << "\n";
+  }
+  out << "VirtualInterfaces {\n";
+  for (const auto& group : config.vip_groups) {
+    out << "  " << group.name << " {";
+    for (const auto& [ip, ifindex] : group.addresses) {
+      out << " if" << ifindex << ":" << ip.to_string() << "/32";
+    }
+    out << " }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace wam::wackamole

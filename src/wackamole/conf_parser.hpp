@@ -1,0 +1,48 @@
+// wackamole.conf parsing.
+//
+// The released Wackamole is configured through a small text file; this
+// parser accepts a compatible dialect so that configurations read like the
+// real thing:
+//
+//     # wackamole.conf
+//     Group = wackamole
+//     Mature = 30s
+//     Balance = 60s
+//     SpreadRetryInterval = 2s
+//     ArpShare = 10s
+//     Announce = 0s
+//     RepresentativeDriven = no
+//     Prefer = web-a, web-b
+//
+//     VirtualInterfaces {
+//       { if0: 10.0.0.100/32 }                 # one group per line...
+//       web-a { if0: 10.0.0.101/32 }           # ...optionally named
+//       router { if0: 203.0.113.1/32  if1: 198.51.100.101/32 }  # indivisible
+//     }
+//
+// Interfaces are written `ifN:` (index into the host's interface list);
+// the /32 suffix is accepted (and ignored) for fidelity with the original
+// format. Unnamed groups are named after their first address. Durations
+// take `s` or `ms` suffixes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "wackamole/config.hpp"
+
+namespace wam::wackamole {
+
+/// Thrown on malformed input; the message names the offending line.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse the wackamole.conf dialect above. The result is validate()d.
+[[nodiscard]] Config parse_config(const std::string& text);
+
+/// Render a Config back to the same dialect (round-trip friendly).
+[[nodiscard]] std::string render_config(const Config& config);
+
+}  // namespace wam::wackamole

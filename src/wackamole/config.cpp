@@ -1,0 +1,53 @@
+#include "wackamole/config.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace wam::wackamole {
+
+std::vector<std::string> Config::group_names() const {
+  std::vector<std::string> names;
+  names.reserve(vip_groups.size());
+  for (const auto& g : vip_groups) names.push_back(g.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const VipGroup* Config::find_group(const std::string& name) const {
+  for (const auto& g : vip_groups) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+void Config::validate() const {
+  std::set<std::string> names;
+  std::set<net::Ipv4Address> addresses;
+  for (const auto& g : vip_groups) {
+    WAM_EXPECTS(!g.name.empty());
+    WAM_EXPECTS(!g.addresses.empty());
+    WAM_EXPECTS(names.insert(g.name).second);
+    for (const auto& [ip, ifindex] : g.addresses) {
+      WAM_EXPECTS(ifindex >= 0);
+      WAM_EXPECTS(addresses.insert(ip).second);
+    }
+  }
+  WAM_EXPECTS(!group.empty());
+  WAM_EXPECTS(weight >= 1);
+  for (const auto& pref : preferred) {
+    WAM_EXPECTS(names.count(pref) > 0);
+  }
+}
+
+Config Config::web_cluster(const std::vector<net::Ipv4Address>& vips,
+                           int ifindex) {
+  Config c;
+  for (const auto& vip : vips) {
+    c.vip_groups.push_back(VipGroup{vip.to_string(), {{vip, ifindex}}});
+  }
+  return c;
+}
+
+}  // namespace wam::wackamole

@@ -1,0 +1,84 @@
+#include "wackamole/control.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wam::wackamole {
+
+Status snapshot(const Daemon& daemon) {
+  Status s;
+  s.state = daemon.state();
+  s.mature = daemon.mature();
+  s.connected = daemon.connected();
+  s.representative = daemon.is_representative();
+  s.owned = daemon.owned();
+  for (const auto& [group, owner] : daemon.table().owners()) {
+    s.table.emplace_back(group, owner.to_string());
+  }
+  if (daemon.view()) s.view = daemon.view()->to_string();
+  s.counters = daemon.counters();
+  return s;
+}
+
+std::string render_status(const Status& s) {
+  std::ostringstream out;
+  out << "state: " << wam_state_name(s.state)
+      << (s.mature ? " (mature)" : " (immature)")
+      << (s.connected ? "" : " [disconnected]")
+      << (s.representative ? " [representative]" : "") << "\n";
+  out << "view: " << (s.view.empty() ? "-" : s.view) << "\n";
+  out << "owned:";
+  if (s.owned.empty()) out << " (none)";
+  for (const auto& g : s.owned) out << " " << g;
+  out << "\n";
+  out << "table:\n";
+  if (s.table.empty()) out << "  (empty)\n";
+  for (const auto& [group, owner] : s.table) {
+    out << "  " << group << " -> " << owner << "\n";
+  }
+  out << "counters: views=" << s.counters.view_changes
+      << " reallocs=" << s.counters.reallocations
+      << " acquires=" << s.counters.acquires
+      << " releases=" << s.counters.releases
+      << " conflicts=" << s.counters.conflicts_dropped
+      << " balances=" << s.counters.balance_applied << "\n";
+  return out.str();
+}
+
+std::string AdminControl::execute(const std::string& command) {
+  std::istringstream in(command);
+  std::string verb;
+  in >> verb;
+  if (verb == "status") {
+    return render_status(snapshot(daemon_));
+  }
+  if (verb == "balance") {
+    return daemon_.trigger_balance()
+               ? "balance broadcast\n"
+               : "no balance needed (or not RUN/representative)\n";
+  }
+  if (verb == "prefer") {
+    std::string list;
+    in >> list;
+    std::vector<std::string> prefs;
+    std::istringstream items(list);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      if (!item.empty()) prefs.push_back(item);
+    }
+    try {
+      daemon_.set_preferences(prefs);
+    } catch (const util::ContractViolation&) {
+      return "error: unknown VIP group in preference list\n";
+    }
+    return "preferences updated (" + std::to_string(prefs.size()) + ")\n";
+  }
+  if (verb == "leave") {
+    daemon_.graceful_shutdown();
+    return "left the cluster\n";
+  }
+  return "usage: status | balance | prefer [g1,g2,...] | leave\n";
+}
+
+}  // namespace wam::wackamole

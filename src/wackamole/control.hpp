@@ -1,0 +1,44 @@
+// Administrative control channel (Section 4.2: "the addition of an input
+// channel to allow administrative control of a cluster's behavior").
+//
+// AdminControl wraps a daemon with a tiny text command interface — the kind
+// of thing the real Wackamole exposes over a local socket — plus a typed
+// Status snapshot for programmatic use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wackamole/daemon.hpp"
+
+namespace wam::wackamole {
+
+struct Status {
+  WamState state = WamState::kIdle;
+  bool mature = false;
+  bool connected = false;
+  bool representative = false;
+  std::vector<std::string> owned;
+  /// (group, owner) pairs from the synchronized table.
+  std::vector<std::pair<std::string, std::string>> table;
+  std::string view;
+  WamCounters counters;
+};
+
+[[nodiscard]] Status snapshot(const Daemon& daemon);
+[[nodiscard]] std::string render_status(const Status& status);
+
+class AdminControl {
+ public:
+  explicit AdminControl(Daemon& daemon) : daemon_(daemon) {}
+
+  /// Commands: "status", "balance", "prefer <g1,g2,...>", "prefer" (clear),
+  /// "leave". Returns a human-readable response; unknown commands get a
+  /// usage string.
+  std::string execute(const std::string& command);
+
+ private:
+  Daemon& daemon_;
+};
+
+}  // namespace wam::wackamole

@@ -1,0 +1,51 @@
+#include "wackamole/control_server.hpp"
+
+namespace wam::wackamole {
+
+ControlServer::ControlServer(net::Host& host, Daemon& daemon,
+                             std::uint16_t port)
+    : host_(host), control_(daemon), port_(port) {}
+
+void ControlServer::start() {
+  if (running_) return;
+  running_ = host_.open_udp(
+      port_, [this](const net::Host::UdpContext& ctx,
+                    const util::Bytes& payload) {
+        ++served_;
+        std::string command(payload.begin(), payload.end());
+        auto reply = control_.execute(command);
+        host_.send_udp_from(ctx.dst_ip, ctx.src_ip, ctx.src_port,
+                            ctx.dst_port,
+                            util::Bytes(reply.begin(), reply.end()));
+      });
+}
+
+void ControlServer::stop() {
+  if (!running_) return;
+  host_.close_udp(port_);
+  running_ = false;
+}
+
+ControlClient::ControlClient(net::Host& host, std::uint16_t local_port)
+    : host_(host), local_port_(local_port) {
+  host_.open_udp(local_port_,
+                 [this](const net::Host::UdpContext&,
+                        const util::Bytes& payload) {
+                   if (!pending_) return;
+                   auto cb = std::move(pending_);
+                   pending_ = nullptr;
+                   cb(std::string(payload.begin(), payload.end()));
+                 });
+}
+
+ControlClient::~ControlClient() { host_.close_udp(local_port_); }
+
+void ControlClient::send(net::Ipv4Address daemon_host,
+                         const std::string& command, ReplyFn on_reply,
+                         std::uint16_t port) {
+  pending_ = std::move(on_reply);
+  host_.send_udp(daemon_host, port, local_port_,
+                 util::Bytes(command.begin(), command.end()));
+}
+
+}  // namespace wam::wackamole

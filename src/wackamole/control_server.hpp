@@ -1,0 +1,61 @@
+// Remote administrative control channel (§4.2).
+//
+// The released Wackamole exposes a local control socket ("wackatrl"); the
+// simulated equivalent is a UDP request/response endpoint on the daemon's
+// host. Requests are the same text commands AdminControl accepts
+// ("status", "balance", "prefer g1,g2", "leave"); every request gets a
+// one-datagram text reply. ControlClient is the matching wackatrl-style
+// caller for use from any other simulated host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "wackamole/control.hpp"
+
+namespace wam::wackamole {
+
+constexpr std::uint16_t kControlPort = 4804;
+
+class ControlServer {
+ public:
+  ControlServer(net::Host& host, Daemon& daemon,
+                std::uint16_t port = kControlPort);
+  ~ControlServer() { stop(); }
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  net::Host& host_;
+  AdminControl control_;
+  std::uint16_t port_;
+  bool running_ = false;
+  std::uint64_t served_ = 0;
+};
+
+/// Fire a command at a remote daemon's control port; the callback receives
+/// the text reply (not invoked if the reply is lost — UDP semantics).
+class ControlClient {
+ public:
+  ControlClient(net::Host& host, std::uint16_t local_port = 40100);
+  ~ControlClient();
+  ControlClient(const ControlClient&) = delete;
+  ControlClient& operator=(const ControlClient&) = delete;
+
+  using ReplyFn = std::function<void(const std::string&)>;
+  void send(net::Ipv4Address daemon_host, const std::string& command,
+            ReplyFn on_reply, std::uint16_t port = kControlPort);
+
+ private:
+  net::Host& host_;
+  std::uint16_t local_port_;
+  ReplyFn pending_;
+};
+
+}  // namespace wam::wackamole

@@ -1,0 +1,504 @@
+#include "wackamole/daemon.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wam::wackamole {
+
+const char* wam_state_name(WamState s) {
+  switch (s) {
+    case WamState::kIdle: return "IDLE";
+    case WamState::kRun: return "RUN";
+    case WamState::kGather: return "GATHER";
+  }
+  return "?";
+}
+
+Daemon::Daemon(sim::Scheduler& sched, Config config, gcs::Daemon& gcs,
+               IpManager& ip_manager, sim::Log* log)
+    : sched_(sched),
+      config_(std::move(config)),
+      gcs_(gcs),
+      ip_manager_(ip_manager),
+      log_(log, "wam/" + gcs.id().to_string()),
+      client_("wackamole",
+              gcs::ClientCallbacks{
+                  [this](const gcs::GroupView& v) { on_membership(v); },
+                  [this](const gcs::GroupMessage& m) { on_message(m); },
+                  [this] { on_disconnect(); }}) {
+  config_.validate();
+}
+
+void Daemon::start() {
+  WAM_EXPECTS(!running_);
+  running_ = true;
+  mature_ = config_.start_mature;
+  state_ = WamState::kIdle;
+  if (client_.connect(gcs_)) {
+    client_.join(config_.group);
+  } else {
+    reconnect_timer_ = sched_.schedule(config_.reconnect_interval,
+                                       [this] { reconnect_tick(); });
+  }
+  if (!mature_) arm_maturity_timer();
+  arm_arp_share_timer();
+  arm_announce_timer();
+  log_.info("wackamole starting (%s)", mature_ ? "mature" : "immature");
+}
+
+void Daemon::graceful_shutdown() {
+  if (!running_) return;
+  running_ = false;
+  balance_timer_.cancel();
+  maturity_timer_.cancel();
+  arp_share_timer_.cancel();
+  announce_timer_.cancel();
+  reconnect_timer_.cancel();
+  if (client_.connected()) {
+    // Leaving the group is a lightweight membership change: the survivors
+    // reallocate within milliseconds, long before any fault detector would
+    // have noticed us missing.
+    client_.leave(config_.group);
+  }
+  release_everything();
+  if (client_.connected()) client_.disconnect();
+  state_ = WamState::kIdle;
+  view_.reset();
+  table_.clear();
+  log_.info("graceful shutdown complete");
+}
+
+std::vector<std::string> Daemon::owned() const {
+  std::vector<std::string> out;
+  for (const auto& g : config_.vip_groups) {
+    if (ip_manager_.holds(g.name)) out.push_back(g.name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Daemon::is_representative() const {
+  if (!view_ || view_->members.empty() || !client_.connected()) return false;
+  return view_->members.front() == client_.self();
+}
+
+std::optional<gcs::MemberId> Daemon::self() const {
+  if (!client_.connected()) return std::nullopt;
+  return client_.self();
+}
+
+// ------------------------------------------------------------ callbacks ----
+
+void Daemon::on_membership(const gcs::GroupView& gv) {
+  if (!running_) return;
+  // EVS transitional signals are informational; the algorithm acts only on
+  // regular membership installations (the paper's VIEW_CHANGE events).
+  if (gv.transitional) return;
+  ++counters_.view_changes;
+  log_.info("VIEW_CHANGE: %s", gv.to_string().c_str());
+  // Algorithm 1 lines 1-4 / Algorithm 2 lines 7-9: clear the table (the
+  // addresses we actually hold are our "old table" knowledge), send a
+  // STATE_MSG tagged with the new view, and enter GATHER.
+  view_ = gv;
+  view_tag_ = ViewTag::of(gv);
+  table_.clear();
+  received_.clear();
+  info_.clear();
+  balance_timer_.cancel();
+  // Enter GATHER before multicasting: local delivery is synchronous, so our
+  // own STATE_MSG can arrive inside the multicast call below.
+  state_ = WamState::kGather;
+  send_state_msg();
+}
+
+void Daemon::on_message(const gcs::GroupMessage& gm) {
+  if (!running_ || gm.group != config_.group) return;
+  WamMsgType type;
+  try {
+    type = peek_type(gm.payload);
+  } catch (const util::DecodeError&) {
+    log_.warn("undecodable message from %s", gm.sender.to_string().c_str());
+    return;
+  }
+  try {
+    switch (type) {
+      case WamMsgType::kState:
+        handle_state_msg(gm.sender, decode_state(gm.payload));
+        break;
+      case WamMsgType::kBalance:
+        handle_balance_msg(decode_balance(gm.payload));
+        break;
+      case WamMsgType::kAlloc:
+        handle_balance_msg(decode_alloc(gm.payload));
+        break;
+      case WamMsgType::kArpShare: {
+        auto share = decode_arp_share(gm.payload);
+        if (gm.sender.daemon == gcs_.id()) break;  // our own gossip
+        for (auto ip : share.ips) {
+          ip_manager_.add_notify_target(net::Ipv4Address(ip));
+        }
+        break;
+      }
+    }
+  } catch (const util::DecodeError&) {
+    log_.warn("malformed %d message from %s", static_cast<int>(type),
+              gm.sender.to_string().c_str());
+  }
+}
+
+void Daemon::on_disconnect() {
+  if (!running_) return;
+  ++counters_.disconnects;
+  log_.warn("lost local GCS daemon: releasing all virtual interfaces");
+  // Correctness cannot be ensured without the GCS (§4.2): drop everything
+  // and retry the connection periodically.
+  release_everything();
+  state_ = WamState::kIdle;
+  view_.reset();
+  table_.clear();
+  received_.clear();
+  info_.clear();
+  balance_timer_.cancel();
+  reconnect_timer_.cancel();
+  reconnect_timer_ = sched_.schedule(config_.reconnect_interval,
+                                     [this] { reconnect_tick(); });
+}
+
+void Daemon::reconnect_tick() {
+  if (!running_ || client_.connected()) return;
+  ++counters_.reconnect_attempts;
+  if (gcs_.running() && client_.connect(gcs_)) {
+    log_.info("reconnected to GCS daemon");
+    client_.join(config_.group);
+    return;
+  }
+  reconnect_timer_ = sched_.schedule(config_.reconnect_interval,
+                                     [this] { reconnect_tick(); });
+}
+
+// --------------------------------------------------------- STATE_MSG ----
+
+void Daemon::send_state_msg() {
+  StateMsg m;
+  m.view = view_tag_;
+  m.mature = mature_;
+  m.weight = static_cast<std::uint32_t>(config_.weight);
+  m.owned = owned();
+  m.preferred = config_.preferred;
+  client_.multicast(config_.group, encode_state(m));
+  ++counters_.state_msgs_sent;
+}
+
+void Daemon::handle_state_msg(const gcs::MemberId& sender, const StateMsg& m) {
+  if (state_ == WamState::kIdle) return;
+  if (m.view != view_tag_) {
+    // Algorithm 2 line 1: only STATE_MSGs generated in the current view
+    // count; stale ones are discarded.
+    ++counters_.stale_msgs_ignored;
+    return;
+  }
+  ++counters_.state_msgs_received;
+
+  auto& peer = info_[sender];
+  peer.mature = m.mature;
+  peer.weight = m.weight == 0 ? 1 : static_cast<int>(m.weight);
+  peer.preferred = std::set<std::string>(m.preferred.begin(),
+                                         m.preferred.end());
+  if (m.mature && !mature_) become_mature("mature peer announced itself");
+
+  // ResolveConflicts(): fold the sender's coverage into current_table,
+  // dropping overlaps immediately (the earlier member in the membership
+  // list releases — restoring network-level consistency ASAP).
+  for (const auto& name : m.owned) {
+    if (config_.find_group(name) == nullptr) {
+      log_.warn("peer %s claims unknown VIP group '%s'",
+                sender.to_string().c_str(), name.c_str());
+      continue;
+    }
+    auto result = table_.claim(name, sender, *view_);
+    if (result.dropped && client_.connected() &&
+        *result.dropped == client_.self()) {
+      log_.info("conflict on %s: releasing (we precede %s in the view)",
+                name.c_str(), sender.to_string().c_str());
+      release_group(name);
+      ++counters_.conflicts_dropped;
+    }
+  }
+
+  if (state_ == WamState::kGather) {
+    received_.insert(sender);
+    bool complete = true;
+    for (const auto& member : view_->members) {
+      if (received_.count(member) == 0) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) finish_gather();
+  }
+}
+
+void Daemon::finish_gather() {
+  if (config_.representative_driven) {
+    // §4.2 variant: only the representative decides; its ALLOC_MSG imposes
+    // the assignment on everyone (including itself, via self-delivery).
+    state_ = WamState::kRun;
+    arm_balance_timer();
+    if (is_representative()) {
+      auto assignments =
+          reallocate_ips(config_.group_names(), table_, member_infos());
+      VipTable proposed = table_;
+      for (const auto& [group, owner] : assignments) {
+        proposed.set_owner(group, owner);
+      }
+      BalanceMsg m;
+      m.view = view_tag_;
+      for (const auto& [group, owner] : proposed.owners()) {
+        m.allocation.emplace_back(
+            group, std::make_pair(owner.daemon.value(), owner.client));
+      }
+      client_.multicast(config_.group, encode_alloc(m));
+      ++counters_.reallocations;
+      log_.info("GATHER complete (representative): imposing allocation of "
+                "%zu groups",
+                m.allocation.size());
+    } else {
+      log_.info("GATHER complete: awaiting the representative's allocation");
+    }
+    return;
+  }
+  // Reallocate_IPs(): every member computes the same assignment from the
+  // same table and the same uniquely ordered member list.
+  auto assignments =
+      reallocate_ips(config_.group_names(), table_, member_infos());
+  for (const auto& [group, owner] : assignments) {
+    table_.set_owner(group, owner);
+    if (client_.connected() && owner == client_.self()) {
+      acquire_group(group);
+    }
+  }
+  ++counters_.reallocations;
+  state_ = WamState::kRun;
+  log_.info("GATHER complete: reallocated %zu holes, table %s",
+            assignments.size(), table_.describe().c_str());
+  arm_balance_timer();
+}
+
+// --------------------------------------------------------- BALANCE ----
+
+void Daemon::handle_balance_msg(const BalanceMsg& m) {
+  if (state_ != WamState::kRun || m.view != view_tag_) {
+    // Algorithm 2 lines 10-11: BALANCE_MSGs are ignored during GATHER;
+    // stale ones (older views) are ignored everywhere.
+    ++counters_.stale_msgs_ignored;
+    return;
+  }
+  ++counters_.balance_applied;
+  // Change_IPs(): apply the representative's allocation atomically.
+  if (!mature_) become_mature("balance implies a bootstrapped cluster");
+  VipTable next;
+  for (const auto& [group, owner] : m.allocation) {
+    next.set_owner(group, gcs::MemberId{net::Ipv4Address(owner.first),
+                                        owner.second, ""});
+  }
+  if (client_.connected()) {
+    auto me = client_.self();
+    for (const auto& g : config_.vip_groups) {
+      auto owner = next.owner(g.name);
+      bool should_hold = owner && *owner == me;
+      bool holds = ip_manager_.holds(g.name);
+      if (should_hold && !holds) acquire_group(g.name);
+      if (!should_hold && holds) release_group(g.name);
+    }
+  }
+  table_ = std::move(next);
+}
+
+void Daemon::arm_balance_timer() {
+  if (config_.balance_timeout == sim::kZero) return;
+  balance_timer_.cancel();
+  balance_timer_ =
+      sched_.schedule(config_.balance_timeout, [this] { balance_tick(); });
+}
+
+void Daemon::balance_tick() {
+  if (!running_ || state_ != WamState::kRun) return;
+  if (is_representative()) run_balance();
+  arm_balance_timer();
+}
+
+bool Daemon::run_balance() {
+  if (state_ != WamState::kRun || !is_representative()) return false;
+  auto allocation =
+      balance_ips(config_.group_names(), table_, member_infos());
+  if (allocation.empty()) return false;
+  bool changed = false;
+  for (const auto& [group, owner] : allocation) {
+    auto current = table_.owner(group);
+    if (!current || !(*current == owner)) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return false;
+  BalanceMsg m;
+  m.view = view_tag_;
+  for (const auto& [group, owner] : allocation) {
+    m.allocation.emplace_back(
+        group, std::make_pair(owner.daemon.value(), owner.client));
+  }
+  client_.multicast(config_.group, encode_balance(m));
+  ++counters_.balance_rounds;
+  log_.info("representative: broadcasting balance (%zu groups)",
+            m.allocation.size());
+  return true;
+}
+
+bool Daemon::trigger_balance() { return run_balance(); }
+
+// --------------------------------------------------------- maturity ----
+
+void Daemon::arm_maturity_timer() {
+  if (config_.maturity_timeout == sim::kZero) {
+    mature_ = true;
+    return;
+  }
+  maturity_timer_.cancel();
+  maturity_timer_ =
+      sched_.schedule(config_.maturity_timeout, [this] { maturity_tick(); });
+}
+
+void Daemon::become_mature(const char* how) {
+  if (mature_) return;
+  mature_ = true;
+  maturity_timer_.cancel();
+  log_.info("now mature: %s", how);
+}
+
+void Daemon::maturity_tick() {
+  if (!running_ || mature_) return;
+  // Anyone mature out there after all? (their STATE_MSG may have raced us)
+  for (const auto& [member, peer] : info_) {
+    if (peer.mature) {
+      become_mature("mature peer known");
+      return;
+    }
+  }
+  ++counters_.maturity_timeouts;
+  become_mature("maturity timeout expired");
+  if (state_ == WamState::kRun && client_.connected()) {
+    // Nobody manages the addresses: start managing them (§3.4) and tell
+    // the others.
+    auto holes = table_.uncovered(config_.group_names());
+    for (const auto& group : holes) {
+      table_.set_owner(group, client_.self());
+      acquire_group(group);
+    }
+    send_state_msg();
+  } else if (state_ == WamState::kGather) {
+    // Re-announce with the mature flag; the gather in flight will fold the
+    // update in (received_ dedups the sender).
+    send_state_msg();
+  }
+}
+
+// --------------------------------------------------------- ARP share ----
+
+void Daemon::set_arp_share_source(
+    std::function<std::vector<std::uint32_t>()> src) {
+  arp_share_source_ = std::move(src);
+}
+
+void Daemon::arm_arp_share_timer() {
+  if (config_.arp_share_interval == sim::kZero) return;
+  arp_share_timer_ = sched_.schedule(config_.arp_share_interval,
+                                     [this] { arp_share_tick(); });
+}
+
+void Daemon::arm_announce_timer() {
+  if (config_.announce_interval == sim::kZero) return;
+  announce_timer_ = sched_.schedule(config_.announce_interval,
+                                    [this] { announce_tick(); });
+}
+
+void Daemon::announce_tick() {
+  if (!running_) return;
+  // Anti-entropy: gratuitous-ARP refresh for everything we hold, so caches
+  // that missed the takeover spoof (lossy LAN) eventually converge.
+  for (const auto& g : config_.vip_groups) {
+    if (ip_manager_.holds(g.name)) ip_manager_.announce(g);
+  }
+  arm_announce_timer();
+}
+
+void Daemon::arp_share_tick() {
+  if (!running_) return;
+  if (arp_share_source_ && client_.connected() &&
+      state_ != WamState::kIdle) {
+    ArpShareMsg m;
+    m.ips = arp_share_source_();
+    if (!m.ips.empty()) {
+      client_.multicast(config_.group, encode_arp_share(m));
+    }
+  }
+  arm_arp_share_timer();
+}
+
+// ------------------------------------------------------------ helpers ----
+
+std::vector<MemberInfo> Daemon::member_infos() const {
+  std::vector<MemberInfo> out;
+  if (!view_) return out;
+  // §3.4: an immature server that hears a mature server's STATE_MSG in
+  // GATHER marks itself mature. Since every member of the view saw the
+  // same message set, "anyone mature => everyone mature" is a fact all
+  // members can apply deterministically when allocating.
+  bool any_mature = false;
+  for (const auto& [member, peer] : info_) {
+    if (peer.mature) any_mature = true;
+  }
+  for (const auto& member : view_->members) {
+    MemberInfo mi;
+    mi.id = member;
+    auto it = info_.find(member);
+    if (it != info_.end()) {
+      mi.mature = it->second.mature || any_mature;
+      mi.weight = it->second.weight;
+      mi.preferred = it->second.preferred;
+    }
+    out.push_back(std::move(mi));
+  }
+  return out;
+}
+
+void Daemon::acquire_group(const std::string& name) {
+  const auto* group = config_.find_group(name);
+  WAM_ASSERT(group != nullptr);
+  if (ip_manager_.holds(name)) return;
+  ip_manager_.acquire(*group);
+  ++counters_.acquires;
+  log_.info("acquired VIP group %s", name.c_str());
+}
+
+void Daemon::release_group(const std::string& name) {
+  const auto* group = config_.find_group(name);
+  WAM_ASSERT(group != nullptr);
+  if (!ip_manager_.holds(name)) return;
+  ip_manager_.release(*group);
+  ++counters_.releases;
+  log_.info("released VIP group %s", name.c_str());
+}
+
+void Daemon::release_everything() {
+  for (const auto& g : config_.vip_groups) {
+    release_group(g.name);
+  }
+}
+
+void Daemon::set_preferences(std::vector<std::string> preferred) {
+  config_.preferred = std::move(preferred);
+  config_.validate();
+}
+
+}  // namespace wam::wackamole

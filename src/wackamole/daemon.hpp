@@ -1,0 +1,172 @@
+// The Wackamole daemon: the state synchronization algorithm of Section 3.
+//
+// State machine (Figure 2):
+//
+//            VIEW_CHANGE                REALLOCATION COMPLETE
+//      RUN ---------------> GATHER -----------------------------> RUN
+//       |  ^                  |  ^
+//       |  | BALANCE          |  | cascading VIEW_CHANGE:
+//       |  | COMPLETE         +--+ clear table, resend STATE_MSG
+//       |  |
+//       +--+ BALANCE TIMEOUT (representative only)
+//
+// RUN (Algorithm 1): on VIEW_CHANGE, back up the table, multicast a
+//   STATE_MSG tagged with the new view id, move to GATHER; on BALANCE_MSG,
+//   Change_IPs() — acquire/release per the representative's allocation.
+//
+// GATHER (Algorithm 2): fold arriving STATE_MSGs into current_table,
+//   resolving conflicts immediately (the claimant earlier in the membership
+//   list releases the address — restoring network-level consistency as soon
+//   as possible); once a STATE_MSG from every view member has arrived, run
+//   the deterministic Reallocate_IPs() and return to RUN. BALANCE_MSGs are
+//   ignored. A cascading VIEW_CHANGE clears the table and resends.
+//
+// BALANCE (Algorithm 3): triggered by a timeout in RUN at the
+//   representative (first member of the uniquely ordered list); computes a
+//   load- and preference-aware allocation and multicasts BALANCE_MSG. In
+//   this event-driven implementation the procedure runs inside a single
+//   scheduler event, which gives the atomicity the paper obtains by
+//   delaying events.
+//
+// Maturity bootstrap (§3.4): a daemon starts immature and owns nothing; it
+// matures on meeting a mature peer (STATE_MSG or BALANCE_MSG) or when the
+// maturity timeout fires, at which point — if still nobody manages the
+// addresses — it claims every uncovered group and announces itself.
+//
+// Disconnection (§4.2): losing the local GCS daemon releases every virtual
+// interface at once (correctness cannot be ensured without the GCS) and
+// starts a reconnect loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gcs/client.hpp"
+#include "sim/log.hpp"
+#include "wackamole/balance.hpp"
+#include "wackamole/config.hpp"
+#include "wackamole/ip_manager.hpp"
+#include "wackamole/vip_table.hpp"
+#include "wackamole/wire.hpp"
+
+namespace wam::wackamole {
+
+enum class WamState { kIdle, kRun, kGather };
+
+const char* wam_state_name(WamState s);
+
+struct WamCounters {
+  std::uint64_t view_changes = 0;
+  std::uint64_t state_msgs_sent = 0;
+  std::uint64_t state_msgs_received = 0;
+  std::uint64_t stale_msgs_ignored = 0;
+  std::uint64_t reallocations = 0;
+  std::uint64_t conflicts_dropped = 0;  // claims *we* released on conflict
+  std::uint64_t acquires = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t balance_rounds = 0;    // representative decisions multicast
+  std::uint64_t balance_applied = 0;   // BALANCE_MSGs executed
+  std::uint64_t maturity_timeouts = 0;
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t disconnects = 0;
+};
+
+class Daemon {
+ public:
+  Daemon(sim::Scheduler& sched, Config config, gcs::Daemon& gcs,
+         IpManager& ip_manager, sim::Log* log = nullptr);
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Connect to the local GCS daemon and join the wackamole group.
+  void start();
+  /// Voluntary departure (§6's graceful-leave experiment): leave the group
+  /// so peers reallocate within milliseconds, then release all addresses.
+  void graceful_shutdown();
+  [[nodiscard]] bool running() const { return running_; }
+
+  // ---- Introspection ----
+  [[nodiscard]] WamState state() const { return state_; }
+  [[nodiscard]] bool mature() const { return mature_; }
+  [[nodiscard]] bool connected() const { return client_.connected(); }
+  [[nodiscard]] const VipTable& table() const { return table_; }
+  [[nodiscard]] const std::optional<gcs::GroupView>& view() const {
+    return view_;
+  }
+  [[nodiscard]] std::vector<std::string> owned() const;
+  [[nodiscard]] const WamCounters& counters() const { return counters_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] bool is_representative() const;
+  [[nodiscard]] std::optional<gcs::MemberId> self() const;
+
+  // ---- Administrative controls (§4.2's input channel) ----
+  /// Force a balance round now (no-op unless RUN + representative).
+  bool trigger_balance();
+  /// Replace the preference list; takes effect from the next STATE_MSG.
+  void set_preferences(std::vector<std::string> preferred);
+  /// Provide the local ARP-cache contents for the periodic ARP share
+  /// (router application); pass nullptr to disable.
+  void set_arp_share_source(std::function<std::vector<std::uint32_t>()> src);
+
+ private:
+  void on_membership(const gcs::GroupView& gv);
+  void on_message(const gcs::GroupMessage& gm);
+  void on_disconnect();
+  void handle_state_msg(const gcs::MemberId& sender, const StateMsg& m);
+  void handle_balance_msg(const BalanceMsg& m);
+  void finish_gather();
+  void send_state_msg();
+  void acquire_group(const std::string& name);
+  void release_group(const std::string& name);
+  void release_everything();
+  [[nodiscard]] std::vector<MemberInfo> member_infos() const;
+  void arm_balance_timer();
+  void balance_tick();
+  bool run_balance();
+  void arm_maturity_timer();
+  void maturity_tick();
+  void arm_arp_share_timer();
+  void arp_share_tick();
+  void arm_announce_timer();
+  void announce_tick();
+  void reconnect_tick();
+  void become_mature(const char* how);
+
+  sim::Scheduler& sched_;
+  Config config_;
+  gcs::Daemon& gcs_;
+  IpManager& ip_manager_;
+  sim::Logger log_;
+  gcs::Client client_;
+
+  bool running_ = false;
+  WamState state_ = WamState::kIdle;
+  bool mature_ = false;
+
+  std::optional<gcs::GroupView> view_;
+  ViewTag view_tag_;
+  VipTable table_;
+  std::set<gcs::MemberId> received_;  // STATE_MSG senders this GATHER
+  struct PeerInfo {
+    bool mature = false;
+    int weight = 1;
+    std::set<std::string> preferred;
+  };
+  std::map<gcs::MemberId, PeerInfo> info_;
+
+  sim::TimerHandle balance_timer_;
+  sim::TimerHandle maturity_timer_;
+  sim::TimerHandle arp_share_timer_;
+  sim::TimerHandle announce_timer_;
+  sim::TimerHandle reconnect_timer_;
+  std::function<std::vector<std::uint32_t>()> arp_share_source_;
+
+  WamCounters counters_;
+};
+
+}  // namespace wam::wackamole

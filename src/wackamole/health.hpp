@@ -1,0 +1,133 @@
+// Application/NIC health monitoring (Section 4.2).
+//
+// "Wackamole does not provide failure detection of any of the applications
+// that may be relying on its management, e.g. HTTP servers. ... a possible
+// solution is to perform run-time checks on the availability of the NIC or
+// of the specific applications that use Wackamole, and trigger the virtual
+// IP migration when a failure is detected."
+//
+// HealthMonitor implements that solution: it runs a set of pluggable
+// checks on a fixed period; after `fail_threshold` consecutive failures it
+// forces the local Wackamole daemon out of the cluster (a graceful group
+// leave, so the survivors re-cover its addresses within milliseconds —
+// far faster than waiting for clients to notice a dead application), and
+// after `recover_threshold` consecutive successes it rejoins.
+//
+// Two ready-made checks are provided:
+//   * UdpServiceCheck — probes a local UDP service (e.g. the echo server /
+//     an HTTP front end) and fails when it stops answering;
+//   * InterfaceCheck — fails when a monitored NIC reports down (covers the
+//     "Spread on a separate NIC" deployment where the service NIC can die
+//     without the GCS noticing, §4.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/log.hpp"
+#include "wackamole/daemon.hpp"
+
+namespace wam::wackamole {
+
+/// One health check: returns true when healthy. Checks may be asynchronous
+/// internally (UdpServiceCheck is); poll() reports the latest verdict.
+class HealthCheck {
+ public:
+  virtual ~HealthCheck() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Kick off the next round (send a probe, sample a flag, ...).
+  virtual void run() = 0;
+  /// Verdict of the PREVIOUS round.
+  [[nodiscard]] virtual bool healthy() const = 0;
+};
+
+/// Probes a UDP service on this host via the loopback of the simulated
+/// stack: a request is "answered" when the service's socket handler exists
+/// and the service replies before the next round.
+class UdpServiceCheck : public HealthCheck {
+ public:
+  UdpServiceCheck(net::Host& host, net::Ipv4Address service_ip,
+                  std::uint16_t service_port,
+                  std::uint16_t probe_port = 39000);
+  ~UdpServiceCheck() override;
+
+  [[nodiscard]] std::string name() const override;
+  void run() override;
+  [[nodiscard]] bool healthy() const override { return reply_seen_; }
+
+ private:
+  net::Host& host_;
+  net::Ipv4Address service_ip_;
+  std::uint16_t service_port_;
+  std::uint16_t probe_port_;
+  bool reply_seen_ = true;  // optimistic until the first probe completes
+  bool awaiting_ = false;
+};
+
+/// Fails when the monitored interface is administratively/physically down.
+class InterfaceCheck : public HealthCheck {
+ public:
+  InterfaceCheck(net::Host& host, int ifindex)
+      : host_(host), ifindex_(ifindex) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "nic:if" + std::to_string(ifindex_);
+  }
+  void run() override { up_ = host_.interface_up(ifindex_); }
+  [[nodiscard]] bool healthy() const override { return up_; }
+
+ private:
+  net::Host& host_;
+  int ifindex_;
+  bool up_ = true;
+};
+
+struct HealthMonitorConfig {
+  sim::Duration check_interval = sim::seconds(1.0);
+  int fail_threshold = 3;     // consecutive failures before withdrawing
+  int recover_threshold = 2;  // consecutive successes before rejoining
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(sim::Scheduler& sched, Daemon& daemon,
+                HealthMonitorConfig config, sim::Log* log = nullptr);
+  ~HealthMonitor() { stop(); }
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void add_check(std::unique_ptr<HealthCheck> check);
+  void start();
+  void stop();
+
+  [[nodiscard]] bool withdrawn() const { return withdrawn_; }
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+  [[nodiscard]] std::uint64_t withdrawals() const { return withdrawals_; }
+  [[nodiscard]] std::uint64_t rejoins() const { return rejoins_; }
+  /// Name of the check that caused the last withdrawal ("" if none).
+  [[nodiscard]] const std::string& last_failed_check() const {
+    return last_failed_;
+  }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  Daemon& daemon_;
+  HealthMonitorConfig config_;
+  sim::Logger log_;
+  std::vector<std::unique_ptr<HealthCheck>> checks_;
+  bool running_ = false;
+  bool withdrawn_ = false;
+  int failures_ = 0;
+  int successes_ = 0;
+  std::uint64_t withdrawals_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::string last_failed_;
+  sim::TimerHandle timer_;
+};
+
+}  // namespace wam::wackamole

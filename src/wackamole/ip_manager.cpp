@@ -1,0 +1,87 @@
+#include "wackamole/ip_manager.hpp"
+
+namespace wam::wackamole {
+
+void SimIpManager::set_router(int ifindex, net::Ipv4Address router_ip) {
+  routers_[ifindex] = router_ip;
+}
+
+void SimIpManager::add_notify_target(net::Ipv4Address ip) {
+  notify_targets_[ip] = host_.scheduler().now();
+}
+
+void SimIpManager::expire_notify_targets() {
+  if (notify_ttl_ == sim::kZero) return;
+  auto now = host_.scheduler().now();
+  for (auto it = notify_targets_.begin(); it != notify_targets_.end();) {
+    if (now - it->second > notify_ttl_) {
+      it = notify_targets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<net::Ipv4Address> SimIpManager::notify_targets() const {
+  std::vector<net::Ipv4Address> out;
+  out.reserve(notify_targets_.size());
+  for (const auto& [ip, seen] : notify_targets_) out.push_back(ip);
+  return out;
+}
+
+void SimIpManager::acquire(const VipGroup& group) {
+  for (const auto& [ip, ifindex] : group.addresses) {
+    host_.add_alias(ifindex, ip);
+  }
+  held_.insert(group.name);
+  announce(group);
+}
+
+void SimIpManager::release(const VipGroup& group) {
+  for (const auto& [ip, ifindex] : group.addresses) {
+    host_.remove_alias(ifindex, ip);
+  }
+  held_.erase(group.name);
+}
+
+void SimIpManager::announce(const VipGroup& group) {
+  if (held_.count(group.name) == 0) return;
+  expire_notify_targets();
+  for (const auto& [ip, ifindex] : group.addresses) {
+    // Broadcast gratuitous ARP updates every host that already resolved the
+    // address...
+    host_.send_gratuitous_arp(ifindex, ip);
+    // ...but the router may hold a stale entry that must flip NOW, and only
+    // a unicast reply is guaranteed to (re)write its cache (§5.1).
+    auto router = routers_.find(ifindex);
+    if (router != routers_.end()) {
+      host_.send_spoofed_reply(ifindex, ip, router->second);
+    }
+    // Router application: notify every host known to have resolved us.
+    for (const auto& [target, seen] : notify_targets_) {
+      if (host_.network(ifindex).contains(target)) {
+        host_.send_spoofed_reply(ifindex, ip, target);
+      }
+    }
+  }
+}
+
+bool SimIpManager::holds(const std::string& group) const {
+  return held_.count(group) > 0;
+}
+
+void RecordingIpManager::acquire(const VipGroup& group) {
+  ops_.push_back("acquire " + group.name);
+  held_.insert(group.name);
+}
+
+void RecordingIpManager::release(const VipGroup& group) {
+  ops_.push_back("release " + group.name);
+  held_.erase(group.name);
+}
+
+void RecordingIpManager::announce(const VipGroup& group) {
+  ops_.push_back("announce " + group.name);
+}
+
+}  // namespace wam::wackamole

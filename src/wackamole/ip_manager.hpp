@@ -1,0 +1,91 @@
+// The IP address control mechanism (Figure 1's third component).
+//
+// IpManager is the platform abstraction the paper isolates into its
+// OS-specific half: acquire/release of virtual interfaces plus ARP-cache
+// spoofing. SimIpManager drives a simulated net::Host: on acquisition it
+// binds the alias, broadcasts a gratuitous ARP (updating every LAN host
+// that already cached the address) and unicasts spoofed replies at the
+// router(s) and at any explicitly registered notify targets (the router
+// application's ARP-share list). RecordingIpManager is a test double.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "wackamole/config.hpp"
+
+namespace wam::wackamole {
+
+class IpManager {
+ public:
+  virtual ~IpManager() = default;
+  /// Bind every address of the group and announce ownership.
+  virtual void acquire(const VipGroup& group) = 0;
+  /// Unbind every address of the group.
+  virtual void release(const VipGroup& group) = 0;
+  /// Re-announce ownership of an already-held group (periodic refresh,
+  /// or after learning of new notify targets).
+  virtual void announce(const VipGroup& group) = 0;
+  [[nodiscard]] virtual bool holds(const std::string& group) const = 0;
+  /// Router application: register a host to notify on takeover. Platforms
+  /// without ARP-share support ignore this.
+  virtual void add_notify_target(net::Ipv4Address /*ip*/) {}
+};
+
+class SimIpManager : public IpManager {
+ public:
+  explicit SimIpManager(net::Host& host) : host_(host) {}
+
+  /// Register the router reachable through `ifindex`; spoofed ARP replies
+  /// are unicast at it on every acquisition (Figure 3).
+  void set_router(int ifindex, net::Ipv4Address router_ip);
+  /// Router application: additional hosts to notify on takeover (§5.2).
+  /// Re-adding a target refreshes its timestamp.
+  void add_notify_target(net::Ipv4Address ip) override;
+  /// Garbage collection for the notify list (the paper's §5.2 future work:
+  /// "applying garbage collection techniques to make the ARP spoof
+  /// notification more accurately targeted"). Targets not refreshed within
+  /// the TTL are dropped; zero (default) keeps them forever.
+  void set_notify_target_ttl(sim::Duration ttl) { notify_ttl_ = ttl; }
+  [[nodiscard]] std::vector<net::Ipv4Address> notify_targets() const;
+
+  void acquire(const VipGroup& group) override;
+  void release(const VipGroup& group) override;
+  void announce(const VipGroup& group) override;
+  [[nodiscard]] bool holds(const std::string& group) const override;
+
+  [[nodiscard]] net::Host& host() { return host_; }
+
+ private:
+  void expire_notify_targets();
+
+  net::Host& host_;
+  std::map<int, net::Ipv4Address> routers_;  // ifindex -> router ip
+  std::map<net::Ipv4Address, sim::TimePoint> notify_targets_;  // ip -> seen
+  sim::Duration notify_ttl_ = sim::kZero;
+  std::set<std::string> held_;
+};
+
+/// Test double: records the operation sequence, holds no real addresses.
+class RecordingIpManager : public IpManager {
+ public:
+  void acquire(const VipGroup& group) override;
+  void release(const VipGroup& group) override;
+  void announce(const VipGroup& group) override;
+  [[nodiscard]] bool holds(const std::string& group) const override {
+    return held_.count(group) > 0;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& ops() const { return ops_; }
+  [[nodiscard]] const std::set<std::string>& held() const { return held_; }
+  void clear_ops() { ops_.clear(); }
+
+ private:
+  std::vector<std::string> ops_;
+  std::set<std::string> held_;
+};
+
+}  // namespace wam::wackamole

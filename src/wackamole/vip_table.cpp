@@ -1,0 +1,76 @@
+#include "wackamole/vip_table.hpp"
+
+#include <algorithm>
+
+namespace wam::wackamole {
+
+std::optional<gcs::MemberId> VipTable::owner(const std::string& group) const {
+  auto it = owners_.find(group);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+void VipTable::set_owner(const std::string& group,
+                         const gcs::MemberId& member) {
+  owners_[group] = member;
+}
+
+void VipTable::clear_owner(const std::string& group) { owners_.erase(group); }
+
+std::size_t VipTable::load_of(const gcs::MemberId& member) const {
+  std::size_t n = 0;
+  for (const auto& [group, owner] : owners_) {
+    if (owner == member) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> VipTable::owned_by(const gcs::MemberId& member) const {
+  std::vector<std::string> out;
+  for (const auto& [group, owner] : owners_) {
+    if (owner == member) out.push_back(group);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::string> VipTable::uncovered(
+    const std::vector<std::string>& all) const {
+  std::vector<std::string> out;
+  for (const auto& name : all) {
+    if (owners_.count(name) == 0) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+VipTable::ClaimResult VipTable::claim(const std::string& group,
+                                      const gcs::MemberId& claimant,
+                                      const gcs::GroupView& view) {
+  auto it = owners_.find(group);
+  if (it == owners_.end()) {
+    owners_.emplace(group, claimant);
+    return {true, std::nullopt};
+  }
+  if (it->second == claimant) return {true, std::nullopt};
+
+  // Conflict: the member later in the uniquely ordered list keeps the group.
+  int existing_rank = view.rank_of(it->second);
+  int claimant_rank = view.rank_of(claimant);
+  if (claimant_rank > existing_rank) {
+    auto dropped = it->second;
+    it->second = claimant;
+    return {true, dropped};
+  }
+  return {false, claimant};
+}
+
+std::string VipTable::describe() const {
+  std::string out;
+  for (const auto& [group, owner] : owners_) {
+    if (!out.empty()) out += ", ";
+    out += group + "->" + owner.to_string();
+  }
+  return "{" + out + "}";
+}
+
+}  // namespace wam::wackamole

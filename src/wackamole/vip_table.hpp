@@ -1,0 +1,54 @@
+// The current_table of the Wackamole algorithm: which member covers which
+// VIP group, plus the conflict-resolution rule of ResolveConflicts().
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gcs/types.hpp"
+
+namespace wam::wackamole {
+
+class VipTable {
+ public:
+  void clear() { owners_.clear(); }
+
+  [[nodiscard]] std::optional<gcs::MemberId> owner(
+      const std::string& group) const;
+  void set_owner(const std::string& group, const gcs::MemberId& member);
+  void clear_owner(const std::string& group);
+
+  /// Number of groups owned by `member`.
+  [[nodiscard]] std::size_t load_of(const gcs::MemberId& member) const;
+  /// Groups owned by `member`, sorted by name.
+  [[nodiscard]] std::vector<std::string> owned_by(
+      const gcs::MemberId& member) const;
+  /// Groups in `all` with no owner, sorted.
+  [[nodiscard]] std::vector<std::string> uncovered(
+      const std::vector<std::string>& all) const;
+  [[nodiscard]] const std::map<std::string, gcs::MemberId>& owners() const {
+    return owners_;
+  }
+
+  /// ResolveConflicts() for one claim: `claimant` reports covering `group`.
+  /// If another member already claims it, the paper's deterministic rule
+  /// applies — the claimant that appears EARLIER in the membership list
+  /// releases the address (Lemma 1's proof: "p ... will release vip if p
+  /// appears in the membership list of S' before q"). Returns which member,
+  /// if any, lost its claim.
+  struct ClaimResult {
+    bool claimed = false;  // claimant holds the group after the call
+    std::optional<gcs::MemberId> dropped;
+  };
+  ClaimResult claim(const std::string& group, const gcs::MemberId& claimant,
+                    const gcs::GroupView& view);
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::map<std::string, gcs::MemberId> owners_;
+};
+
+}  // namespace wam::wackamole

@@ -1,0 +1,145 @@
+#include "wackamole/wire.hpp"
+
+namespace wam::wackamole {
+
+namespace {
+
+void put_tag(util::ByteWriter& w, const ViewTag& t) {
+  w.u64(t.epoch);
+  w.u32(t.coordinator);
+  w.u64(t.group_seq);
+}
+
+ViewTag get_tag(util::ByteReader& r) {
+  ViewTag t;
+  t.epoch = r.u64();
+  t.coordinator = r.u32();
+  t.group_seq = r.u64();
+  return t;
+}
+
+void put_names(util::ByteWriter& w, const std::vector<std::string>& names) {
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& n : names) w.str(n);
+}
+
+std::vector<std::string> get_names(util::ByteReader& r) {
+  auto n = r.u32();
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.str());
+  return out;
+}
+
+void check_type(util::ByteReader& r, WamMsgType expected) {
+  auto t = r.u8();
+  if (t != static_cast<std::uint8_t>(expected)) {
+    throw util::DecodeError("unexpected wackamole message type " +
+                            std::to_string(t));
+  }
+}
+
+}  // namespace
+
+util::Bytes encode_state(const StateMsg& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kState));
+  put_tag(w, m.view);
+  w.boolean(m.mature);
+  w.u32(m.weight);
+  put_names(w, m.owned);
+  put_names(w, m.preferred);
+  return w.take();
+}
+
+StateMsg decode_state(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  check_type(r, WamMsgType::kState);
+  StateMsg m;
+  m.view = get_tag(r);
+  m.mature = r.boolean();
+  m.weight = r.u32();
+  m.owned = get_names(r);
+  m.preferred = get_names(r);
+  r.expect_end();
+  return m;
+}
+
+namespace {
+util::Bytes encode_allocation_body(const BalanceMsg& m, WamMsgType type) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  put_tag(w, m.view);
+  w.u32(static_cast<std::uint32_t>(m.allocation.size()));
+  for (const auto& [group, owner] : m.allocation) {
+    w.str(group);
+    w.u32(owner.first);
+    w.u32(owner.second);
+  }
+  return w.take();
+}
+
+BalanceMsg decode_allocation_body(const util::Bytes& buf, WamMsgType type) {
+  util::ByteReader r(buf);
+  check_type(r, type);
+  BalanceMsg m;
+  m.view = get_tag(r);
+  auto n = r.u32();
+  m.allocation.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto group = r.str();
+    auto daemon = r.u32();
+    auto client = r.u32();
+    m.allocation.emplace_back(std::move(group), std::make_pair(daemon, client));
+  }
+  r.expect_end();
+  return m;
+}
+}  // namespace
+
+util::Bytes encode_balance(const BalanceMsg& m) {
+  return encode_allocation_body(m, WamMsgType::kBalance);
+}
+
+util::Bytes encode_alloc(const BalanceMsg& m) {
+  return encode_allocation_body(m, WamMsgType::kAlloc);
+}
+
+BalanceMsg decode_balance(const util::Bytes& buf) {
+  return decode_allocation_body(buf, WamMsgType::kBalance);
+}
+
+BalanceMsg decode_alloc(const util::Bytes& buf) {
+  return decode_allocation_body(buf, WamMsgType::kAlloc);
+}
+
+util::Bytes encode_arp_share(const ArpShareMsg& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kArpShare));
+  w.u32(static_cast<std::uint32_t>(m.ips.size()));
+  for (auto ip : m.ips) w.u32(ip);
+  return w.take();
+}
+
+ArpShareMsg decode_arp_share(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  check_type(r, WamMsgType::kArpShare);
+  ArpShareMsg m;
+  auto n = r.u32();
+  m.ips.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.ips.push_back(r.u32());
+  r.expect_end();
+  return m;
+}
+
+WamMsgType peek_type(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  auto t = r.u8();
+  if (t < 1 || t > 4) {
+    throw util::DecodeError("unknown wackamole message type " +
+                            std::to_string(t));
+  }
+  return static_cast<WamMsgType>(t);
+}
+
+}  // namespace wam::wackamole

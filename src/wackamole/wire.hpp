@@ -1,0 +1,80 @@
+// Wackamole's own wire messages, carried as payloads of GCS multicasts.
+//
+// STATE_MSG and BALANCE_MSG are the two messages of Algorithms 1-3. Both
+// carry the identifier of the group view they were initiated in so that
+// receivers can discard messages from superseded views (Algorithm 2 line 1:
+// "receive STATE_MSG with current view id"). ARP_SHARE is the router
+// application's periodic ARP-knowledge gossip (Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "util/bytes.hpp"
+
+namespace wam::wackamole {
+
+/// Identity of one group view: (daemon view id, per-group sequence number).
+struct ViewTag {
+  std::uint64_t epoch = 0;
+  std::uint32_t coordinator = 0;
+  std::uint64_t group_seq = 0;
+
+  static ViewTag of(const gcs::GroupView& v) {
+    return ViewTag{v.daemon_view.epoch, v.daemon_view.coordinator.value(),
+                   v.group_seq};
+  }
+  friend auto operator<=>(const ViewTag&, const ViewTag&) = default;
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(epoch) + "." + std::to_string(group_seq);
+  }
+};
+
+enum class WamMsgType : std::uint8_t {
+  kState = 1,
+  kBalance = 2,
+  kArpShare = 3,
+  /// Representative-driven mode (§4.2): the full allocation computed by the
+  /// representative at the end of GATHER and imposed on the other daemons.
+  /// Same body as BALANCE_MSG.
+  kAlloc = 4,
+};
+
+/// STATE_MSG: the sender's local knowledge, sent on every view change.
+struct StateMsg {
+  ViewTag view;
+  bool mature = false;
+  std::uint32_t weight = 1;            // capacity weight for balancing
+  std::vector<std::string> owned;      // VIP groups currently covered
+  std::vector<std::string> preferred;  // startup preferences (§3.4)
+};
+
+/// BALANCE_MSG: the representative's full re-allocation decision.
+struct BalanceMsg {
+  ViewTag view;
+  /// group name -> (owner daemon ip, owner client id).
+  std::vector<std::pair<std::string, std::pair<std::uint32_t, std::uint32_t>>>
+      allocation;
+};
+
+/// ARP_SHARE: IPs present in the sender host's ARP cache — the peers that
+/// must be notified when a virtual address moves (router application).
+struct ArpShareMsg {
+  std::vector<std::uint32_t> ips;
+};
+
+[[nodiscard]] util::Bytes encode_state(const StateMsg& m);
+[[nodiscard]] util::Bytes encode_balance(const BalanceMsg& m);
+[[nodiscard]] util::Bytes encode_alloc(const BalanceMsg& m);
+[[nodiscard]] util::Bytes encode_arp_share(const ArpShareMsg& m);
+
+/// Peek the type byte; throws util::DecodeError on empty/unknown input.
+[[nodiscard]] WamMsgType peek_type(const util::Bytes& buf);
+[[nodiscard]] StateMsg decode_state(const util::Bytes& buf);
+[[nodiscard]] BalanceMsg decode_balance(const util::Bytes& buf);
+[[nodiscard]] BalanceMsg decode_alloc(const util::Bytes& buf);
+[[nodiscard]] ArpShareMsg decode_arp_share(const util::Bytes& buf);
+
+}  // namespace wam::wackamole

@@ -1,0 +1,94 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/cluster_scenario.hpp"
+#include "util/assert.hpp"
+
+namespace wam::apps {
+namespace {
+
+WorkloadOptions options_for(ClusterScenario& s, int vips, int clients) {
+  WorkloadOptions o;
+  for (int k = 0; k < vips; ++k) o.targets.push_back(s.vip(k));
+  o.clients = clients;
+  return o;
+}
+
+TEST(Workload, FullAvailabilityOnHealthyCluster) {
+  ClusterOptions opt;
+  opt.num_vips = 4;
+  ClusterScenario s(opt);
+  s.start();
+  ASSERT_TRUE(s.run_until_stable(sim::seconds(10.0)));
+  Workload w(s.client_host(), options_for(s, 4, 3));
+  w.start();
+  s.run(sim::seconds(2.0));
+  w.stop();
+  s.run(sim::milliseconds(100));  // let the last replies land
+  EXPECT_GT(w.requests_sent(), 500u);
+  EXPECT_GE(w.availability(), 0.99);
+}
+
+TEST(Workload, FaultDipsAvailabilityThenRecovers) {
+  ClusterOptions opt;
+  opt.num_vips = 6;
+  opt.num_servers = 3;
+  ClusterScenario s(opt);
+  s.start();
+  ASSERT_TRUE(s.run_until_stable(sim::seconds(10.0)));
+  s.wam(0).trigger_balance();
+  s.run(sim::seconds(1.0));
+  Workload w(s.client_host(), options_for(s, 6, 6));
+  w.start();
+  s.run(sim::seconds(2.0));
+  s.disconnect_server(1);
+  s.run(sim::seconds(8.0));
+  w.stop();
+  s.run(sim::milliseconds(100));
+
+  auto buckets = w.timeline(sim::milliseconds(500));
+  ASSERT_GT(buckets.size(), 10u);
+  // Beginning: full availability.
+  EXPECT_GE(buckets[1].availability(), 0.99);
+  // Somewhere in the middle: a dip (the failed server's share goes dark).
+  double worst = 1.0;
+  for (const auto& b : buckets) worst = std::min(worst, b.availability());
+  EXPECT_LT(worst, 0.9);
+  // End: recovered to full availability.
+  EXPECT_GE(buckets[buckets.size() - 2].availability(), 0.99);
+  // Total loss is bounded: roughly (share of VIPs) x (interruption).
+  EXPECT_GT(w.lost(), 0u);
+  EXPECT_LT(w.availability() < 1.0 ? 1.0 - w.availability() : 0.0, 0.25);
+}
+
+TEST(Workload, SpreadsRequestsAcrossTargets) {
+  ClusterOptions opt;
+  opt.num_vips = 4;
+  ClusterScenario s(opt);
+  s.start();
+  ASSERT_TRUE(s.run_until_stable(sim::seconds(10.0)));
+  s.wam(0).trigger_balance();
+  s.run(sim::seconds(1.0));
+  Workload w(s.client_host(), options_for(s, 4, 1));
+  w.start();
+  s.run(sim::seconds(1.0));
+  w.stop();
+  s.run(sim::milliseconds(100));
+  // All servers served some requests (round-robin over a balanced table).
+  for (int i = 0; i < s.num_servers(); ++i) {
+    if (!s.wam(i).owned().empty()) {
+      EXPECT_GT(s.server_host(i).counters().udp_received, 0u)
+          << "server " << i << " idle";
+    }
+  }
+}
+
+TEST(Workload, RequiresTargets) {
+  ClusterScenario s(ClusterOptions{});
+  WorkloadOptions empty;
+  EXPECT_THROW(Workload(s.client_host(), empty), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace wam::apps

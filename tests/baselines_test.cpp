@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/fake.hpp"
+#include "baselines/hsrp.hpp"
+#include "baselines/vrrp.hpp"
+#include "net/fabric.hpp"
+
+namespace wam::baselines {
+namespace {
+
+struct BaselineTest : ::testing::Test {
+  sim::Scheduler sched;
+  net::Fabric fabric{sched};
+  net::SegmentId seg = fabric.add_segment();
+
+  std::unique_ptr<net::Host> make_host(const std::string& name, int octet) {
+    auto h = std::make_unique<net::Host>(sched, fabric, name);
+    h->add_interface(
+        seg, net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(octet)), 24);
+    return h;
+  }
+
+  net::Ipv4Address vip() { return net::Ipv4Address(10, 0, 0, 100); }
+};
+
+TEST_F(BaselineTest, VrrpElectsHighestPriority) {
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  VrrpConfig ca{1, {vip()}, 0, 200, sim::seconds(1.0), true, 112};
+  VrrpConfig cb{1, {vip()}, 0, 100, sim::seconds(1.0), true, 112};
+  VrrpRouter ra(*a, ca), rb(*b, cb);
+  ra.start();
+  rb.start();
+  sched.run_for(sim::seconds(10.0));
+  EXPECT_TRUE(ra.is_master());
+  EXPECT_FALSE(rb.is_master());
+  EXPECT_TRUE(a->owns_ip(vip()));
+  EXPECT_FALSE(b->owns_ip(vip()));
+}
+
+TEST_F(BaselineTest, VrrpBackupTakesOverWithinMasterDownInterval) {
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  VrrpRouter ra(*a, VrrpConfig{1, {vip()}, 0, 200, sim::seconds(1.0), true, 112});
+  VrrpRouter rb(*b, VrrpConfig{1, {vip()}, 0, 100, sim::seconds(1.0), true, 112});
+  ra.start();
+  rb.start();
+  sched.run_for(sim::seconds(10.0));
+  ASSERT_TRUE(ra.is_master());
+
+  auto fail_time = sched.now();
+  a->fail();
+  while (!rb.is_master() && sched.now() - fail_time < sim::seconds(10.0)) {
+    sched.run_for(sim::milliseconds(50));
+  }
+  ASSERT_TRUE(rb.is_master());
+  double secs = sim::to_seconds(sched.now() - fail_time);
+  // master_down = 3*1s + skew((256-100)/256 s) ~ 3.6 s, armed from the last
+  // advertisement, so the client-side takeover latency falls within
+  // (master_down - advert_interval, master_down].
+  EXPECT_GE(secs, 2.5);
+  EXPECT_LE(secs, 3.7);
+  EXPECT_TRUE(b->owns_ip(vip()));
+}
+
+TEST_F(BaselineTest, VrrpPreemptOnRecovery) {
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  VrrpRouter ra(*a, VrrpConfig{1, {vip()}, 0, 200, sim::seconds(1.0), true, 112});
+  VrrpRouter rb(*b, VrrpConfig{1, {vip()}, 0, 100, sim::seconds(1.0), true, 112});
+  ra.start();
+  rb.start();
+  sched.run_for(sim::seconds(10.0));
+  a->fail();
+  sched.run_for(sim::seconds(10.0));
+  ASSERT_TRUE(rb.is_master());
+  a->recover();
+  // The recovered higher-priority master keeps advertising; the lower one
+  // steps down on its advert.
+  sched.run_for(sim::seconds(10.0));
+  EXPECT_TRUE(ra.is_master());
+  EXPECT_FALSE(rb.is_master());
+}
+
+TEST_F(BaselineTest, VrrpMasterDownIntervalFormula) {
+  auto a = make_host("a", 1);
+  VrrpRouter r(*a, VrrpConfig{1, {vip()}, 0, 100, sim::seconds(1.0), true, 112});
+  // 3 * 1s + (256-100)/256 s = 3.609375 s
+  EXPECT_NEAR(sim::to_seconds(r.master_down_interval()), 3.609, 0.01);
+}
+
+TEST_F(BaselineTest, HsrpElectsActiveAndStandby) {
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  HsrpRouter ra(*a, HsrpConfig{1, {vip()}, 0, 200,
+                               sim::seconds(3.0), sim::seconds(10.0), 1985});
+  HsrpRouter rb(*b, HsrpConfig{1, {vip()}, 0, 100,
+                               sim::seconds(3.0), sim::seconds(10.0), 1985});
+  ra.start();
+  rb.start();
+  sched.run_for(sim::seconds(40.0));
+  EXPECT_TRUE(ra.is_active());
+  EXPECT_EQ(rb.state(), HsrpState::kStandby);
+  EXPECT_TRUE(a->owns_ip(vip()));
+}
+
+TEST_F(BaselineTest, HsrpStandbyTakesOverWithinHoldTime) {
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  HsrpRouter ra(*a, HsrpConfig{1, {vip()}, 0, 200,
+                               sim::seconds(3.0), sim::seconds(10.0), 1985});
+  HsrpRouter rb(*b, HsrpConfig{1, {vip()}, 0, 100,
+                               sim::seconds(3.0), sim::seconds(10.0), 1985});
+  ra.start();
+  rb.start();
+  sched.run_for(sim::seconds(40.0));
+  ASSERT_TRUE(ra.is_active());
+  ASSERT_EQ(rb.state(), HsrpState::kStandby);
+
+  auto fail_time = sched.now();
+  a->fail();
+  while (!rb.is_active() && sched.now() - fail_time < sim::seconds(20.0)) {
+    sched.run_for(sim::milliseconds(50));
+  }
+  ASSERT_TRUE(rb.is_active());
+  double secs = sim::to_seconds(sched.now() - fail_time);
+  // Hold time 10 s; detection within (hold - hello, hold].
+  EXPECT_GE(secs, 6.9);
+  EXPECT_LE(secs, 10.2);
+}
+
+TEST_F(BaselineTest, FakeBackupTakesOverAfterMissedProbes) {
+  auto main = make_host("main", 1);
+  auto backup = make_host("backup", 2);
+  main->add_alias(0, vip());
+  FakeResponder responder(*main);
+  responder.start();
+  FakeConfig cfg;
+  cfg.main_ip = net::Ipv4Address(10, 0, 0, 1);
+  cfg.vips = {vip()};
+  FakeBackup fb(*backup, cfg);
+  fb.start();
+  sched.run_for(sim::seconds(10.0));
+  EXPECT_FALSE(fb.holding());
+
+  auto fail_time = sched.now();
+  main->fail();
+  while (!fb.holding() && sched.now() - fail_time < sim::seconds(20.0)) {
+    sched.run_for(sim::milliseconds(50));
+  }
+  ASSERT_TRUE(fb.holding());
+  EXPECT_TRUE(backup->owns_ip(vip()));
+  double secs = sim::to_seconds(sched.now() - fail_time);
+  // 4 missed probes at 1 s intervals: ~4-5 s.
+  EXPECT_GE(secs, 3.0);
+  EXPECT_LE(secs, 5.5);
+}
+
+TEST_F(BaselineTest, FakeReleasesWhenMainReturns) {
+  auto main = make_host("main", 1);
+  auto backup = make_host("backup", 2);
+  FakeResponder responder(*main);
+  responder.start();
+  FakeConfig cfg;
+  cfg.main_ip = net::Ipv4Address(10, 0, 0, 1);
+  cfg.vips = {vip()};
+  cfg.release_on_return = true;
+  FakeBackup fb(*backup, cfg);
+  fb.start();
+  main->fail();
+  sched.run_for(sim::seconds(10.0));
+  ASSERT_TRUE(fb.holding());
+  main->recover();
+  sched.run_for(sim::seconds(10.0));
+  EXPECT_FALSE(fb.holding());
+  EXPECT_FALSE(backup->owns_ip(vip()));
+}
+
+TEST_F(BaselineTest, StateNamesRender) {
+  EXPECT_STREQ(vrrp_state_name(VrrpState::kMaster), "MASTER");
+  EXPECT_STREQ(hsrp_state_name(HsrpState::kStandby), "STANDBY");
+}
+
+}  // namespace
+}  // namespace wam::baselines

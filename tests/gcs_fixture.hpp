@@ -1,0 +1,82 @@
+// Shared test scaffolding: a cluster of hosts each running a GCS daemon on
+// one LAN segment, with helpers for partition injection and convergence.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs/client.hpp"
+#include "gcs/daemon.hpp"
+#include "net/fabric.hpp"
+#include "net/host.hpp"
+
+namespace wam::testing {
+
+struct GcsCluster {
+  sim::Scheduler sched;
+  sim::Log log{sched};
+  net::Fabric fabric{sched, &log};
+  net::SegmentId seg = fabric.add_segment();
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+
+  explicit GcsCluster(int n, gcs::Config config = gcs::Config::spread_tuned()) {
+    for (int i = 0; i < n; ++i) {
+      auto host = std::make_unique<net::Host>(
+          sched, fabric, "s" + std::to_string(i + 1), &log);
+      host->add_interface(
+          seg, net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+          24);
+      auto daemon = std::make_unique<gcs::Daemon>(*host, config, &log);
+      hosts.push_back(std::move(host));
+      daemons.push_back(std::move(daemon));
+    }
+  }
+
+  void start_all() {
+    for (auto& d : daemons) d->start();
+  }
+
+  void run(sim::Duration d) { sched.run_for(d); }
+
+  /// Partition the segment into groups given by host indices.
+  void partition(const std::vector<std::vector<int>>& groups) {
+    std::vector<std::vector<net::NicId>> nic_groups;
+    for (const auto& group : groups) {
+      std::vector<net::NicId> nics;
+      for (int idx : group) {
+        nics.push_back(hosts[static_cast<std::size_t>(idx)]->nic_id(0));
+      }
+      nic_groups.push_back(std::move(nics));
+    }
+    fabric.set_partition(seg, nic_groups);
+  }
+
+  void merge() { fabric.merge_segment(seg); }
+
+  /// True when every running daemon with a reachable peer set has converged
+  /// to an operational view consistent with `expected_components` (given as
+  /// host-index groups).
+  void expect_views(const std::vector<std::vector<int>>& components,
+                    const char* where) {
+    for (const auto& component : components) {
+      std::vector<gcs::DaemonId> expected;
+      for (int idx : component) {
+        expected.push_back(daemons[static_cast<std::size_t>(idx)]->id());
+      }
+      std::sort(expected.begin(), expected.end());
+      for (int idx : component) {
+        auto& d = *daemons[static_cast<std::size_t>(idx)];
+        EXPECT_TRUE(d.in_op()) << where << ": daemon " << idx << " not in OP";
+        EXPECT_EQ(d.view().members, expected)
+            << where << ": daemon " << idx << " has view "
+            << d.view().to_string();
+      }
+    }
+  }
+};
+
+}  // namespace wam::testing

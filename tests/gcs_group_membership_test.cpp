@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+struct Member {
+  std::vector<gcs::GroupView> views;
+  std::vector<std::string> messages;
+  std::unique_ptr<gcs::Client> client;
+
+  explicit Member(const std::string& name) {
+    gcs::ClientCallbacks cb;
+    cb.on_membership = [this](const gcs::GroupView& v) {
+      if (!v.transitional) views.push_back(v);
+    };
+    cb.on_message = [this](const gcs::GroupMessage& m) {
+      messages.emplace_back(m.payload.begin(), m.payload.end());
+    };
+    client = std::make_unique<gcs::Client>(name, std::move(cb));
+  }
+};
+
+struct GroupMembershipTest : ::testing::Test {
+  GcsCluster c{3};
+  std::vector<std::unique_ptr<Member>> members;
+
+  void SetUp() override {
+    c.start_all();
+    c.run(sim::seconds(5.0));
+    for (std::size_t i = 0; i < c.daemons.size(); ++i) {
+      auto m = std::make_unique<Member>("m" + std::to_string(i));
+      ASSERT_TRUE(m->client->connect(*c.daemons[i]));
+      members.push_back(std::move(m));
+    }
+  }
+};
+
+TEST_F(GroupMembershipTest, JoinDeliversViewToJoiner) {
+  members[0]->client->join("g");
+  c.run(sim::seconds(1.0));
+  ASSERT_EQ(members[0]->views.size(), 1u);
+  EXPECT_EQ(members[0]->views[0].reason, gcs::GroupChangeReason::kJoin);
+  EXPECT_EQ(members[0]->views[0].members.size(), 1u);
+}
+
+TEST_F(GroupMembershipTest, SecondJoinNotifiesBoth) {
+  members[0]->client->join("g");
+  c.run(sim::seconds(1.0));
+  members[1]->client->join("g");
+  c.run(sim::seconds(1.0));
+  ASSERT_EQ(members[0]->views.size(), 2u);
+  EXPECT_EQ(members[0]->views[1].members.size(), 2u);
+  ASSERT_EQ(members[1]->views.size(), 1u);
+  EXPECT_EQ(members[1]->views[0].members.size(), 2u);
+}
+
+TEST_F(GroupMembershipTest, MemberListsIdenticalAndOrdered) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  auto last0 = members[0]->views.back();
+  EXPECT_EQ(last0.members.size(), 3u);
+  for (auto& m : members) {
+    auto last = m->views.back();
+    ASSERT_EQ(last.members.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(last.members[i], last0.members[i]);
+    }
+  }
+  // Ordered by daemon rank: daemon IPs ascend with index.
+  EXPECT_EQ(last0.members[0].daemon, c.daemons[0]->id());
+  EXPECT_EQ(last0.members[2].daemon, c.daemons[2]->id());
+}
+
+TEST_F(GroupMembershipTest, GracefulLeaveIsLightweight) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  auto views_before = c.daemons[0]->counters().views_installed;
+  members[2]->client->leave("g");
+  c.run(sim::seconds(1.0));
+  // No daemon membership reconfiguration happened (the paper's fast path).
+  EXPECT_EQ(c.daemons[0]->counters().views_installed, views_before);
+  auto last = members[0]->views.back();
+  EXPECT_EQ(last.reason, gcs::GroupChangeReason::kLeave);
+  EXPECT_EQ(last.members.size(), 2u);
+}
+
+TEST_F(GroupMembershipTest, DisconnectLeavesAllGroups) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  members[2]->client->disconnect();
+  c.run(sim::seconds(1.0));
+  auto last = members[0]->views.back();
+  EXPECT_EQ(last.members.size(), 2u);
+}
+
+TEST_F(GroupMembershipTest, NetworkFaultShrinksGroupView) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  auto last = members[0]->views.back();
+  EXPECT_EQ(last.reason, gcs::GroupChangeReason::kNetwork);
+  EXPECT_EQ(last.members.size(), 2u);
+  // The isolated member sees a singleton group view.
+  EXPECT_EQ(members[2]->views.back().members.size(), 1u);
+}
+
+TEST_F(GroupMembershipTest, MergeRestoresFullGroupView) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  c.partition({{0}, {1, 2}});
+  c.run(sim::seconds(5.0));
+  c.merge();
+  c.run(sim::seconds(5.0));
+  for (auto& m : members) {
+    EXPECT_EQ(m->views.back().members.size(), 3u);
+  }
+}
+
+TEST_F(GroupMembershipTest, ViewChangeAndMessagesAreOrderedConsistently) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  auto baseline0 = members[0]->views.size();
+  auto baseline1 = members[1]->views.size();
+  // Interleave a send with a leave; all remaining members must agree on
+  // whether the message arrived before or after the view change. With
+  // Agreed delivery, both sequences are identical at members 0 and 1.
+  members[0]->client->multicast("g", util::Bytes{'x'});
+  members[2]->client->leave("g");
+  members[0]->client->multicast("g", util::Bytes{'y'});
+  c.run(sim::seconds(1.0));
+  EXPECT_EQ(members[0]->messages, members[1]->messages);
+  // Exactly one view change (the leave) reached both remaining members.
+  EXPECT_EQ(members[0]->views.size() - baseline0, 1u);
+  EXPECT_EQ(members[1]->views.size() - baseline1, 1u);
+}
+
+TEST_F(GroupMembershipTest, GroupSeqIsMonotone) {
+  for (auto& m : members) m->client->join("g");
+  c.run(sim::seconds(1.0));
+  members[1]->client->leave("g");
+  c.run(sim::seconds(1.0));
+  members[1]->client->join("g");
+  c.run(sim::seconds(1.0));
+  std::uint64_t prev = 0;
+  for (const auto& v : members[0]->views) {
+    EXPECT_GT(v.group_seq, prev);
+    prev = v.group_seq;
+  }
+}
+
+TEST_F(GroupMembershipTest, MultipleGroupsAreIndependent) {
+  members[0]->client->join("g");
+  members[1]->client->join("h");
+  c.run(sim::seconds(1.0));
+  members[0]->client->multicast("g", util::Bytes{'g'});
+  members[1]->client->multicast("h", util::Bytes{'h'});
+  c.run(sim::seconds(1.0));
+  ASSERT_EQ(members[0]->messages.size(), 1u);
+  EXPECT_EQ(members[0]->messages[0], "g");
+  ASSERT_EQ(members[1]->messages.size(), 1u);
+  EXPECT_EQ(members[1]->messages[0], "h");
+}
+
+}  // namespace
+}  // namespace wam::testing

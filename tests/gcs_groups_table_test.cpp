@@ -1,0 +1,107 @@
+#include "gcs/groups.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wam::gcs {
+namespace {
+
+DaemonId ip(int n) {
+  return DaemonId(net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(n)));
+}
+
+MemberId member(int daemon, std::uint32_t client) {
+  return MemberId{ip(daemon), client, "c"};
+}
+
+View view_of(std::initializer_list<int> daemons) {
+  View v;
+  v.id = ViewId{1, ip(1)};
+  for (int d : daemons) v.members.push_back(ip(d));
+  std::sort(v.members.begin(), v.members.end());
+  return v;
+}
+
+TEST(GroupTable, JoinAndDuplicateJoin) {
+  GroupTable t;
+  EXPECT_TRUE(t.join("g", member(1, 1)));
+  EXPECT_FALSE(t.join("g", member(1, 1)));
+  EXPECT_TRUE(t.has_member("g", member(1, 1)));
+}
+
+TEST(GroupTable, LeaveAndStaleLeave) {
+  GroupTable t;
+  t.join("g", member(1, 1));
+  EXPECT_TRUE(t.leave("g", member(1, 1)));
+  EXPECT_FALSE(t.leave("g", member(1, 1)));
+  EXPECT_FALSE(t.has_member("g", member(1, 1)));
+}
+
+TEST(GroupTable, EmptyGroupDisappears) {
+  GroupTable t;
+  t.join("g", member(1, 1));
+  t.leave("g", member(1, 1));
+  EXPECT_TRUE(t.group_names().empty());
+}
+
+TEST(GroupTable, MembersOrderedByViewRankThenClient) {
+  GroupTable t;
+  t.join("g", member(5, 1));
+  t.join("g", member(1, 2));
+  t.join("g", member(1, 1));
+  auto v = view_of({1, 5});
+  auto members = t.members_of("g", v);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], member(1, 1));
+  EXPECT_EQ(members[1], member(1, 2));
+  EXPECT_EQ(members[2], member(5, 1));
+}
+
+TEST(GroupTable, DropDaemonsNotInView) {
+  GroupTable t;
+  t.join("g", member(1, 1));
+  t.join("g", member(2, 1));
+  t.join("h", member(2, 1));
+  auto changed = t.drop_daemons_not_in(view_of({1}));
+  EXPECT_EQ(changed.size(), 2u);
+  EXPECT_TRUE(t.has_member("g", member(1, 1)));
+  EXPECT_FALSE(t.has_member("g", member(2, 1)));
+  EXPECT_TRUE(t.group_names() == std::vector<std::string>{"g"});
+}
+
+TEST(GroupTable, DropReportsOnlyChangedGroups) {
+  GroupTable t;
+  t.join("g", member(1, 1));
+  auto changed = t.drop_daemons_not_in(view_of({1}));
+  EXPECT_TRUE(changed.empty());
+}
+
+TEST(GroupTable, SnapshotRoundTrip) {
+  GroupTable t;
+  t.join("g", member(1, 1));
+  t.join("h", member(2, 3));
+  t.bump_seq("g");
+  t.bump_seq("g");
+
+  GroupTable u;
+  u.replace(t.entries(), t.seqs());
+  EXPECT_TRUE(u.has_member("g", member(1, 1)));
+  EXPECT_TRUE(u.has_member("h", member(2, 3)));
+  EXPECT_EQ(u.seq("g"), 2u);
+  EXPECT_EQ(u.seq("h"), 0u);
+}
+
+TEST(GroupTable, BumpSeqMonotone) {
+  GroupTable t;
+  EXPECT_EQ(t.bump_seq("g"), 1u);
+  EXPECT_EQ(t.bump_seq("g"), 2u);
+  EXPECT_EQ(t.seq("g"), 2u);
+  EXPECT_EQ(t.seq("other"), 0u);
+}
+
+TEST(GroupTable, MembersOfUnknownGroupEmpty) {
+  GroupTable t;
+  EXPECT_TRUE(t.members_of("nope", view_of({1})).empty());
+}
+
+}  // namespace
+}  // namespace wam::gcs

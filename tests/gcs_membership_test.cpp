@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "gcs_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+using gcs::Config;
+
+TEST(GcsMembership, SingletonInstallsAlone) {
+  GcsCluster c(1);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  EXPECT_TRUE(c.daemons[0]->in_op());
+  EXPECT_EQ(c.daemons[0]->view().members.size(), 1u);
+}
+
+TEST(GcsMembership, ClusterConvergesToOneView) {
+  GcsCluster c(5);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2, 3, 4}}, "initial");
+  // All members share the identical view id.
+  auto id = c.daemons[0]->view().id;
+  for (auto& d : c.daemons) EXPECT_EQ(d->view().id, id);
+}
+
+TEST(GcsMembership, MemberListIsSortedAndIdentical) {
+  GcsCluster c(4);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  auto members = c.daemons[0]->view().members;
+  EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  for (auto& d : c.daemons) EXPECT_EQ(d->view().members, members);
+}
+
+TEST(GcsMembership, StaggeredStartStillConverges) {
+  GcsCluster c(3);
+  c.daemons[0]->start();
+  c.run(sim::seconds(3.0));
+  c.daemons[1]->start();
+  c.run(sim::seconds(3.0));
+  c.daemons[2]->start();
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2}}, "staggered");
+}
+
+TEST(GcsMembership, NicDownRemovesMember) {
+  GcsCluster c(3);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1}}, "after fault");
+  // The isolated daemon converges to a singleton view.
+  c.expect_views({{2}}, "isolated");
+}
+
+TEST(GcsMembership, RecoveryRemerges) {
+  GcsCluster c(3);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.hosts[2]->set_interface_up(0, true);
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2}}, "after recovery");
+}
+
+TEST(GcsMembership, PartitionSplitsViews) {
+  GcsCluster c(5);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.partition({{0, 1}, {2, 3, 4}});
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1}, {2, 3, 4}}, "partitioned");
+}
+
+TEST(GcsMembership, MergeReunifies) {
+  GcsCluster c(5);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.partition({{0, 1}, {2, 3, 4}});
+  c.run(sim::seconds(5.0));
+  c.merge();
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2, 3, 4}}, "merged");
+}
+
+TEST(GcsMembership, CascadingPartitions) {
+  GcsCluster c(6);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.partition({{0, 1, 2}, {3, 4, 5}});
+  // Interrupt the first reconfiguration mid-flight with a further split.
+  c.run(sim::milliseconds(700));
+  c.partition({{0, 1}, {2}, {3, 4, 5}});
+  c.run(sim::seconds(6.0));
+  c.expect_views({{0, 1}, {2}, {3, 4, 5}}, "cascading");
+}
+
+TEST(GcsMembership, DaemonStopIsDetected) {
+  GcsCluster c(3);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.daemons[0]->stop();
+  c.run(sim::seconds(5.0));
+  c.expect_views({{1, 2}}, "after stop");
+}
+
+TEST(GcsMembership, DaemonRestartRejoins) {
+  GcsCluster c(3);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.daemons[0]->stop();
+  c.run(sim::seconds(5.0));
+  c.daemons[0]->start();
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2}}, "after restart");
+}
+
+// Failure-notification latency must fall within
+// [fault_detection - heartbeat, fault_detection] + discovery + install;
+// with the default config that is the paper's 10-12 s window.
+TEST(GcsMembership, DefaultConfigDetectionLatencyInPaperRange) {
+  GcsCluster c(4, Config::spread_default());
+  c.start_all();
+  c.run(sim::seconds(30.0));
+  ASSERT_TRUE(c.daemons[0]->in_op());
+  auto fault_time = c.sched.now();
+  c.hosts[3]->set_interface_up(0, false);
+
+  // Find when daemon 0 installs the 3-member view.
+  while (c.sched.now() - fault_time < sim::seconds(20.0)) {
+    c.run(sim::milliseconds(50));
+    if (c.daemons[0]->in_op() && c.daemons[0]->view().members.size() == 3) {
+      break;
+    }
+  }
+  auto latency = c.sched.now() - fault_time;
+  EXPECT_GE(sim::to_seconds(latency), 9.9);
+  EXPECT_LE(sim::to_seconds(latency), 12.5);
+}
+
+TEST(GcsMembership, TunedConfigDetectionLatencyInPaperRange) {
+  GcsCluster c(4, Config::spread_tuned());
+  c.start_all();
+  c.run(sim::seconds(10.0));
+  ASSERT_TRUE(c.daemons[0]->in_op());
+  auto fault_time = c.sched.now();
+  c.hosts[3]->set_interface_up(0, false);
+  while (c.sched.now() - fault_time < sim::seconds(5.0)) {
+    c.run(sim::milliseconds(10));
+    if (c.daemons[0]->in_op() && c.daemons[0]->view().members.size() == 3) {
+      break;
+    }
+  }
+  auto latency = c.sched.now() - fault_time;
+  EXPECT_GE(sim::to_seconds(latency), 1.9);
+  EXPECT_LE(sim::to_seconds(latency), 2.6);
+}
+
+TEST(GcsMembership, TwelveNodeClusterConverges) {
+  GcsCluster c(12);
+  c.start_all();
+  c.run(sim::seconds(10.0));
+  std::vector<std::vector<int>> all = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}};
+  c.expect_views(all, "12-node");
+}
+
+TEST(GcsMembership, ViewEpochIncreasesAcrossChanges) {
+  GcsCluster c(3);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  auto e1 = c.daemons[0]->view().id.epoch;
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  auto e2 = c.daemons[0]->view().id.epoch;
+  EXPECT_GT(e2, e1);
+}
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,163 @@
+#include "gcs/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wam::gcs {
+namespace {
+
+DaemonId ip(int n) {
+  return DaemonId(net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(n)));
+}
+
+DataMessage sample_data() {
+  DataMessage d;
+  d.view = ViewId{7, ip(1)};
+  d.seq = 42;
+  d.sender = MemberId{ip(3), 2, "wackamole"};
+  d.origin_msg_id = 99;
+  d.kind = DataKind::kClientPayload;
+  d.group = "wackamole";
+  d.payload = {1, 2, 3};
+  return d;
+}
+
+TEST(GcsMessage, HeartbeatRoundTrip) {
+  Heartbeat hb{ip(1), ViewId{3, ip(1)}, false, 17, 12};
+  auto m = decode(encode(hb));
+  auto& out = std::get<Heartbeat>(m);
+  EXPECT_EQ(out.sender, ip(1));
+  EXPECT_EQ(out.view, (ViewId{3, ip(1)}));
+  EXPECT_FALSE(out.in_op);
+  EXPECT_EQ(out.delivered_seq, 17u);
+  EXPECT_EQ(out.stable_seq, 12u);
+}
+
+TEST(GcsMessage, DiscoveryRoundTrip) {
+  Discovery d{ip(2), 9, {ip(1), ip(2), ip(3)}};
+  auto out = std::get<Discovery>(decode(encode(d)));
+  EXPECT_EQ(out.sender, ip(2));
+  EXPECT_EQ(out.epoch, 9u);
+  EXPECT_EQ(out.known, d.known);
+}
+
+TEST(GcsMessage, ProposeRoundTrip) {
+  Propose p{ViewId{4, ip(1)}, {ip(1), ip(5)}};
+  auto out = std::get<Propose>(decode(encode(p)));
+  EXPECT_EQ(out.view, p.view);
+  EXPECT_EQ(out.members, p.members);
+}
+
+TEST(GcsMessage, DataRoundTrip) {
+  auto d = sample_data();
+  auto out = std::get<DataMessage>(decode(encode(Message(d))));
+  EXPECT_EQ(out.view, d.view);
+  EXPECT_EQ(out.seq, d.seq);
+  EXPECT_EQ(out.sender, d.sender);
+  EXPECT_EQ(out.sender.name, "wackamole");
+  EXPECT_EQ(out.origin_msg_id, d.origin_msg_id);
+  EXPECT_EQ(out.kind, d.kind);
+  EXPECT_EQ(out.group, d.group);
+  EXPECT_EQ(out.payload, d.payload);
+}
+
+TEST(GcsMessage, ForwardRoundTrip) {
+  Forward f{sample_data()};
+  auto out = std::get<Forward>(decode(encode(f)));
+  EXPECT_EQ(out.data.origin_msg_id, 99u);
+}
+
+TEST(GcsMessage, AcceptRoundTrip) {
+  Accept a;
+  a.view = ViewId{5, ip(1)};
+  a.sender = ip(2);
+  a.old_view = ViewId{4, ip(2)};
+  a.retained = {sample_data(), sample_data()};
+  a.groups = {GroupEntry{"wackamole", MemberId{ip(2), 1, "w"}}};
+  a.group_seqs = {{"wackamole", 6}};
+  auto out = std::get<Accept>(decode(encode(a)));
+  EXPECT_EQ(out.view, a.view);
+  EXPECT_EQ(out.sender, a.sender);
+  EXPECT_EQ(out.old_view, a.old_view);
+  ASSERT_EQ(out.retained.size(), 2u);
+  EXPECT_EQ(out.retained[0].seq, 42u);
+  ASSERT_EQ(out.groups.size(), 1u);
+  EXPECT_EQ(out.groups[0].group, "wackamole");
+  ASSERT_EQ(out.group_seqs.size(), 1u);
+  EXPECT_EQ(out.group_seqs[0].second, 6u);
+}
+
+TEST(GcsMessage, InstallRoundTrip) {
+  Install inst;
+  inst.view = View{ViewId{5, ip(1)}, {ip(1), ip(2)}};
+  inst.sync = {sample_data()};
+  inst.groups = {GroupEntry{"g", MemberId{ip(1), 1, "x"}}};
+  inst.group_seqs = {{"g", 2}};
+  auto out = std::get<Install>(decode(encode(inst)));
+  EXPECT_EQ(out.view.id, inst.view.id);
+  EXPECT_EQ(out.view.members, inst.view.members);
+  ASSERT_EQ(out.sync.size(), 1u);
+  EXPECT_EQ(out.sync[0].group, "wackamole");
+}
+
+TEST(GcsMessage, NackRoundTrip) {
+  Nack n{ViewId{2, ip(1)}, ip(3), DaemonId{}, {4, 5, 9}};
+  auto out = std::get<Nack>(decode(encode(n)));
+  EXPECT_EQ(out.view, n.view);
+  EXPECT_EQ(out.sender, n.sender);
+  EXPECT_TRUE(out.fifo_origin.is_any());
+  EXPECT_EQ(out.missing, n.missing);
+}
+
+TEST(GcsMessage, FifoNackRoundTrip) {
+  Nack n{ViewId{2, ip(1)}, ip(3), ip(7), {11}};
+  auto out = std::get<Nack>(decode(encode(n)));
+  EXPECT_EQ(out.fifo_origin, ip(7));
+  EXPECT_EQ(out.missing, n.missing);
+}
+
+TEST(GcsMessage, ServiceTypeRoundTrip) {
+  auto d = sample_data();
+  d.service = ServiceType::kFifo;
+  auto out = std::get<DataMessage>(decode(encode(Message(d))));
+  EXPECT_EQ(out.service, ServiceType::kFifo);
+}
+
+TEST(GcsMessage, DecodeRejectsUnknownType) {
+  util::Bytes buf{0x7f};
+  EXPECT_THROW(decode(buf), util::DecodeError);
+}
+
+TEST(GcsMessage, DecodeRejectsTruncated) {
+  auto bytes = encode(Message(sample_data()));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode(bytes), util::DecodeError);
+}
+
+TEST(GcsMessage, DecodeRejectsTrailingGarbage) {
+  auto bytes = encode(Message(Heartbeat{ip(1), ViewId{1, ip(1)}, true, 0, 0}));
+  bytes.push_back(0);
+  EXPECT_THROW(decode(bytes), util::DecodeError);
+}
+
+TEST(GcsMessage, TypeNames) {
+  EXPECT_STREQ(msg_type_name(Message(sample_data())), "DATA");
+  EXPECT_STREQ(msg_type_name(Message(Nack{})), "NACK");
+  EXPECT_STREQ(msg_type_name(Message(Heartbeat{})), "HEARTBEAT");
+}
+
+TEST(ViewId, LexicographicOrdering) {
+  EXPECT_LT((ViewId{1, ip(9)}), (ViewId{2, ip(1)}));
+  EXPECT_LT((ViewId{2, ip(1)}), (ViewId{2, ip(2)}));
+}
+
+TEST(View, RankAndContains) {
+  View v{ViewId{1, ip(1)}, {ip(1), ip(3), ip(5)}};
+  EXPECT_TRUE(v.contains(ip(3)));
+  EXPECT_FALSE(v.contains(ip(2)));
+  EXPECT_EQ(v.rank_of(ip(1)), 0);
+  EXPECT_EQ(v.rank_of(ip(5)), 2);
+  EXPECT_EQ(v.rank_of(ip(4)), -1);
+}
+
+}  // namespace
+}  // namespace wam::gcs

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+// A recording client: collects delivered payloads and membership views.
+struct Recorder {
+  std::vector<std::string> messages;  // payloads as strings
+  std::vector<gcs::GroupView> views;
+  int disconnects = 0;
+  std::unique_ptr<gcs::Client> client;
+
+  explicit Recorder(const std::string& name) {
+    gcs::ClientCallbacks cb;
+    cb.on_message = [this](const gcs::GroupMessage& m) {
+      messages.emplace_back(m.payload.begin(), m.payload.end());
+    };
+    cb.on_membership = [this](const gcs::GroupView& v) {
+      if (!v.transitional) views.push_back(v);
+    };
+    cb.on_disconnect = [this] { ++disconnects; };
+    client = std::make_unique<gcs::Client>(name, std::move(cb));
+  }
+
+  void send(const std::string& group, const std::string& text) {
+    client->multicast(group, util::Bytes(text.begin(), text.end()));
+  }
+};
+
+struct OrderTest : ::testing::Test {
+  GcsCluster c{4};
+  std::vector<std::unique_ptr<Recorder>> recs;
+
+  void SetUp() override {
+    c.start_all();
+    c.run(sim::seconds(5.0));
+    for (std::size_t i = 0; i < c.daemons.size(); ++i) {
+      auto r = std::make_unique<Recorder>("r" + std::to_string(i));
+      ASSERT_TRUE(r->client->connect(*c.daemons[i]));
+      r->client->join("g");
+      recs.push_back(std::move(r));
+    }
+    c.run(sim::seconds(1.0));
+  }
+};
+
+TEST_F(OrderTest, EveryMemberSeesIdenticalOrder) {
+  recs[0]->send("g", "a");
+  recs[1]->send("g", "b");
+  recs[2]->send("g", "c");
+  recs[3]->send("g", "d");
+  c.run(sim::seconds(1.0));
+  ASSERT_EQ(recs[0]->messages.size(), 4u);
+  for (auto& r : recs) {
+    EXPECT_EQ(r->messages, recs[0]->messages);
+  }
+}
+
+TEST_F(OrderTest, SenderReceivesOwnMessages) {
+  recs[1]->send("g", "hello");
+  c.run(sim::seconds(1.0));
+  ASSERT_EQ(recs[1]->messages.size(), 1u);
+  EXPECT_EQ(recs[1]->messages[0], "hello");
+}
+
+TEST_F(OrderTest, InterleavedBurstsStayTotallyOrdered) {
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      recs[i]->send("g", std::to_string(round) + ":" + std::to_string(i));
+    }
+  }
+  c.run(sim::seconds(2.0));
+  ASSERT_EQ(recs[0]->messages.size(), 40u);
+  for (auto& r : recs) EXPECT_EQ(r->messages, recs[0]->messages);
+}
+
+TEST_F(OrderTest, NonMembersDoNotReceive) {
+  recs[3]->client->leave("g");
+  c.run(sim::seconds(1.0));
+  recs[0]->send("g", "x");
+  c.run(sim::seconds(1.0));
+  EXPECT_EQ(recs[0]->messages.size(), 1u);
+  EXPECT_TRUE(recs[3]->messages.empty());
+}
+
+TEST_F(OrderTest, MessagesSurviveLossyNetwork) {
+  c.fabric.segment_config(c.seg).drop_probability = 0.10;
+  for (int i = 0; i < 30; ++i) {
+    recs[i % 4]->send("g", std::to_string(i));
+  }
+  c.run(sim::seconds(10.0));
+  c.fabric.segment_config(c.seg).drop_probability = 0.0;
+  c.run(sim::seconds(5.0));
+  ASSERT_EQ(recs[0]->messages.size(), 30u);
+  for (auto& r : recs) EXPECT_EQ(r->messages, recs[0]->messages);
+}
+
+TEST_F(OrderTest, DeliveredSetsAgreeAcrossViewChange) {
+  // Virtual Synchrony: daemons that transition together deliver identical
+  // message sets. Send a burst and partition immediately afterwards.
+  for (int i = 0; i < 20; ++i) {
+    recs[i % 4]->send("g", "m" + std::to_string(i));
+  }
+  c.partition({{0, 1, 2}, {3}});
+  c.run(sim::seconds(10.0));
+  // 0,1,2 moved together: identical delivered sequences.
+  EXPECT_EQ(recs[0]->messages, recs[1]->messages);
+  EXPECT_EQ(recs[1]->messages, recs[2]->messages);
+}
+
+TEST_F(OrderTest, MessagesSentDuringReconfigurationAreDelivered) {
+  c.hosts[3]->set_interface_up(0, false);
+  c.run(sim::milliseconds(500));  // detector has not fired yet (tuned: 1 s)
+  recs[0]->send("g", "during");
+  c.run(sim::seconds(10.0));
+  // Delivered to the surviving component exactly once.
+  int count = 0;
+  for (const auto& m : recs[0]->messages) {
+    if (m == "during") ++count;
+  }
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(recs[1]->messages, recs[0]->messages);
+  EXPECT_EQ(recs[2]->messages, recs[0]->messages);
+}
+
+TEST_F(OrderTest, NoDuplicateDeliveries) {
+  for (int i = 0; i < 10; ++i) recs[0]->send("g", std::to_string(i));
+  c.run(sim::seconds(2.0));
+  for (auto& r : recs) {
+    std::set<std::string> unique(r->messages.begin(), r->messages.end());
+    EXPECT_EQ(unique.size(), r->messages.size());
+  }
+}
+
+TEST_F(OrderTest, DisconnectNotifiesClient) {
+  c.daemons[0]->stop();
+  EXPECT_EQ(recs[0]->disconnects, 1);
+  EXPECT_FALSE(recs[0]->client->connected());
+}
+
+TEST_F(OrderTest, ReconnectAfterDaemonRestart) {
+  c.daemons[0]->stop();
+  c.run(sim::seconds(3.0));
+  c.daemons[0]->start();
+  c.run(sim::seconds(5.0));
+  ASSERT_TRUE(recs[0]->client->connect(*c.daemons[0]));
+  recs[0]->client->join("g");
+  c.run(sim::seconds(2.0));
+  recs[1]->send("g", "wb");
+  c.run(sim::seconds(1.0));
+  EXPECT_FALSE(recs[0]->messages.empty());
+  EXPECT_EQ(recs[0]->messages.back(), "wb");
+}
+
+}  // namespace
+}  // namespace wam::testing

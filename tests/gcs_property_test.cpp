@@ -1,0 +1,218 @@
+// Randomized property test for the GCS: a cluster endures a random sequence
+// of partitions, merges, NIC faults and recoveries while clients multicast.
+// After every quiescent period the installed views must match the physical
+// components, and the full delivery histories must satisfy Virtual
+// Synchrony: between any two group views common to a pair of members, both
+// delivered exactly the same message sequence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gcs_fixture.hpp"
+#include "sim/random.hpp"
+
+namespace wam::testing {
+namespace {
+
+constexpr int kN = 5;
+
+struct ViewMark {
+  std::uint64_t daemon_epoch;
+  std::uint32_t coordinator;
+  std::uint64_t group_seq;
+  std::vector<gcs::MemberId> members;
+  friend bool operator==(const ViewMark& a, const ViewMark& b) {
+    return a.daemon_epoch == b.daemon_epoch &&
+           a.coordinator == b.coordinator && a.group_seq == b.group_seq;
+  }
+};
+
+using Event = std::variant<ViewMark, std::string>;
+
+struct History {
+  std::vector<Event> events;
+  std::unique_ptr<gcs::Client> client;
+
+  explicit History(const std::string& name) {
+    gcs::ClientCallbacks cb;
+    cb.on_membership = [this](const gcs::GroupView& v) {
+      if (v.transitional) return;  // EVS signal, not a view installation
+      events.push_back(ViewMark{v.daemon_view.epoch,
+                                v.daemon_view.coordinator.value(), v.group_seq,
+                                v.members});
+    };
+    cb.on_message = [this](const gcs::GroupMessage& m) {
+      events.emplace_back(std::string(m.payload.begin(), m.payload.end()));
+    };
+    client = std::make_unique<gcs::Client>(name, std::move(cb));
+  }
+};
+
+/// One delivered-in-view span: the view mark, the messages delivered while
+/// it was current, and the mark that ended it (nullopt = end of history).
+struct Span {
+  ViewMark mark;
+  std::vector<std::string> messages;
+  std::optional<ViewMark> next;
+};
+
+std::vector<Span> spans_of(const std::vector<Event>& events) {
+  std::vector<Span> out;
+  for (const auto& ev : events) {
+    if (std::holds_alternative<ViewMark>(ev)) {
+      const auto& mark = std::get<ViewMark>(ev);
+      if (!out.empty()) out.back().next = mark;
+      out.push_back(Span{mark, {}, std::nullopt});
+    } else if (!out.empty()) {
+      out.back().messages.push_back(std::get<std::string>(ev));
+    }
+  }
+  return out;
+}
+
+bool same_next(const std::optional<ViewMark>& a,
+               const std::optional<ViewMark>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a.has_value() || *a == *b;
+}
+
+// Parameter: (seed, variant): 0 = sequencer+broadcast, 1 = token ring,
+// 2 = multicast transport. The VS/agreement properties are engine- and
+// transport-independent.
+class GcsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(GcsPropertyTest, RandomFaultLoadPreservesInvariants) {
+  auto [seed, variant] = GetParam();
+  sim::Rng rng(seed);
+  auto config = gcs::Config::spread_tuned();
+  if (variant == 1) config = config.with_token_ring();
+  if (variant == 2) config = config.with_multicast();
+  GcsCluster c(kN, config);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+
+  std::vector<std::unique_ptr<History>> hists;
+  for (int i = 0; i < kN; ++i) {
+    auto h = std::make_unique<History>("h" + std::to_string(i));
+    ASSERT_TRUE(h->client->connect(*c.daemons[static_cast<std::size_t>(i)]));
+    h->client->join("g");
+    hists.push_back(std::move(h));
+  }
+  c.run(sim::seconds(1.0));
+
+  int msg_counter = 0;
+  for (int phase = 0; phase < 8; ++phase) {
+    // Random component structure over all hosts.
+    int k = static_cast<int>(rng.range(1, 3));
+    std::vector<std::vector<int>> groups(static_cast<std::size_t>(k));
+    for (int i = 0; i < kN; ++i) {
+      groups[rng.below(static_cast<std::uint64_t>(k))].push_back(i);
+    }
+    // Drop empty groups.
+    std::vector<std::vector<int>> nonempty;
+    for (auto& g : groups) {
+      if (!g.empty()) nonempty.push_back(g);
+    }
+    c.partition(nonempty);
+
+    // Send some traffic mid-reconfiguration.
+    for (int m = 0; m < 3; ++m) {
+      int sender = static_cast<int>(rng.below(kN));
+      if (hists[static_cast<std::size_t>(sender)]->client->connected()) {
+        std::string text = "p" + std::to_string(phase) + "m" +
+                           std::to_string(msg_counter++);
+        hists[static_cast<std::size_t>(sender)]->client->multicast(
+            "g", util::Bytes(text.begin(), text.end()));
+      }
+    }
+
+    c.run(sim::seconds(8.0));  // quiesce (tuned timeouts: plenty)
+    c.expect_views(nonempty, ("phase " + std::to_string(phase)).c_str());
+
+    // Within each component, group views agree.
+    for (const auto& group : nonempty) {
+      const auto& lead_events =
+          hists[static_cast<std::size_t>(group[0])]->events;
+      ASSERT_FALSE(lead_events.empty());
+      // Find the last view mark of the leader.
+      const ViewMark* lead_mark = nullptr;
+      for (auto it = lead_events.rbegin(); it != lead_events.rend(); ++it) {
+        if (std::holds_alternative<ViewMark>(*it)) {
+          lead_mark = &std::get<ViewMark>(*it);
+          break;
+        }
+      }
+      ASSERT_NE(lead_mark, nullptr);
+      EXPECT_EQ(lead_mark->members.size(), group.size());
+      for (int idx : group) {
+        const auto& events = hists[static_cast<std::size_t>(idx)]->events;
+        const ViewMark* mark = nullptr;
+        for (auto it = events.rbegin(); it != events.rend(); ++it) {
+          if (std::holds_alternative<ViewMark>(*it)) {
+            mark = &std::get<ViewMark>(*it);
+            break;
+          }
+        }
+        ASSERT_NE(mark, nullptr);
+        EXPECT_TRUE(*mark == *lead_mark)
+            << "phase " << phase << ": member " << idx
+            << " saw a different final group view";
+      }
+    }
+  }
+
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_views({{0, 1, 2, 3, 4}}, "final merge");
+
+  // Virtual Synchrony over the whole run: whenever two members shared a
+  // group view AND transitioned out of it to the same next view (or both
+  // ended the run in it), the messages they delivered in that view must be
+  // identical. Members whose next views diverged moved to different
+  // components, which VS does not constrain.
+  for (int a = 0; a < kN; ++a) {
+    for (int b = a + 1; b < kN; ++b) {
+      auto spans_a = spans_of(hists[static_cast<std::size_t>(a)]->events);
+      auto spans_b = spans_of(hists[static_cast<std::size_t>(b)]->events);
+      for (const auto& sa : spans_a) {
+        for (const auto& sb : spans_b) {
+          if (!(sa.mark == sb.mark)) continue;
+          if (!same_next(sa.next, sb.next)) continue;
+          EXPECT_EQ(sa.messages, sb.messages)
+              << "VS violation between members " << a << " and " << b
+              << " in view epoch " << sa.mark.daemon_epoch << " gseq "
+              << sa.mark.group_seq;
+        }
+      }
+    }
+  }
+
+  // No duplicates anywhere.
+  for (int i = 0; i < kN; ++i) {
+    std::map<std::string, int> counts;
+    for (const auto& ev : hists[static_cast<std::size_t>(i)]->events) {
+      if (std::holds_alternative<std::string>(ev)) {
+        ++counts[std::get<std::string>(ev)];
+      }
+    }
+    for (const auto& [msg, count] : counts) {
+      EXPECT_EQ(count, 1) << "member " << i << " saw " << msg << " " << count
+                          << " times";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByVariant, GcsPropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace wam::testing

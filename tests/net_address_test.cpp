@@ -1,0 +1,95 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wam::net {
+namespace {
+
+TEST(MacAddress, FromIndexAndToString) {
+  auto m = MacAddress::from_index(0x0107);
+  EXPECT_EQ(m.to_string(), "02:00:00:00:01:07");
+}
+
+TEST(MacAddress, ParseRoundTrip) {
+  auto m = MacAddress::parse("02:00:00:00:01:07");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, MacAddress::from_index(0x0107));
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddress::parse("not-a-mac").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:01").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:01:fff").has_value());
+}
+
+TEST(MacAddress, BroadcastAndNull) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress{}.is_null());
+  EXPECT_FALSE(MacAddress::from_index(1).is_broadcast());
+}
+
+TEST(MacAddress, Ordering) {
+  EXPECT_LT(MacAddress::from_index(1), MacAddress::from_index(2));
+}
+
+TEST(Ipv4Address, ParseAndFormat) {
+  auto a = Ipv4Address::parse("192.168.0.17");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.168.0.17");
+  EXPECT_EQ(*a, Ipv4Address(192, 168, 0, 17));
+}
+
+TEST(Ipv4Address, ParseRejectsBadInput) {
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+}
+
+TEST(Ipv4Address, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(Ipv4Address, BroadcastAndAny) {
+  EXPECT_TRUE(Ipv4Address::broadcast().is_broadcast());
+  EXPECT_TRUE(Ipv4Address::any().is_any());
+}
+
+TEST(Ipv4Network, ContainsWithinPrefix) {
+  Ipv4Network n(Ipv4Address(192, 168, 1, 0), 24);
+  EXPECT_TRUE(n.contains(Ipv4Address(192, 168, 1, 1)));
+  EXPECT_TRUE(n.contains(Ipv4Address(192, 168, 1, 255)));
+  EXPECT_FALSE(n.contains(Ipv4Address(192, 168, 2, 1)));
+}
+
+TEST(Ipv4Network, BaseIsMasked) {
+  Ipv4Network n(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_EQ(n.base(), Ipv4Address(10, 1, 0, 0));
+  EXPECT_EQ(n.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Network, ZeroPrefixMatchesEverything) {
+  Ipv4Network n(Ipv4Address(1, 2, 3, 4), 0);
+  EXPECT_TRUE(n.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(n.contains(Ipv4Address(0, 0, 0, 1)));
+}
+
+TEST(Ipv4Network, SlashThirtyTwoIsExact) {
+  Ipv4Network n(Ipv4Address(8, 8, 8, 8), 32);
+  EXPECT_TRUE(n.contains(Ipv4Address(8, 8, 8, 8)));
+  EXPECT_FALSE(n.contains(Ipv4Address(8, 8, 8, 9)));
+}
+
+TEST(Ipv4Network, ParseCidr) {
+  auto n = Ipv4Network::parse("172.16.0.0/12");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->prefix_len(), 12);
+  EXPECT_TRUE(n->contains(Ipv4Address(172, 20, 1, 1)));
+  EXPECT_FALSE(Ipv4Network::parse("172.16.0.0").has_value());
+  EXPECT_FALSE(Ipv4Network::parse("172.16.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Network::parse("172.16.0.0/ab").has_value());
+}
+
+}  // namespace
+}  // namespace wam::net

@@ -1,0 +1,79 @@
+#include "net/arp_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wam::net {
+namespace {
+
+const Ipv4Address kIp(10, 0, 0, 5);
+const MacAddress kMacA = MacAddress::from_index(1);
+const MacAddress kMacB = MacAddress::from_index(2);
+
+sim::TimePoint at(double s) { return sim::TimePoint(sim::seconds(s)); }
+
+TEST(ArpCache, PutInsertsAndLookupFinds) {
+  ArpCache c;
+  EXPECT_FALSE(c.lookup(kIp, at(0)).has_value());
+  c.put(kIp, kMacA, at(0));
+  ASSERT_TRUE(c.lookup(kIp, at(1)).has_value());
+  EXPECT_EQ(*c.lookup(kIp, at(1)), kMacA);
+}
+
+TEST(ArpCache, PutOverwrites) {
+  ArpCache c;
+  c.put(kIp, kMacA, at(0));
+  c.put(kIp, kMacB, at(1));
+  EXPECT_EQ(*c.lookup(kIp, at(2)), kMacB);
+}
+
+TEST(ArpCache, UpdateExistingOnlyTouchesKnownEntries) {
+  ArpCache c;
+  EXPECT_FALSE(c.update_existing(kIp, kMacA, at(0)));
+  EXPECT_FALSE(c.contains(kIp));
+  c.put(kIp, kMacA, at(0));
+  EXPECT_TRUE(c.update_existing(kIp, kMacB, at(1)));
+  EXPECT_EQ(*c.lookup(kIp, at(2)), kMacB);
+}
+
+TEST(ArpCache, NoExpiryByDefault) {
+  ArpCache c;
+  c.put(kIp, kMacA, at(0));
+  EXPECT_TRUE(c.lookup(kIp, at(100000)).has_value());
+}
+
+TEST(ArpCache, TtlExpiresEntries) {
+  ArpCache c(sim::seconds(10.0));
+  c.put(kIp, kMacA, at(0));
+  EXPECT_TRUE(c.lookup(kIp, at(9)).has_value());
+  EXPECT_FALSE(c.lookup(kIp, at(11)).has_value());
+}
+
+TEST(ArpCache, EraseAndClear) {
+  ArpCache c;
+  c.put(kIp, kMacA, at(0));
+  c.put(Ipv4Address(10, 0, 0, 6), kMacB, at(0));
+  EXPECT_EQ(c.size(), 2u);
+  c.erase(kIp);
+  EXPECT_EQ(c.size(), 1u);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(ArpCache, KnownIpsSortedByAddress) {
+  ArpCache c;
+  c.put(Ipv4Address(10, 0, 0, 9), kMacA, at(0));
+  c.put(Ipv4Address(10, 0, 0, 1), kMacB, at(0));
+  auto ips = c.known_ips();
+  ASSERT_EQ(ips.size(), 2u);
+  EXPECT_EQ(ips[0], Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(ips[1], Ipv4Address(10, 0, 0, 9));
+}
+
+TEST(ArpCache, DescribeListsEntries) {
+  ArpCache c;
+  c.put(kIp, kMacA, at(0));
+  EXPECT_NE(c.describe().find("10.0.0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wam::net

@@ -1,0 +1,178 @@
+// Edge cases of the host IP stack: ARP retry/queueing behaviour, loopback,
+// routing corner cases, forwarding pathologies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/host.hpp"
+
+namespace wam::net {
+namespace {
+
+struct NetEdgeTest : ::testing::Test {
+  sim::Scheduler sched;
+  Fabric fabric{sched};
+  SegmentId seg = fabric.add_segment();
+
+  std::unique_ptr<Host> make_host(const std::string& name, int octet) {
+    auto h = std::make_unique<Host>(sched, fabric, name);
+    h->add_interface(
+        seg, Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(octet)), 24);
+    return h;
+  }
+};
+
+TEST_F(NetEdgeTest, ArpRetriesThenGivesUp) {
+  auto a = make_host("a", 1);
+  a->send_udp(Ipv4Address(10, 0, 0, 77), 7, 7, {1});  // nobody home
+  sched.run_all();
+  // 1 initial + arp_max_retries requests, then the packet is dropped.
+  EXPECT_EQ(a->counters().arp_requests_sent,
+            static_cast<std::uint64_t>(1 + a->arp_max_retries));
+  EXPECT_EQ(a->counters().arp_resolution_failures, 1u);
+}
+
+TEST_F(NetEdgeTest, LateResponderStillGetsQueuedPackets) {
+  auto a = make_host("a", 1);
+  auto b = std::make_unique<Host>(sched, fabric, "b");
+  b->add_interface(seg, Ipv4Address(10, 0, 0, 2), 24);
+  b->set_interface_up(0, false);
+  int got = 0;
+  b->open_udp(7, [&](const Host::UdpContext&, const util::Bytes&) { ++got; });
+
+  a->send_udp(Ipv4Address(10, 0, 0, 2), 7, 7, {1});
+  a->send_udp(Ipv4Address(10, 0, 0, 2), 7, 7, {2});
+  // Come up between retries (retry interval 1 s, 3 retries).
+  sched.schedule(sim::milliseconds(1500), [&] { b->set_interface_up(0, true); });
+  sched.run_all();
+  EXPECT_EQ(got, 2);  // both queued packets flushed on resolution
+}
+
+TEST_F(NetEdgeTest, QueuedPacketsPreserveOrder) {
+  // Zero jitter: with equal latency the fabric delivers in send order, so
+  // the ARP-queue flush order is observable. (With jitter, UDP reorders —
+  // by design.)
+  fabric.segment_config(seg).jitter = sim::kZero;
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  std::vector<std::uint8_t> order;
+  b->open_udp(7, [&](const Host::UdpContext&, const util::Bytes& p) {
+    order.push_back(p[0]);
+  });
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    a->send_udp(Ipv4Address(10, 0, 0, 2), 7, 7, {i});
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(NetEdgeTest, LoopbackToOwnAliasWorks) {
+  auto a = make_host("a", 1);
+  a->add_alias(0, Ipv4Address(10, 0, 0, 100));
+  int got = 0;
+  a->open_udp(7, [&](const Host::UdpContext& ctx, const util::Bytes&) {
+    ++got;
+    EXPECT_EQ(ctx.dst_ip, Ipv4Address(10, 0, 0, 100));
+  });
+  a->send_udp(Ipv4Address(10, 0, 0, 100), 7, 7, {1});
+  sched.run_all();
+  EXPECT_EQ(got, 1);
+  // No frames hit the wire for loopback.
+  EXPECT_EQ(fabric.counters().frames_sent, 0u);
+}
+
+TEST_F(NetEdgeTest, SelfAddressedLoopback) {
+  auto a = make_host("a", 1);
+  int got = 0;
+  a->open_udp(7, [&](const Host::UdpContext&, const util::Bytes&) { ++got; });
+  a->send_udp(a->primary_ip(0), 7, 7, {1});
+  sched.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetEdgeTest, LongestPrefixWinsAmongInterfaces) {
+  auto seg2 = fabric.add_segment();
+  auto h = std::make_unique<Host>(sched, fabric, "multi");
+  h->add_interface(seg, Ipv4Address(10, 0, 0, 1), 16);   // 10.0/16
+  h->add_interface(seg2, Ipv4Address(10, 0, 1, 1), 24);  // 10.0.1/24
+  auto target = std::make_unique<Host>(sched, fabric, "t");
+  target->add_interface(seg2, Ipv4Address(10, 0, 1, 9), 24);
+  int got = 0;
+  target->open_udp(7, [&](const Host::UdpContext&, const util::Bytes&) {
+    ++got;
+  });
+  // 10.0.1.9 matches both attached networks; must egress the /24.
+  h->send_udp(Ipv4Address(10, 0, 1, 9), 7, 7, {1});
+  sched.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetEdgeTest, ForwardingDisabledDropsTransit) {
+  auto a = make_host("a", 1);
+  auto not_router = make_host("nr", 2);
+  // Force a frame at the non-router addressed elsewhere: use a poisoned
+  // ARP entry so 'a' unicasts a transit packet at 'nr'.
+  a->arp_cache().put(Ipv4Address(10, 0, 0, 99), not_router->mac(0),
+                     sched.now());
+  a->send_udp(Ipv4Address(10, 0, 0, 99), 7, 7, {1});
+  sched.run_all();
+  EXPECT_EQ(not_router->counters().ip_not_ours, 1u);
+}
+
+TEST_F(NetEdgeTest, AliasOnSecondInterfaceAnswersThere) {
+  auto seg2 = fabric.add_segment();
+  auto h = std::make_unique<Host>(sched, fabric, "multi");
+  h->add_interface(seg, Ipv4Address(10, 0, 0, 1), 24);
+  h->add_interface(seg2, Ipv4Address(192, 168, 1, 1), 24);
+  h->add_alias(1, Ipv4Address(192, 168, 1, 100));
+
+  auto peer = std::make_unique<Host>(sched, fabric, "peer");
+  peer->add_interface(seg2, Ipv4Address(192, 168, 1, 2), 24);
+  int got = 0;
+  h->open_udp(7, [&](const Host::UdpContext& ctx, const util::Bytes&) {
+    ++got;
+    EXPECT_EQ(ctx.ifindex, 1);
+  });
+  peer->send_udp(Ipv4Address(192, 168, 1, 100), 7, 7, {1});
+  sched.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetEdgeTest, BroadcastIsNotForwarded) {
+  auto seg2 = fabric.add_segment();
+  auto router = std::make_unique<Host>(sched, fabric, "r");
+  router->add_interface(seg, Ipv4Address(10, 0, 0, 254), 24);
+  router->add_interface(seg2, Ipv4Address(192, 168, 1, 254), 24);
+  router->enable_forwarding(true);
+  auto a = make_host("a", 1);
+  auto far = std::make_unique<Host>(sched, fabric, "far");
+  far->add_interface(seg2, Ipv4Address(192, 168, 1, 2), 24);
+  int got = 0;
+  far->open_udp(7, [&](const Host::UdpContext&, const util::Bytes&) {
+    ++got;
+  });
+  a->send_udp_broadcast(0, 7, 7, {1});
+  sched.run_all();
+  EXPECT_EQ(got, 0);  // limited broadcast stays on its segment
+}
+
+TEST_F(NetEdgeTest, GratuitousArpForUnknownIpIgnored) {
+  auto a = make_host("a", 1);
+  auto b = make_host("b", 2);
+  // b announces an IP that a has never resolved: no cache entry appears.
+  b->add_alias(0, Ipv4Address(10, 0, 0, 200));
+  b->send_gratuitous_arp(0, Ipv4Address(10, 0, 0, 200));
+  sched.run_all();
+  EXPECT_FALSE(a->arp_cache().contains(Ipv4Address(10, 0, 0, 200)));
+}
+
+TEST_F(NetEdgeTest, InterfaceBounceKeepsAliases) {
+  auto a = make_host("a", 1);
+  a->add_alias(0, Ipv4Address(10, 0, 0, 100));
+  a->set_interface_up(0, false);
+  a->set_interface_up(0, true);
+  EXPECT_TRUE(a->owns_ip(Ipv4Address(10, 0, 0, 100)));
+}
+
+}  // namespace
+}  // namespace wam::net

@@ -1,0 +1,199 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wam::net {
+namespace {
+
+struct FabricTest : ::testing::Test {
+  sim::Scheduler sched;
+  Fabric fabric{sched};
+  SegmentId seg = fabric.add_segment();
+  std::vector<std::vector<Frame>> inbox;
+
+  NicId attach() {
+    auto idx = inbox.size();
+    inbox.emplace_back();
+    return fabric.attach(seg, fabric.allocate_mac(),
+                         [this, idx](const Frame& f, NicId) {
+                           inbox[idx].push_back(f);
+                         });
+  }
+
+  Frame frame_to(MacAddress dst, NicId from) {
+    return Frame{fabric.mac_of(from), dst, EtherType::kIpv4, {1, 2, 3}};
+  }
+};
+
+TEST_F(FabricTest, UnicastReachesOnlyTarget) {
+  auto a = attach();
+  auto b = attach();
+  auto c = attach();
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[0].size(), 0u);
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[2].size(), 0u);
+  EXPECT_EQ(fabric.counters().frames_delivered, 1u);
+  (void)c;
+}
+
+TEST_F(FabricTest, BroadcastReachesAllButSender) {
+  auto a = attach();
+  attach();
+  attach();
+  fabric.send(a, frame_to(MacAddress::broadcast(), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[0].size(), 0u);
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[2].size(), 1u);
+}
+
+TEST_F(FabricTest, DeliveryTakesLatency) {
+  auto a = attach();
+  auto b = attach();
+  fabric.segment_config(seg).latency = sim::microseconds(100);
+  fabric.segment_config(seg).jitter = sim::kZero;
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_until(sim::TimePoint(sim::microseconds(99)));
+  EXPECT_EQ(inbox[1].size(), 0u);
+  sched.run_until(sim::TimePoint(sim::microseconds(101)));
+  EXPECT_EQ(inbox[1].size(), 1u);
+}
+
+TEST_F(FabricTest, DownSenderDropsFrame) {
+  auto a = attach();
+  auto b = attach();
+  fabric.set_nic_up(a, false);
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 0u);
+  EXPECT_EQ(fabric.counters().dropped_nic_down, 1u);
+}
+
+TEST_F(FabricTest, DownReceiverDropsFrame) {
+  auto a = attach();
+  auto b = attach();
+  fabric.set_nic_up(b, false);
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 0u);
+}
+
+TEST_F(FabricTest, ReceiverGoingDownInFlightDropsFrame) {
+  auto a = attach();
+  auto b = attach();
+  fabric.segment_config(seg).latency = sim::milliseconds(1);
+  fabric.segment_config(seg).jitter = sim::kZero;
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.schedule(sim::microseconds(500), [&] { fabric.set_nic_up(b, false); });
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 0u);
+}
+
+TEST_F(FabricTest, UnknownMacCountsNoTarget) {
+  auto a = attach();
+  fabric.send(a, frame_to(MacAddress::from_index(999), a));
+  sched.run_all();
+  EXPECT_EQ(fabric.counters().dropped_no_target, 1u);
+}
+
+TEST_F(FabricTest, PartitionBlocksCrossComponentTraffic) {
+  auto a = attach();
+  auto b = attach();
+  auto c = attach();
+  fabric.set_partition(seg, {{a, b}, {c}});
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  fabric.send(a, frame_to(fabric.mac_of(c), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[2].size(), 0u);
+  EXPECT_EQ(fabric.counters().dropped_partition, 1u);
+}
+
+TEST_F(FabricTest, PartitionLimitsBroadcastScope) {
+  auto a = attach();
+  auto b = attach();
+  auto c = attach();
+  auto d = attach();
+  fabric.set_partition(seg, {{a, b}, {c, d}});
+  fabric.send(a, frame_to(MacAddress::broadcast(), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[2].size(), 0u);
+  EXPECT_EQ(inbox[3].size(), 0u);
+}
+
+TEST_F(FabricTest, MergeRestoresConnectivity) {
+  auto a = attach();
+  auto b = attach();
+  fabric.set_partition(seg, {{a}, {b}});
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 0u);
+  fabric.merge_segment(seg);
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_all();
+  EXPECT_EQ(inbox[1].size(), 1u);
+}
+
+TEST_F(FabricTest, PartitionMustCoverAllNics) {
+  auto a = attach();
+  attach();
+  EXPECT_THROW(fabric.set_partition(seg, {{a}}), util::ContractViolation);
+}
+
+TEST_F(FabricTest, PartitionRejectsDuplicates) {
+  auto a = attach();
+  auto b = attach();
+  EXPECT_THROW(fabric.set_partition(seg, {{a, b}, {a}}),
+               util::ContractViolation);
+}
+
+TEST_F(FabricTest, RandomLossDropsApproximately) {
+  auto a = attach();
+  auto b = attach();
+  fabric.segment_config(seg).drop_probability = 0.5;
+  for (int i = 0; i < 1000; ++i) {
+    fabric.send(a, frame_to(fabric.mac_of(b), a));
+  }
+  sched.run_all();
+  EXPECT_GT(inbox[1].size(), 350u);
+  EXPECT_LT(inbox[1].size(), 650u);
+  EXPECT_EQ(fabric.counters().dropped_random + inbox[1].size(), 1000u);
+}
+
+TEST_F(FabricTest, SegmentsAreIsolated) {
+  auto a = attach();
+  auto other = fabric.add_segment();
+  std::vector<Frame> other_inbox;
+  fabric.attach(other, fabric.allocate_mac(),
+                [&](const Frame& f, NicId) { other_inbox.push_back(f); });
+  fabric.send(a, frame_to(MacAddress::broadcast(), a));
+  sched.run_all();
+  EXPECT_TRUE(other_inbox.empty());
+}
+
+TEST_F(FabricTest, DuplicateMacOnSegmentRejected) {
+  auto mac = fabric.allocate_mac();
+  fabric.attach(seg, mac, [](const Frame&, NicId) {});
+  EXPECT_THROW(fabric.attach(seg, mac, [](const Frame&, NicId) {}),
+               util::ContractViolation);
+}
+
+TEST_F(FabricTest, TapObservesTraffic) {
+  auto a = attach();
+  auto b = attach();
+  int tapped = 0;
+  fabric.set_tap([&](SegmentId, const Frame&) { ++tapped; });
+  fabric.send(a, frame_to(fabric.mac_of(b), a));
+  sched.run_all();
+  EXPECT_EQ(tapped, 1);
+}
+
+}  // namespace
+}  // namespace wam::net

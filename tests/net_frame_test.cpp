@@ -1,0 +1,99 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wam::net {
+namespace {
+
+TEST(ArpPacket, RoundTrip) {
+  ArpPacket p;
+  p.op = ArpOp::kReply;
+  p.sender_mac = MacAddress::from_index(3);
+  p.sender_ip = Ipv4Address(10, 0, 0, 3);
+  p.target_mac = MacAddress::from_index(7);
+  p.target_ip = Ipv4Address(10, 0, 0, 7);
+
+  auto decoded = ArpPacket::decode(p.encode());
+  EXPECT_EQ(decoded.op, ArpOp::kReply);
+  EXPECT_EQ(decoded.sender_mac, p.sender_mac);
+  EXPECT_EQ(decoded.sender_ip, p.sender_ip);
+  EXPECT_EQ(decoded.target_mac, p.target_mac);
+  EXPECT_EQ(decoded.target_ip, p.target_ip);
+}
+
+TEST(ArpPacket, GratuitousDetection) {
+  ArpPacket p;
+  p.sender_ip = Ipv4Address(10, 0, 0, 3);
+  p.target_ip = Ipv4Address(10, 0, 0, 3);
+  EXPECT_TRUE(p.is_gratuitous());
+  p.target_ip = Ipv4Address(10, 0, 0, 4);
+  EXPECT_FALSE(p.is_gratuitous());
+}
+
+TEST(ArpPacket, DecodeRejectsBadOp) {
+  ArpPacket p;
+  auto bytes = p.encode();
+  bytes[1] = 9;  // op low byte
+  EXPECT_THROW(ArpPacket::decode(bytes), util::DecodeError);
+}
+
+TEST(ArpPacket, DecodeRejectsTruncation) {
+  ArpPacket p;
+  auto bytes = p.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(ArpPacket::decode(bytes), util::DecodeError);
+}
+
+TEST(ArpPacket, DescribeMentionsOperation) {
+  ArpPacket req;
+  req.op = ArpOp::kRequest;
+  req.sender_ip = Ipv4Address(10, 0, 0, 1);
+  req.target_ip = Ipv4Address(10, 0, 0, 2);
+  EXPECT_NE(req.describe().find("who-has 10.0.0.2"), std::string::npos);
+
+  ArpPacket rep;
+  rep.op = ArpOp::kReply;
+  rep.sender_ip = Ipv4Address(10, 0, 0, 2);
+  rep.target_ip = Ipv4Address(10, 0, 0, 2);
+  EXPECT_NE(rep.describe().find("is-at"), std::string::npos);
+  EXPECT_NE(rep.describe().find("gratuitous"), std::string::npos);
+}
+
+TEST(Ipv4Packet, RoundTrip) {
+  Ipv4Packet p;
+  p.src = Ipv4Address(10, 0, 0, 1);
+  p.dst = Ipv4Address(10, 0, 0, 2);
+  p.ttl = 7;
+  p.payload = {1, 2, 3, 4};
+  auto decoded = Ipv4Packet::decode(p.encode());
+  EXPECT_EQ(decoded.src, p.src);
+  EXPECT_EQ(decoded.dst, p.dst);
+  EXPECT_EQ(decoded.ttl, 7);
+  EXPECT_EQ(decoded.protocol, kProtoUdp);
+  EXPECT_EQ(decoded.payload, p.payload);
+}
+
+TEST(UdpDatagram, RoundTrip) {
+  UdpDatagram d{4803, 9999, {0xaa, 0xbb}};
+  auto decoded = UdpDatagram::decode(d.encode());
+  EXPECT_EQ(decoded.src_port, 4803);
+  EXPECT_EQ(decoded.dst_port, 9999);
+  EXPECT_EQ(decoded.payload, d.payload);
+}
+
+TEST(UdpDatagram, NestedInIpv4) {
+  UdpDatagram d{1, 2, {9}};
+  Ipv4Packet p;
+  p.payload = d.encode();
+  auto decoded = UdpDatagram::decode(Ipv4Packet::decode(p.encode()).payload);
+  EXPECT_EQ(decoded.payload, d.payload);
+}
+
+TEST(Frame, DescribeShowsType) {
+  Frame f{MacAddress::from_index(1), MacAddress::broadcast(), EtherType::kArp,
+          {}};
+  EXPECT_NE(f.describe().find("ARP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wam::net

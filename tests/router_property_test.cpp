@@ -1,0 +1,82 @@
+// Randomized property test for the virtual-router application (Figure 4):
+// across random crash/recover/graceful-leave sequences, the indivisible
+// VIP group invariant must hold (a router owns all three addresses or
+// none), and after quiescence exactly one reachable router embodies the
+// virtual router.
+#include <gtest/gtest.h>
+
+#include "apps/router_scenario.hpp"
+#include "sim/random.hpp"
+
+namespace wam::apps {
+namespace {
+
+class RouterPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterPropertyTest, IndivisibilityAndSingleOwnership) {
+  sim::Rng rng(GetParam() * 97 + 3);
+  RouterScenarioOptions opt;
+  opt.num_routers = 3;
+  RouterScenario s(opt);
+  s.start();
+  s.run(sim::seconds(8.0));
+  ASSERT_GE(s.active_router(), 0);
+
+  std::set<int> down;
+  std::set<int> left;
+  for (int phase = 0; phase < 8; ++phase) {
+    int action = static_cast<int>(rng.below(3));
+    int target = static_cast<int>(rng.below(3));
+    switch (action) {
+      case 0:  // crash (only if it keeps at least one router alive)
+        if (down.size() + left.size() < 2 && down.count(target) == 0 &&
+            left.count(target) == 0) {
+          s.fail_router(target);
+          down.insert(target);
+        }
+        break;
+      case 1:  // recover
+        if (down.count(target) > 0) {
+          s.recover_router(target);
+          down.erase(target);
+        }
+        break;
+      case 2:  // graceful leave
+        if (down.size() + left.size() < 2 && down.count(target) == 0 &&
+            left.count(target) == 0) {
+          s.graceful_leave(target);
+          left.insert(target);
+        }
+        break;
+    }
+
+    // Sample the indivisibility invariant while converging.
+    for (int step = 0; step < 8; ++step) {
+      s.run(sim::seconds(1.0));
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(s.holds_whole_group(i) || s.holds_nothing(i))
+            << "seed " << GetParam() << " phase " << phase << ": router "
+            << i << " holds a partial group";
+      }
+    }
+
+    // After quiescence: exactly one reachable, running router is active.
+    int active = s.active_router();
+    EXPECT_GE(active, -1) << "conflict among reachable routers";
+    bool any_candidate = false;
+    for (int i = 0; i < 3; ++i) {
+      if (down.count(i) == 0 && left.count(i) == 0) any_candidate = true;
+    }
+    if (any_candidate) {
+      EXPECT_GE(active, 0) << "seed " << GetParam() << " phase " << phase
+                           << ": nobody embodies the virtual router";
+      EXPECT_TRUE(down.count(active) == 0 && left.count(active) == 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace wam::apps

@@ -1,0 +1,93 @@
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace wam::sim {
+namespace {
+
+TEST(Log, RecordsCarryVirtualTimestamps) {
+  Scheduler sched;
+  Log log(sched);
+  Logger logger(&log, "test/unit");
+  sched.run_for(seconds(2.5));
+  logger.info("hello %d", 42);
+  ASSERT_EQ(log.records().size(), 1u);
+  const auto& rec = log.records().front();
+  EXPECT_EQ(rec.time, TimePoint(seconds(2.5)));
+  EXPECT_EQ(rec.component, "test/unit");
+  EXPECT_EQ(rec.message, "hello 42");
+  EXPECT_EQ(rec.level, LogLevel::kInfo);
+}
+
+TEST(Log, FindFiltersByComponentPrefixAndNeedle) {
+  Scheduler sched;
+  Log log(sched);
+  Logger a(&log, "gcs/s1");
+  Logger b(&log, "wam/s1");
+  a.info("installed view 3");
+  a.warn("fault detected");
+  b.info("installed table");
+  EXPECT_EQ(log.count("gcs/"), 2u);
+  EXPECT_EQ(log.count("wam/"), 1u);
+  EXPECT_EQ(log.count("gcs/", "installed"), 1u);
+  EXPECT_EQ(log.count("", "installed"), 2u);
+  EXPECT_TRUE(log.find("nope/").empty());
+}
+
+TEST(Log, MinLevelSuppresses) {
+  Scheduler sched;
+  Log log(sched);
+  log.set_min_level(LogLevel::kWarn);
+  Logger logger(&log, "x");
+  logger.debug("quiet");
+  logger.info("quiet");
+  logger.warn("loud");
+  logger.error("loud");
+  EXPECT_EQ(log.records().size(), 2u);
+}
+
+TEST(Log, CapacityBoundsRing) {
+  Scheduler sched;
+  Log log(sched, 8);
+  Logger logger(&log, "x");
+  for (int i = 0; i < 32; ++i) logger.info("m%d", i);
+  EXPECT_EQ(log.records().size(), 8u);
+  EXPECT_EQ(log.records().back().message, "m31");
+  EXPECT_EQ(log.records().front().message, "m24");
+}
+
+TEST(Log, RenderIncludesLevelAndComponent) {
+  Scheduler sched;
+  Log log(sched);
+  Logger logger(&log, "gcs/s2");
+  logger.error("boom");
+  auto text = log.records().front().render();
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("[gcs/s2]"), std::string::npos);
+  EXPECT_NE(text.find("boom"), std::string::npos);
+}
+
+TEST(Log, NullLoggerIsSafe) {
+  Logger logger;  // unattached
+  EXPECT_FALSE(logger.enabled());
+  logger.info("goes nowhere %s", "safely");
+}
+
+TEST(Log, ClearEmpties) {
+  Scheduler sched;
+  Log log(sched);
+  Logger logger(&log, "x");
+  logger.info("one");
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace wam::sim

@@ -1,0 +1,130 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wam::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now().time_since_epoch(), kZero);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule(milliseconds(20), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(30));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(seconds(1.0), [&] { ++fired; });
+  s.schedule(seconds(3.0), [&] { ++fired; });
+  s.run_until(TimePoint(seconds(2.0)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now().time_since_epoch(), seconds(2.0));
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunForAdvancesRelative) {
+  Scheduler s;
+  s.run_for(seconds(1.5));
+  s.run_for(seconds(0.5));
+  EXPECT_EQ(s.now().time_since_epoch(), seconds(2.0));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  auto h = s.schedule(milliseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  int fired = 0;
+  auto h = s.schedule(milliseconds(10), [&] { ++fired; });
+  s.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not blow up
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule(milliseconds(1), recurse);
+  };
+  s.schedule(milliseconds(1), recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(5));
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler s;
+  s.run_for(seconds(1.0));
+  bool fired = false;
+  s.schedule(milliseconds(-100), [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now().time_since_epoch(), seconds(1.0));
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(milliseconds(1), [&] { ++fired; });
+  s.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.executed_events(), 2u);
+}
+
+TEST(Scheduler, NullCallbackViolatesContract) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule(kZero, nullptr), util::ContractViolation);
+}
+
+TEST(TimeFormat, Durations) {
+  EXPECT_EQ(format_duration(seconds(2.5)), "2.500s");
+  EXPECT_EQ(format_duration(milliseconds(12)), "12.000ms");
+  EXPECT_EQ(format_duration(microseconds(250)), "250us");
+  EXPECT_EQ(format_duration(nanoseconds(42)), "42ns");
+}
+
+TEST(TimeFormat, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(microseconds(2500)), 2.5);
+}
+
+}  // namespace
+}  // namespace wam::sim

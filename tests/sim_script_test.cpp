@@ -1,0 +1,63 @@
+#include "sim/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace wam::sim {
+namespace {
+
+TEST(Script, RunsEntriesAtScheduledTimes) {
+  Scheduler sched;
+  Script script;
+  std::vector<std::string> fired;
+  script.at(seconds(1.0), "one", [&] { fired.push_back("one"); });
+  script.at(seconds(3.0), "three", [&] { fired.push_back("three"); });
+  script.arm(sched);
+  sched.run_until(TimePoint(seconds(2.0)));
+  EXPECT_EQ(fired, (std::vector<std::string>{"one"}));
+  sched.run_all();
+  EXPECT_EQ(fired, (std::vector<std::string>{"one", "three"}));
+}
+
+TEST(Script, NarratorObservesFirings) {
+  Scheduler sched;
+  Script script;
+  script.at(seconds(1.0), "boom", [] {});
+  std::vector<std::string> narrated;
+  script.arm(sched, [&](const Script::Entry& e) {
+    narrated.push_back(e.description);
+  });
+  sched.run_all();
+  EXPECT_EQ(narrated, (std::vector<std::string>{"boom"}));
+}
+
+TEST(Script, EndIsLatestEntry) {
+  Script script;
+  EXPECT_EQ(script.end(), TimePoint{});
+  script.at(seconds(5.0), "a", [] {});
+  script.at(seconds(2.0), "b", [] {});
+  EXPECT_EQ(script.end(), TimePoint(seconds(5.0)));
+  EXPECT_EQ(script.size(), 2u);
+}
+
+TEST(Script, RejectsNullAction) {
+  Script script;
+  EXPECT_THROW(script.at(seconds(1.0), "x", nullptr),
+               util::ContractViolation);
+}
+
+TEST(Script, ChainingStyle) {
+  Scheduler sched;
+  int count = 0;
+  Script script;
+  script.at(seconds(1.0), "a", [&] { ++count; })
+      .at(seconds(2.0), "b", [&] { ++count; })
+      .at(seconds(3.0), "c", [&] { ++count; });
+  script.arm(sched);
+  sched.run_all();
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace wam::sim

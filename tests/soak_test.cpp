@@ -1,0 +1,88 @@
+// Soak entry point: a long randomized end-to-end run, DISABLED by default
+// (run explicitly with --gtest_also_run_disabled_tests). CONTRIBUTING.md
+// points protocol changes here.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hpp"
+#include "wam_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+TEST(Soak, DISABLED_HundredPhasesOfChaos) {
+  sim::Rng rng(0xC0FFEE);
+  auto config = test_config(9);
+  config.balance_timeout = sim::seconds(12.0);
+  WamCluster c(6, config);
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+
+  std::set<int> down;
+  std::vector<std::vector<int>> groups{{0, 1, 2, 3, 4, 5}};
+  for (int phase = 0; phase < 100; ++phase) {
+    switch (rng.below(5)) {
+      case 0: {
+        int k = static_cast<int>(rng.range(1, 3));
+        std::vector<std::vector<int>> next(static_cast<std::size_t>(k));
+        for (int i = 0; i < 6; ++i) {
+          next[rng.below(static_cast<std::uint64_t>(k))].push_back(i);
+        }
+        groups.clear();
+        for (auto& g : next) {
+          if (!g.empty()) groups.push_back(g);
+        }
+        c.partition(groups);
+        break;
+      }
+      case 1:
+        groups = {{0, 1, 2, 3, 4, 5}};
+        c.merge();
+        break;
+      case 2: {
+        int victim = static_cast<int>(rng.below(6));
+        down.insert(victim);
+        c.hosts[static_cast<std::size_t>(victim)]->set_interface_up(0, false);
+        break;
+      }
+      case 3:
+        if (!down.empty()) {
+          int revive = *down.begin();
+          down.erase(down.begin());
+          c.hosts[static_cast<std::size_t>(revive)]->set_interface_up(0,
+                                                                      true);
+        }
+        break;
+      case 4:
+        // brief lossy window
+        c.fabric.segment_config(c.seg).drop_probability = 0.05;
+        c.run(sim::seconds(3.0));
+        c.fabric.segment_config(c.seg).drop_probability = 0.0;
+        break;
+    }
+    c.run(sim::seconds(10.0));
+    std::vector<std::vector<int>> components;
+    for (const auto& g : groups) {
+      std::vector<int> alive;
+      for (int idx : g) {
+        if (down.count(idx) == 0) alive.push_back(idx);
+      }
+      if (!alive.empty()) components.push_back(alive);
+    }
+    for (int idx : down) components.push_back({idx});
+    for (const auto& component : components) {
+      c.expect_correctness(component,
+                           ("soak phase " + std::to_string(phase)).c_str());
+    }
+  }
+  for (int idx : down) {
+    c.hosts[static_cast<std::size_t>(idx)]->set_interface_up(0, true);
+  }
+  c.merge();
+  c.run(sim::seconds(12.0));
+  c.expect_correctness({0, 1, 2, 3, 4, 5}, "soak final");
+}
+
+}  // namespace
+}  // namespace wam::testing

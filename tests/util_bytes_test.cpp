@@ -1,0 +1,110 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hexdump.hpp"
+
+namespace wam::util {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(Bytes, StringsAndBlobs) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  Bytes blob{1, 2, 3};
+  w.bytes(blob);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  r.expect_end();
+}
+
+TEST(Bytes, RawFixedWidth) {
+  ByteWriter w;
+  Bytes mac{0x02, 0, 0, 0, 0, 7};
+  w.raw(mac);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.raw(6), mac);
+}
+
+TEST(Bytes, TruncatedThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  (void)r.u8();
+  (void)r.u8();
+  EXPECT_THROW((void)r.u8(), DecodeError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  ByteReader r(w.data());
+  EXPECT_THROW((void)r.str(), DecodeError);
+}
+
+TEST(Bytes, ExpectEndThrowsOnTrailingGarbage) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.data());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_end(), DecodeError);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u64(0);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Hexdump, HexRendersBytes) {
+  Bytes b{0x00, 0xff, 0x10};
+  EXPECT_EQ(hex(b), "00 ff 10");
+}
+
+TEST(Hexdump, DumpHasAsciiGutter) {
+  Bytes b;
+  for (char c : std::string("Wackamole!")) {
+    b.push_back(static_cast<std::uint8_t>(c));
+  }
+  auto dump = hexdump(b);
+  EXPECT_NE(dump.find("|Wackamole!|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wam::util

@@ -1,0 +1,259 @@
+// Algorithm-level tests of the Wackamole daemon (Figure 2 / Algorithms 1-3)
+// against the real GCS, with RecordingIpManagers standing in for the OS.
+#include <gtest/gtest.h>
+
+#include "wam_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+using wackamole::WamState;
+
+TEST(WamAlgorithm, SingleServerCoversEverything) {
+  WamCluster c(1, test_config(4));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0}, "single");
+  EXPECT_EQ(c.wams[0]->owned().size(), 4u);
+}
+
+TEST(WamAlgorithm, ThreeServersPartitionTheVipSet) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1, 2}, "initial");
+  // Boot churn lets the first joiner grab everything (reallocation only
+  // fills holes); the balance round evens the load to 2 groups each.
+  ASSERT_TRUE(c.wams[0]->trigger_balance());
+  c.run(sim::seconds(1.0));
+  c.expect_correctness({0, 1, 2}, "balanced");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.wams[static_cast<std::size_t>(i)]->owned().size(), 2u);
+  }
+}
+
+TEST(WamAlgorithm, TablesIdenticalAcrossMembers) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  auto t0 = c.wams[0]->table().owners();
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(c.wams[static_cast<std::size_t>(i)]->table().owners(), t0);
+  }
+}
+
+TEST(WamAlgorithm, FaultReallocatesTheDeadServersVips) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  ASSERT_TRUE(c.wams[0]->trigger_balance());  // give everyone a share
+  c.run(sim::seconds(1.0));
+  auto lost = c.wams[2]->owned();
+  EXPECT_FALSE(lost.empty());
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1}, "after fault");
+  // The isolated server covers the complete set in its own component
+  // (Property 1 holds per maximal connected component).
+  c.expect_correctness({2}, "isolated");
+  EXPECT_EQ(c.wams[2]->owned().size(), 6u);
+}
+
+TEST(WamAlgorithm, MergeResolvesAllConflicts) {
+  WamCluster c(4, test_config(8));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.partition({{0, 1}, {2, 3}});
+  c.run(sim::seconds(8.0));
+  // Both components cover the full set: 8 + 8 = 16 holdings overall.
+  c.expect_correctness({0, 1}, "component A");
+  c.expect_correctness({2, 3}, "component B");
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2, 3}, "after merge");
+  // Conflicts were actually dropped by somebody.
+  std::uint64_t conflicts = 0;
+  for (auto& w : c.wams) conflicts += w->counters().conflicts_dropped;
+  EXPECT_GT(conflicts, 0u);
+}
+
+TEST(WamAlgorithm, RecoveryRejoinsAndCoversOnce) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.hosts[0]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.hosts[0]->set_interface_up(0, true);
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2}, "after recovery");
+}
+
+TEST(WamAlgorithm, StateMachineVisitsGatherThenRun) {
+  WamCluster c(2, test_config(4));
+  c.start_wam();
+  EXPECT_EQ(c.wams[0]->state(), WamState::kIdle);
+  c.run(sim::seconds(5.0));
+  EXPECT_EQ(c.wams[0]->state(), WamState::kRun);
+  EXPECT_GE(c.wams[0]->counters().view_changes, 1u);
+  EXPECT_GE(c.wams[0]->counters().reallocations, 1u);
+}
+
+TEST(WamAlgorithm, StaleStateMsgsIgnored) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  // Force cascading view changes; stale STATE_MSGs from earlier views must
+  // be discarded (Algorithm 2 line 1).
+  c.partition({{0, 1}, {2}});
+  c.run(sim::milliseconds(1500));
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2}, "after churn");
+}
+
+TEST(WamAlgorithm, GcsDaemonDeathDropsAllVips) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  EXPECT_FALSE(c.wams[0]->owned().empty());
+  c.daemons[0]->stop();
+  // Disconnection is synchronous: the Wackamole daemon must already have
+  // released everything (§4.2).
+  EXPECT_TRUE(c.wams[0]->owned().empty());
+  EXPECT_EQ(c.wams[0]->state(), WamState::kIdle);
+  EXPECT_FALSE(c.wams[0]->connected());
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({1, 2}, "survivors");
+}
+
+TEST(WamAlgorithm, ReconnectsAfterGcsRestart) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.daemons[0]->stop();
+  c.run(sim::seconds(3.0));
+  c.daemons[0]->start();
+  c.run(sim::seconds(10.0));
+  EXPECT_TRUE(c.wams[0]->connected());
+  c.expect_correctness({0, 1, 2}, "after gcs restart");
+  EXPECT_GE(c.wams[0]->counters().reconnect_attempts, 1u);
+}
+
+TEST(WamAlgorithm, GracefulShutdownLeavesNoHole) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.wams[2]->graceful_shutdown();
+  c.run(sim::seconds(2.0));
+  c.expect_correctness({0, 1}, "after graceful leave");
+  EXPECT_TRUE(c.wams[2]->owned().empty());
+  // No daemon-level reconfiguration was needed (lightweight leave).
+  EXPECT_EQ(c.daemons[0]->view().members.size(), 3u);
+}
+
+TEST(WamAlgorithm, RepresentativeIsFirstInView) {
+  WamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  EXPECT_TRUE(c.wams[0]->is_representative());
+  EXPECT_FALSE(c.wams[1]->is_representative());
+  EXPECT_FALSE(c.wams[2]->is_representative());
+}
+
+TEST(WamAlgorithm, BalanceRedistributesAfterChurn) {
+  auto config = test_config(8);
+  config.balance_timeout = sim::seconds(10.0);
+  WamCluster c(2, config);
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  // Kill and revive server 1: server 0 takes everything, then the revived
+  // server rejoins. Reallocation alone fills holes only, so the load stays
+  // lopsided until the balance timer fires.
+  c.hosts[1]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  EXPECT_EQ(c.wams[0]->owned().size(), 8u);
+  c.hosts[1]->set_interface_up(0, true);
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1}, "after rejoin");
+  // Still lopsided: all 8 sit on one server (the merge's conflict rule
+  // decides which); reallocation alone never moves covered groups.
+  auto lopsided = std::max(c.wams[0]->owned().size(),
+                           c.wams[1]->owned().size());
+  EXPECT_EQ(lopsided, 8u);
+  c.run(sim::seconds(12.0));  // balance timer fires
+  c.expect_correctness({0, 1}, "after balance");
+  EXPECT_EQ(c.wams[0]->owned().size(), 4u);
+  EXPECT_EQ(c.wams[1]->owned().size(), 4u);
+  EXPECT_GE(c.wams[0]->counters().balance_rounds, 1u);
+}
+
+TEST(WamAlgorithm, TriggerBalanceOnDemand) {
+  auto config = test_config(6);
+  WamCluster c(2, config);
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.hosts[1]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.hosts[1]->set_interface_up(0, true);
+  c.run(sim::seconds(5.0));
+  auto lopsided = std::max(c.wams[0]->owned().size(),
+                           c.wams[1]->owned().size());
+  EXPECT_EQ(lopsided, 6u);
+  EXPECT_TRUE(c.wams[0]->trigger_balance());
+  c.run(sim::seconds(1.0));
+  EXPECT_EQ(c.wams[0]->owned().size(), 3u);
+  EXPECT_EQ(c.wams[1]->owned().size(), 3u);
+  // Non-representative cannot trigger.
+  EXPECT_FALSE(c.wams[1]->trigger_balance());
+}
+
+TEST(WamAlgorithm, PreferencesSteerReallocation) {
+  auto config = test_config(4);
+  WamCluster c(2, config);
+  // Server 1 (index 1) prefers two specific groups; the balance round must
+  // route them there (preferences travel in STATE_MSGs, §3.4).
+  auto names = config.group_names();
+  c.wams[1]->set_preferences({names[0], names[1]});
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  ASSERT_TRUE(c.wams[0]->trigger_balance());
+  c.run(sim::seconds(1.0));
+  c.expect_correctness({0, 1}, "with preferences");
+  auto owned1 = c.wams[1]->owned();
+  EXPECT_TRUE(std::find(owned1.begin(), owned1.end(), names[0]) !=
+              owned1.end());
+  EXPECT_TRUE(std::find(owned1.begin(), owned1.end(), names[1]) !=
+              owned1.end());
+}
+
+TEST(WamAlgorithm, AdminControlCommands) {
+  WamCluster c(2, test_config(4));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  wackamole::AdminControl ctl(*c.wams[0]);
+  auto status = ctl.execute("status");
+  EXPECT_NE(status.find("state: RUN"), std::string::npos);
+  EXPECT_NE(status.find("[representative]"), std::string::npos);
+  EXPECT_NE(ctl.execute("bogus").find("usage:"), std::string::npos);
+  EXPECT_NE(ctl.execute("prefer not-a-group").find("error"),
+            std::string::npos);
+  auto names = c.wams[0]->config().group_names();
+  EXPECT_NE(ctl.execute("prefer " + names[0]).find("updated"),
+            std::string::npos);
+  EXPECT_NE(ctl.execute("leave").find("left"), std::string::npos);
+  c.run(sim::seconds(2.0));
+  c.expect_correctness({1}, "after admin leave");
+}
+
+TEST(WamAlgorithm, CountersTrackActivity) {
+  WamCluster c(2, test_config(4));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  const auto& counters = c.wams[0]->counters();
+  EXPECT_GE(counters.state_msgs_sent, 1u);
+  EXPECT_GE(counters.state_msgs_received, 2u);  // self + peer
+  EXPECT_GE(counters.acquires, 1u);
+}
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,68 @@
+#include "wackamole/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace wam::wackamole {
+namespace {
+
+net::Ipv4Address ip(int n) {
+  return net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(n));
+}
+
+TEST(WamConfig, WebClusterBuildsOneGroupPerVip) {
+  auto c = Config::web_cluster({ip(100), ip(101)});
+  ASSERT_EQ(c.vip_groups.size(), 2u);
+  EXPECT_EQ(c.vip_groups[0].name, "10.0.0.100");
+  EXPECT_EQ(c.vip_groups[0].addresses.size(), 1u);
+  EXPECT_EQ(c.vip_groups[0].addresses[0].first, ip(100));
+  c.validate();
+}
+
+TEST(WamConfig, GroupNamesSorted) {
+  Config c;
+  c.vip_groups = {{"zeta", {{ip(1), 0}}}, {"alpha", {{ip(2), 0}}}};
+  auto names = c.group_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(WamConfig, FindGroup) {
+  auto c = Config::web_cluster({ip(100)});
+  EXPECT_NE(c.find_group("10.0.0.100"), nullptr);
+  EXPECT_EQ(c.find_group("nope"), nullptr);
+}
+
+TEST(WamConfig, ValidateRejectsDuplicateNames) {
+  Config c;
+  c.vip_groups = {{"g", {{ip(1), 0}}}, {"g", {{ip(2), 0}}}};
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+}
+
+TEST(WamConfig, ValidateRejectsDuplicateAddresses) {
+  Config c;
+  c.vip_groups = {{"a", {{ip(1), 0}}}, {"b", {{ip(1), 0}}}};
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+}
+
+TEST(WamConfig, ValidateRejectsEmptyGroup) {
+  Config c;
+  c.vip_groups = {{"a", {}}};
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+}
+
+TEST(WamConfig, ValidateRejectsUnknownPreference) {
+  auto c = Config::web_cluster({ip(100)});
+  c.preferred = {"not-a-group"};
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+}
+
+TEST(WamConfig, MultiAddressGroupValidates) {
+  Config c;
+  c.vip_groups = {{"virtual-router", {{ip(1), 0}, {ip(2), 1}, {ip(3), 2}}}};
+  c.validate();
+  EXPECT_EQ(c.vip_groups[0].addresses.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wam::wackamole

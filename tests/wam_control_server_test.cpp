@@ -1,0 +1,85 @@
+// Remote control channel: wackatrl-style commands over the simulated LAN.
+#include "wackamole/control_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/cluster_scenario.hpp"
+
+namespace wam::wackamole {
+namespace {
+
+struct ControlServerTest : ::testing::Test {
+  apps::ClusterOptions opt;
+  std::unique_ptr<apps::ClusterScenario> s;
+  std::unique_ptr<ControlServer> server;
+  std::unique_ptr<ControlClient> client;
+  std::string reply;
+  int replies = 0;
+
+  void SetUp() override {
+    opt.num_servers = 3;
+    opt.num_vips = 6;
+    opt.with_router = false;  // control client sits on the cluster LAN
+    s = std::make_unique<apps::ClusterScenario>(opt);
+    s->start();
+    ASSERT_TRUE(s->run_until_stable(sim::seconds(10.0)));
+    server = std::make_unique<ControlServer>(s->server_host(0), s->wam(0));
+    server->start();
+    client = std::make_unique<ControlClient>(s->client_host());
+  }
+
+  void command(const std::string& cmd) {
+    client->send(s->server_host(0).primary_ip(0), cmd,
+                 [this](const std::string& text) {
+                   reply = text;
+                   ++replies;
+                 });
+    s->run(sim::seconds(1.0));
+  }
+};
+
+TEST_F(ControlServerTest, StatusOverTheWire) {
+  command("status");
+  EXPECT_EQ(replies, 1);
+  EXPECT_NE(reply.find("state: RUN"), std::string::npos);
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
+TEST_F(ControlServerTest, RemoteBalance) {
+  command("balance");
+  EXPECT_NE(reply.find("balance broadcast"), std::string::npos);
+  s->run(sim::seconds(1.0));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(s->wam(i).owned().size(), 2u);
+  }
+}
+
+TEST_F(ControlServerTest, RemoteLeave) {
+  command("leave");
+  EXPECT_NE(reply.find("left the cluster"), std::string::npos);
+  s->run(sim::seconds(2.0));
+  EXPECT_FALSE(s->wam(0).running());
+  EXPECT_TRUE(s->coverage_exactly_once({1, 2}));
+}
+
+TEST_F(ControlServerTest, UnknownCommandGetsUsage) {
+  command("frobnicate");
+  EXPECT_NE(reply.find("usage:"), std::string::npos);
+}
+
+TEST_F(ControlServerTest, StoppedServerStopsAnswering) {
+  server->stop();
+  command("status");
+  EXPECT_EQ(replies, 0);
+}
+
+TEST_F(ControlServerTest, SequentialCommands) {
+  command("status");
+  command("balance");
+  command("status");
+  EXPECT_EQ(replies, 3);
+  EXPECT_EQ(server->requests_served(), 3u);
+}
+
+}  // namespace
+}  // namespace wam::wackamole

@@ -1,0 +1,150 @@
+// SimIpManager: acquire/release side effects, router spoofing, notify-
+// target handling with garbage collection (§5.2), and the periodic
+// re-announce anti-entropy.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/fabric.hpp"
+#include "wackamole/ip_manager.hpp"
+
+namespace wam::wackamole {
+namespace {
+
+struct IpManagerTest : ::testing::Test {
+  sim::Scheduler sched;
+  net::Fabric fabric{sched};
+  net::SegmentId seg = fabric.add_segment();
+  std::unique_ptr<net::Host> server, router, peer;
+  VipGroup group{"web", {{net::Ipv4Address(10, 0, 0, 100), 0}}};
+
+  void SetUp() override {
+    server = std::make_unique<net::Host>(sched, fabric, "server");
+    server->add_interface(seg, net::Ipv4Address(10, 0, 0, 1), 24);
+    router = std::make_unique<net::Host>(sched, fabric, "router");
+    router->add_interface(seg, net::Ipv4Address(10, 0, 0, 254), 24);
+    peer = std::make_unique<net::Host>(sched, fabric, "peer");
+    peer->add_interface(seg, net::Ipv4Address(10, 0, 0, 7), 24);
+  }
+};
+
+TEST_F(IpManagerTest, AcquireBindsAndHolds) {
+  SimIpManager mgr(*server);
+  EXPECT_FALSE(mgr.holds("web"));
+  mgr.acquire(group);
+  EXPECT_TRUE(mgr.holds("web"));
+  EXPECT_TRUE(server->owns_ip(net::Ipv4Address(10, 0, 0, 100)));
+  mgr.release(group);
+  EXPECT_FALSE(mgr.holds("web"));
+  EXPECT_FALSE(server->owns_ip(net::Ipv4Address(10, 0, 0, 100)));
+}
+
+TEST_F(IpManagerTest, AcquireSpoofsTheRouter) {
+  SimIpManager mgr(*server);
+  mgr.set_router(0, net::Ipv4Address(10, 0, 0, 254));
+  mgr.acquire(group);
+  sched.run_all();
+  auto cached = router->arp_cache().lookup(net::Ipv4Address(10, 0, 0, 100),
+                                           sched.now());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, server->mac(0));
+}
+
+TEST_F(IpManagerTest, NotifyTargetsGetUnicastSpoofs) {
+  SimIpManager mgr(*server);
+  mgr.add_notify_target(net::Ipv4Address(10, 0, 0, 7));
+  mgr.acquire(group);
+  sched.run_all();
+  auto cached = peer->arp_cache().lookup(net::Ipv4Address(10, 0, 0, 100),
+                                         sched.now());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, server->mac(0));
+}
+
+TEST_F(IpManagerTest, OffSubnetNotifyTargetsSkipped) {
+  SimIpManager mgr(*server);
+  mgr.add_notify_target(net::Ipv4Address(192, 168, 9, 9));
+  auto before = server->counters().arp_replies_sent;
+  mgr.acquire(group);
+  sched.run_all();
+  // gratuitous only (1) — no spoof for the unreachable target.
+  EXPECT_EQ(server->counters().arp_replies_sent, before + 1);
+}
+
+TEST_F(IpManagerTest, NotifyTargetGarbageCollection) {
+  SimIpManager mgr(*server);
+  mgr.set_notify_target_ttl(sim::seconds(10.0));
+  mgr.add_notify_target(net::Ipv4Address(10, 0, 0, 7));
+  sched.run_for(sim::seconds(5.0));
+  mgr.add_notify_target(net::Ipv4Address(10, 0, 0, 8));
+  sched.run_for(sim::seconds(7.0));  // .7 is now 12 s old, .8 is 7 s old
+  mgr.acquire(group);
+  sched.run_all();
+  auto targets = mgr.notify_targets();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], net::Ipv4Address(10, 0, 0, 8));
+}
+
+TEST_F(IpManagerTest, RefreshKeepsTargetAlive) {
+  SimIpManager mgr(*server);
+  mgr.set_notify_target_ttl(sim::seconds(10.0));
+  mgr.add_notify_target(net::Ipv4Address(10, 0, 0, 7));
+  sched.run_for(sim::seconds(8.0));
+  mgr.add_notify_target(net::Ipv4Address(10, 0, 0, 7));  // refresh
+  sched.run_for(sim::seconds(8.0));
+  mgr.acquire(group);
+  EXPECT_EQ(mgr.notify_targets().size(), 1u);
+}
+
+TEST_F(IpManagerTest, AnnounceOnlyWhenHeld) {
+  SimIpManager mgr(*server);
+  auto before = server->counters().arp_replies_sent;
+  mgr.announce(group);  // not held: no-op
+  sched.run_all();
+  EXPECT_EQ(server->counters().arp_replies_sent, before);
+}
+
+TEST_F(IpManagerTest, AnnounceRepairsPoisonedCache) {
+  SimIpManager mgr(*server);
+  mgr.acquire(group);
+  sched.run_all();
+  // Poison the peer's cache (it had resolved the VIP to someone else).
+  peer->arp_cache().put(net::Ipv4Address(10, 0, 0, 100),
+                        net::MacAddress::from_index(999), sched.now());
+  mgr.announce(group);
+  sched.run_all();
+  EXPECT_EQ(*peer->arp_cache().lookup(net::Ipv4Address(10, 0, 0, 100),
+                                      sched.now()),
+            server->mac(0));
+}
+
+TEST_F(IpManagerTest, RecordingManagerTracksOps) {
+  RecordingIpManager mgr;
+  mgr.acquire(group);
+  mgr.announce(group);
+  mgr.release(group);
+  EXPECT_EQ(mgr.ops(),
+            (std::vector<std::string>{"acquire web", "announce web",
+                                      "release web"}));
+  EXPECT_FALSE(mgr.holds("web"));
+}
+
+TEST_F(IpManagerTest, MultiAddressGroupBindsEverything) {
+  auto seg2 = fabric.add_segment();
+  auto multi = std::make_unique<net::Host>(sched, fabric, "r1");
+  multi->add_interface(seg, net::Ipv4Address(10, 0, 0, 2), 24);
+  multi->add_interface(seg2, net::Ipv4Address(192, 168, 1, 2), 24);
+  SimIpManager mgr(*multi);
+  VipGroup vr{"vr",
+              {{net::Ipv4Address(10, 0, 0, 200), 0},
+               {net::Ipv4Address(192, 168, 1, 1), 1}}};
+  mgr.acquire(vr);
+  EXPECT_TRUE(multi->owns_ip(net::Ipv4Address(10, 0, 0, 200)));
+  EXPECT_TRUE(multi->owns_ip(net::Ipv4Address(192, 168, 1, 1)));
+  mgr.release(vr);
+  EXPECT_FALSE(multi->owns_ip(net::Ipv4Address(10, 0, 0, 200)));
+  EXPECT_FALSE(multi->owns_ip(net::Ipv4Address(192, 168, 1, 1)));
+}
+
+}  // namespace
+}  // namespace wam::wackamole

@@ -1,0 +1,122 @@
+// Randomized end-to-end property test: Properties 1 and 2 of Section 3.1
+// under a random storm of partitions, merges, interface faults and
+// recoveries.
+//
+//   Property 1 (Correctness): after quiescence, every VIP is covered
+//   exactly once within every maximal connected component of servers in
+//   the RUN state.
+//   Property 2 (Liveness): after quiescence, every connected server
+//   reaches RUN.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hpp"
+#include "wam_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+// Parameter: (seed, variant) where variant selects the ordering engine,
+// transport and decision mode — the properties must hold on every stack.
+class WamPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(WamPropertyTest, CorrectnessAndLivenessUnderRandomFaults) {
+  auto [seed, variant] = GetParam();
+  sim::Rng rng(seed * 7919 + 13);
+  constexpr int kN = 5;
+  constexpr int kVips = 7;
+  auto config = test_config(kVips);
+  config.balance_timeout = sim::seconds(15.0);  // let balance interleave too
+  auto gcs_config = gcs::Config::spread_tuned();
+  switch (variant) {
+    case 0: break;  // sequencer + broadcast + distributed decisions
+    case 1: gcs_config = gcs_config.with_token_ring(); break;
+    case 2: gcs_config = gcs_config.with_multicast(); break;
+    case 3: config.representative_driven = true; break;
+  }
+  WamCluster c(kN, config, gcs_config);
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1, 2, 3, 4}, "initial");
+
+  std::set<int> down;  // servers with their NIC administratively down
+  std::vector<std::vector<int>> groups{{0, 1, 2, 3, 4}};
+
+  for (int phase = 0; phase < 10; ++phase) {
+    int action = static_cast<int>(rng.below(4));
+    switch (action) {
+      case 0: {  // random partition over all servers
+        int k = static_cast<int>(rng.range(1, 3));
+        std::vector<std::vector<int>> next(static_cast<std::size_t>(k));
+        for (int i = 0; i < kN; ++i) {
+          next[rng.below(static_cast<std::uint64_t>(k))].push_back(i);
+        }
+        groups.clear();
+        for (auto& g : next) {
+          if (!g.empty()) groups.push_back(g);
+        }
+        c.partition(groups);
+        break;
+      }
+      case 1:  // merge
+        groups = {{0, 1, 2, 3, 4}};
+        c.merge();
+        break;
+      case 2: {  // NIC down
+        int victim = static_cast<int>(rng.below(kN));
+        down.insert(victim);
+        c.hosts[static_cast<std::size_t>(victim)]->set_interface_up(0, false);
+        break;
+      }
+      case 3: {  // NIC up
+        if (!down.empty()) {
+          int revive = *down.begin();
+          down.erase(down.begin());
+          c.hosts[static_cast<std::size_t>(revive)]->set_interface_up(0, true);
+        }
+        break;
+      }
+    }
+
+    c.run(sim::seconds(10.0));  // quiesce (tuned gcs: ample)
+
+    // Effective components: partition groups minus downed servers, plus a
+    // singleton per downed server.
+    std::vector<std::vector<int>> components;
+    for (const auto& g : groups) {
+      std::vector<int> alive;
+      for (int idx : g) {
+        if (down.count(idx) == 0) alive.push_back(idx);
+      }
+      if (!alive.empty()) components.push_back(alive);
+    }
+    for (int idx : down) components.push_back({idx});
+
+    for (const auto& component : components) {
+      c.expect_correctness(component,
+                           ("phase " + std::to_string(phase) + " seed " +
+                            std::to_string(seed) + " variant " +
+                            std::to_string(variant))
+                               .c_str());
+    }
+  }
+
+  // Heal everything; the whole cluster must converge to exactly-once.
+  for (int idx : down) {
+    c.hosts[static_cast<std::size_t>(idx)]->set_interface_up(0, true);
+  }
+  c.merge();
+  c.run(sim::seconds(10.0));
+  c.expect_correctness({0, 1, 2, 3, 4}, "final heal");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByVariant, WamPropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8, 9, 10),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,127 @@
+// Representative-driven allocation mode (§4.2): the representative alone
+// computes Reallocate_IPs() and imposes it via ALLOC_MSG. Outcomes must
+// match the distributed mode's invariants.
+#include <gtest/gtest.h>
+
+#include "wam_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+wackamole::Config rep_config(int vips) {
+  auto c = test_config(vips);
+  c.representative_driven = true;
+  return c;
+}
+
+TEST(WamRepresentative, ClusterConvergesToExactlyOnce) {
+  WamCluster c(3, rep_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1, 2}, "rep-driven initial");
+}
+
+TEST(WamRepresentative, FaultReallocation) {
+  WamCluster c(3, rep_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  ASSERT_TRUE(c.wams[0]->trigger_balance());
+  c.run(sim::seconds(1.0));
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1}, "rep-driven after fault");
+  c.expect_correctness({2}, "isolated still covers (it is its own rep)");
+}
+
+TEST(WamRepresentative, RepresentativeDeathStillConverges) {
+  // The representative itself dies mid-operation: the new view has a new
+  // representative, which re-runs the allocation.
+  WamCluster c(3, rep_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.hosts[0]->set_interface_up(0, false);  // rep = lowest ip = host 0
+  c.run(sim::seconds(6.0));
+  c.expect_correctness({1, 2}, "after representative death");
+}
+
+TEST(WamRepresentative, MergeResolvesConflicts) {
+  WamCluster c(4, rep_config(8));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.partition({{0, 1}, {2, 3}});
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1}, "rep-driven partition A");
+  c.expect_correctness({2, 3}, "rep-driven partition B");
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2, 3}, "rep-driven merge");
+}
+
+TEST(WamRepresentative, OnlyRepresentativeComputes) {
+  WamCluster c(3, rep_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  // reallocations counts representative decisions in this mode; only the
+  // representative of each view increments it.
+  EXPECT_GT(c.wams[0]->counters().reallocations, 0u);
+  EXPECT_EQ(c.wams[1]->counters().reallocations, 0u);
+  EXPECT_EQ(c.wams[2]->counters().reallocations, 0u);
+}
+
+TEST(WamRepresentative, SameFinalAllocationAsDistributedMode) {
+  // After identical histories, both modes must land in a table satisfying
+  // exactly-once with the same group universe; run the balance round so
+  // both are also even.
+  WamCluster rep(3, rep_config(6));
+  rep.start_wam();
+  rep.run(sim::seconds(5.0));
+  rep.wams[0]->trigger_balance();
+  rep.run(sim::seconds(1.0));
+
+  WamCluster dist(3, test_config(6));
+  dist.start_wam();
+  dist.run(sim::seconds(5.0));
+  dist.wams[0]->trigger_balance();
+  dist.run(sim::seconds(1.0));
+
+  rep.expect_correctness({0, 1, 2}, "rep");
+  dist.expect_correctness({0, 1, 2}, "dist");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rep.wams[static_cast<std::size_t>(i)]->owned().size(),
+              dist.wams[static_cast<std::size_t>(i)]->owned().size());
+  }
+}
+
+class RepPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RepPropertyTest, RandomFaultsPreserveCorrectness) {
+  sim::Rng rng(GetParam() * 31 + 7);
+  WamCluster c(4, rep_config(7));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  for (int phase = 0; phase < 6; ++phase) {
+    int k = static_cast<int>(rng.range(1, 2));
+    std::vector<std::vector<int>> groups(static_cast<std::size_t>(k));
+    for (int i = 0; i < 4; ++i) {
+      groups[rng.below(static_cast<std::uint64_t>(k))].push_back(i);
+    }
+    std::vector<std::vector<int>> nonempty;
+    for (auto& g : groups) {
+      if (!g.empty()) nonempty.push_back(g);
+    }
+    c.partition(nonempty);
+    c.run(sim::seconds(8.0));
+    for (const auto& component : nonempty) {
+      c.expect_correctness(component,
+                           ("rep phase " + std::to_string(phase)).c_str());
+    }
+  }
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2, 3}, "rep final");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,92 @@
+// Status snapshot / rendering paths of the control module, plus the small
+// display helpers scattered across the public types.
+#include <gtest/gtest.h>
+
+#include "wam_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+TEST(WamStatus, SnapshotReflectsDaemonState) {
+  WamCluster c(2, test_config(4));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  auto s = wackamole::snapshot(*c.wams[0]);
+  EXPECT_EQ(s.state, wackamole::WamState::kRun);
+  EXPECT_TRUE(s.mature);
+  EXPECT_TRUE(s.connected);
+  EXPECT_TRUE(s.representative);
+  EXPECT_EQ(s.table.size(), 4u);
+  EXPECT_FALSE(s.view.empty());
+  auto s1 = wackamole::snapshot(*c.wams[1]);
+  EXPECT_FALSE(s1.representative);
+}
+
+TEST(WamStatus, RenderShowsEverySection) {
+  WamCluster c(1, test_config(2));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  auto text = wackamole::render_status(wackamole::snapshot(*c.wams[0]));
+  for (const char* needle :
+       {"state: RUN", "(mature)", "[representative]", "view:", "owned:",
+        "table:", "counters:"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(WamStatus, IdleDaemonRenders) {
+  WamCluster c(1, test_config(2));
+  // Not started: IDLE, disconnected, empty table.
+  auto text = wackamole::render_status(wackamole::snapshot(*c.wams[0]));
+  EXPECT_NE(text.find("state: IDLE"), std::string::npos);
+  EXPECT_NE(text.find("[disconnected]"), std::string::npos);
+  EXPECT_NE(text.find("(none)"), std::string::npos);
+  EXPECT_NE(text.find("(empty)"), std::string::npos);
+}
+
+TEST(WamStatus, StateNames) {
+  EXPECT_STREQ(wackamole::wam_state_name(wackamole::WamState::kIdle), "IDLE");
+  EXPECT_STREQ(wackamole::wam_state_name(wackamole::WamState::kRun), "RUN");
+  EXPECT_STREQ(wackamole::wam_state_name(wackamole::WamState::kGather),
+               "GATHER");
+}
+
+TEST(WamStatus, GroupViewHelpers) {
+  gcs::GroupView gv;
+  gv.group = "g";
+  gv.daemon_view = gcs::ViewId{2, gcs::DaemonId(net::Ipv4Address(10, 0, 0, 1))};
+  gv.group_seq = 5;
+  gcs::MemberId m{gcs::DaemonId(net::Ipv4Address(10, 0, 0, 1)), 1, "w"};
+  gv.members = {m};
+  EXPECT_TRUE(gv.contains(m));
+  EXPECT_EQ(gv.rank_of(m), 0);
+  gcs::MemberId other{gcs::DaemonId(net::Ipv4Address(10, 0, 0, 2)), 1, "w"};
+  EXPECT_FALSE(gv.contains(other));
+  EXPECT_EQ(gv.rank_of(other), -1);
+  EXPECT_NE(gv.to_string().find("g v5"), std::string::npos);
+}
+
+TEST(WamStatus, ViewToString) {
+  gcs::View v{gcs::ViewId{3, gcs::DaemonId(net::Ipv4Address(10, 0, 0, 1))},
+              {gcs::DaemonId(net::Ipv4Address(10, 0, 0, 1)),
+               gcs::DaemonId(net::Ipv4Address(10, 0, 0, 2))}};
+  auto text = v.to_string();
+  EXPECT_NE(text.find("3@10.0.0.1"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.2"), std::string::npos);
+}
+
+// Wackamole over the multicast transport: the algorithm is transport-
+// agnostic.
+TEST(WamStatus, FullStackOverMulticastTransport) {
+  WamCluster c(3, test_config(6),
+               gcs::Config::spread_tuned().with_multicast());
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1, 2}, "multicast transport");
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(6.0));
+  c.expect_correctness({0, 1}, "multicast transport fault");
+}
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,106 @@
+// Wackamole end-to-end on the token-ring ordering engine: the algorithm
+// consumes only the GCS contract, so correctness must be engine-agnostic.
+#include <gtest/gtest.h>
+
+#include "wam_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+struct TokenWamCluster : WamCluster {
+  explicit TokenWamCluster(int n, wackamole::Config wam_config)
+      : WamCluster(n, std::move(wam_config),
+                   gcs::Config::spread_tuned().with_token_ring()) {}
+};
+
+TEST(WamTokenRing, ClusterCoversExactlyOnce) {
+  TokenWamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.expect_correctness({0, 1, 2}, "token initial");
+}
+
+TEST(WamTokenRing, FaultReallocates) {
+  TokenWamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  // Even out if boot left it lopsided (token-mode boot often lands
+  // balanced already, in which case trigger_balance is a no-op).
+  c.wams[0]->trigger_balance();
+  c.run(sim::seconds(1.0));
+  c.hosts[2]->set_interface_up(0, false);
+  c.run(sim::seconds(6.0));
+  c.expect_correctness({0, 1}, "token after fault");
+}
+
+TEST(WamTokenRing, MergeResolvesConflicts) {
+  TokenWamCluster c(4, test_config(8));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  c.partition({{0, 1}, {2, 3}});
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1}, "token partition A");
+  c.expect_correctness({2, 3}, "token partition B");
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2, 3}, "token merge");
+}
+
+TEST(WamTokenRing, BalanceWorks) {
+  auto config = test_config(8);
+  TokenWamCluster c(2, config);
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  // Whether or not boot already balanced the load, the end state after an
+  // (idempotent) balance request is an even split.
+  c.wams[0]->trigger_balance();
+  c.run(sim::seconds(1.0));
+  EXPECT_EQ(c.wams[0]->owned().size(), 4u);
+  EXPECT_EQ(c.wams[1]->owned().size(), 4u);
+}
+
+TEST(WamTokenRing, GracefulLeaveIsStillFast) {
+  TokenWamCluster c(3, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  auto views_before = c.daemons[0]->counters().views_installed;
+  c.wams[2]->graceful_shutdown();
+  c.run(sim::seconds(2.0));
+  EXPECT_EQ(c.daemons[0]->counters().views_installed, views_before);
+  c.expect_correctness({0, 1}, "token graceful leave");
+}
+
+class TokenPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenPropertyTest, RandomFaultsPreserveCorrectness) {
+  sim::Rng rng(GetParam() * 53 + 11);
+  TokenWamCluster c(4, test_config(6));
+  c.start_wam();
+  c.run(sim::seconds(5.0));
+  for (int phase = 0; phase < 5; ++phase) {
+    int k = static_cast<int>(rng.range(1, 2));
+    std::vector<std::vector<int>> groups(static_cast<std::size_t>(k));
+    for (int i = 0; i < 4; ++i) {
+      groups[rng.below(static_cast<std::uint64_t>(k))].push_back(i);
+    }
+    std::vector<std::vector<int>> nonempty;
+    for (auto& g : groups) {
+      if (!g.empty()) nonempty.push_back(g);
+    }
+    c.partition(nonempty);
+    c.run(sim::seconds(8.0));
+    for (const auto& component : nonempty) {
+      c.expect_correctness(component,
+                           ("token phase " + std::to_string(phase)).c_str());
+    }
+  }
+  c.merge();
+  c.run(sim::seconds(8.0));
+  c.expect_correctness({0, 1, 2, 3}, "token final");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,90 @@
+#include "wackamole/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wam::wackamole {
+namespace {
+
+TEST(WamWire, StateRoundTrip) {
+  StateMsg m;
+  m.view = ViewTag{7, 0x0a000001, 3};
+  m.mature = true;
+  m.owned = {"a", "b"};
+  m.preferred = {"b"};
+  auto out = decode_state(encode_state(m));
+  EXPECT_EQ(out.view, m.view);
+  EXPECT_TRUE(out.mature);
+  EXPECT_EQ(out.owned, m.owned);
+  EXPECT_EQ(out.preferred, m.preferred);
+}
+
+TEST(WamWire, StateEmptyLists) {
+  StateMsg m;
+  auto out = decode_state(encode_state(m));
+  EXPECT_TRUE(out.owned.empty());
+  EXPECT_TRUE(out.preferred.empty());
+  EXPECT_FALSE(out.mature);
+}
+
+TEST(WamWire, BalanceRoundTrip) {
+  BalanceMsg m;
+  m.view = ViewTag{9, 0x0a000002, 1};
+  m.allocation = {{"g1", {0x0a000001, 1}}, {"g2", {0x0a000002, 2}}};
+  auto out = decode_balance(encode_balance(m));
+  EXPECT_EQ(out.view, m.view);
+  ASSERT_EQ(out.allocation.size(), 2u);
+  EXPECT_EQ(out.allocation[0].first, "g1");
+  EXPECT_EQ(out.allocation[0].second.first, 0x0a000001u);
+  EXPECT_EQ(out.allocation[1].second.second, 2u);
+}
+
+TEST(WamWire, ArpShareRoundTrip) {
+  ArpShareMsg m;
+  m.ips = {1, 2, 0xffffffff};
+  auto out = decode_arp_share(encode_arp_share(m));
+  EXPECT_EQ(out.ips, m.ips);
+}
+
+TEST(WamWire, PeekTypeDispatch) {
+  EXPECT_EQ(peek_type(encode_state(StateMsg{})), WamMsgType::kState);
+  EXPECT_EQ(peek_type(encode_balance(BalanceMsg{})), WamMsgType::kBalance);
+  EXPECT_EQ(peek_type(encode_arp_share(ArpShareMsg{})), WamMsgType::kArpShare);
+}
+
+TEST(WamWire, PeekRejectsGarbage) {
+  EXPECT_THROW(peek_type(util::Bytes{}), util::DecodeError);
+  EXPECT_THROW(peek_type(util::Bytes{0x63}), util::DecodeError);
+}
+
+TEST(WamWire, DecodeWrongTypeThrows) {
+  auto bytes = encode_state(StateMsg{});
+  EXPECT_THROW(decode_balance(bytes), util::DecodeError);
+}
+
+TEST(WamWire, DecodeTruncatedThrows) {
+  StateMsg m;
+  m.owned = {"a"};
+  auto bytes = encode_state(m);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(decode_state(bytes), util::DecodeError);
+}
+
+TEST(WamWire, ViewTagOrderingAndEquality) {
+  ViewTag a{1, 1, 1};
+  ViewTag b{1, 1, 2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, (ViewTag{1, 1, 1}));
+}
+
+TEST(WamWire, ViewTagFromGroupView) {
+  gcs::GroupView gv;
+  gv.daemon_view = gcs::ViewId{5, gcs::DaemonId(net::Ipv4Address(10, 0, 0, 1))};
+  gv.group_seq = 12;
+  auto tag = ViewTag::of(gv);
+  EXPECT_EQ(tag.epoch, 5u);
+  EXPECT_EQ(tag.group_seq, 12u);
+}
+
+}  // namespace
+}  // namespace wam::wackamole

@@ -57,10 +57,7 @@ int main() {
     auto after_churn = imbalance(s, s.all_servers());
     s.run(sim::seconds(65.0));
     auto later = imbalance(s, s.all_servers());
-    std::uint64_t rounds = 0;
-    for (int i = 0; i < 4; ++i) {
-      rounds += s.wam(i).counters().balance_rounds;
-    }
+    std::uint64_t rounds = s.obs.registry.sum("wam/*/balance_rounds");
     char label[32];
     if (timeout_s == 0.0) {
       std::snprintf(label, sizeof(label), "disabled");

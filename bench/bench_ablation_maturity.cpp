@@ -45,10 +45,8 @@ BootResult staggered_boot(bool maturity_enabled) {
   s.run(sim::seconds(90.0));  // boot + maturity + a balance round
 
   BootResult result;
-  for (int i = 0; i < opt.num_servers; ++i) {
-    result.acquires += s.wam(i).counters().acquires;
-    result.releases += s.wam(i).counters().releases;
-  }
+  result.acquires = s.obs.registry.sum("wam/*/acquires");
+  result.releases = s.obs.registry.sum("wam/*/releases");
   result.covered_exactly_once = s.coverage_exactly_once(s.all_servers());
   return result;
 }

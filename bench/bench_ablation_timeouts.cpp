@@ -34,19 +34,13 @@ Outcome run_setting(double fd_seconds, double loss) {
   s.start();
   s.run_until_stable(sim::seconds(30.0));
 
-  std::uint64_t baseline_views = 0;
-  for (int i = 0; i < 4; ++i) {
-    baseline_views += s.gcs_daemon(i).counters().views_installed;
-  }
+  std::uint64_t baseline_views = s.obs.registry.sum("gcs/*/views_installed");
   // Lossy, fault-free period.
   s.fabric.segment_config(0).drop_probability = loss;
   s.run(sim::seconds(120.0));
   s.fabric.segment_config(0).drop_probability = 0.0;
   s.run(sim::seconds(10.0));
-  std::uint64_t after_views = 0;
-  for (int i = 0; i < 4; ++i) {
-    after_views += s.gcs_daemon(i).counters().views_installed;
-  }
+  std::uint64_t after_views = s.obs.registry.sum("gcs/*/views_installed");
 
   Outcome out;
   out.spurious_views =

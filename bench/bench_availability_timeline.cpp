@@ -50,6 +50,12 @@ void run_timeline(const char* label, const gcs::Config& config) {
               w.availability(),
               static_cast<unsigned long long>(w.lost()),
               static_cast<unsigned long long>(w.requests_sent()));
+  std::printf(
+      "  structured events: %zu recorded (views=%zu, acquires=%zu, "
+      "faults=%zu)\n",
+      s.timeline.size(), s.timeline.count(obs::EventType::kViewInstalled),
+      s.timeline.count(obs::EventType::kVipAcquired),
+      s.timeline.count(obs::EventType::kFaultInjected));
 }
 
 }  // namespace

@@ -42,11 +42,8 @@ int main() {
       double interruption =
           gaps.empty() ? -1.0 : sim::to_seconds(gaps.front().length());
 
-      std::uint64_t sequenced = 0, views = 0;
-      for (int i = 0; i < servers; ++i) {
-        sequenced += s.gcs_daemon(i).counters().data_sequenced;
-        views += s.gcs_daemon(i).counters().views_installed;
-      }
+      std::uint64_t sequenced = s.obs.registry.sum("gcs/*/data_sequenced");
+      std::uint64_t views = s.obs.registry.sum("gcs/*/views_installed");
       std::printf("  %-9d %-7d %-16.2f %-18llu %-16llu\n", servers, vips,
                   interruption, static_cast<unsigned long long>(sequenced),
                   static_cast<unsigned long long>(views));

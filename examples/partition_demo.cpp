@@ -57,10 +57,7 @@ int main() {
   s.run(sim::seconds(8.0));
   show_coverage(s, "merged: conflicts resolved, exactly-once again");
 
-  std::uint64_t conflicts = 0;
-  for (int i = 0; i < s.num_servers(); ++i) {
-    conflicts += s.wam(i).counters().conflicts_dropped;
-  }
+  std::uint64_t conflicts = s.obs.registry.sum("wam/*/conflicts_dropped");
   std::printf("\nconflicting claims dropped during the merge: %llu\n",
               static_cast<unsigned long long>(conflicts));
   return 0;

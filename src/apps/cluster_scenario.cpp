@@ -16,6 +16,7 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
   WAM_EXPECTS(options_.num_vips >= 1 && options_.num_vips <= 100);
 
   cluster_seg_ = fabric.add_segment();
+  fabric.bind_observability(obs, "net");
 
   // The shared VIP set (one single-address group per VIP: web-cluster mode).
   std::vector<net::Ipv4Address> vips;
@@ -63,6 +64,14 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
                                                     *ipmgr, &log);
     auto echo = std::make_unique<EchoServer>(*host);
 
+    // One scope suffix per server — "s1" matches host name "server1" — so
+    // bench queries can sum across daemons with "wam/*/acquires".
+    const std::string suffix = "/s" + std::to_string(i + 1);
+    host->bind_observability(obs, "net" + suffix);
+    gcsd->bind_observability(obs, "gcs" + suffix);
+    ipmgr->bind_observability(obs, "ip" + suffix);
+    wamd->bind_observability(obs, "wam" + suffix);
+
     servers_.push_back(std::move(host));
     gcs_.push_back(std::move(gcsd));
     ipmgrs_.push_back(std::move(ipmgr));
@@ -102,10 +111,14 @@ bool ClusterScenario::run_until_stable(sim::Duration limit) {
 
 void ClusterScenario::disconnect_server(int i) {
   servers_[static_cast<std::size_t>(i)]->set_interface_up(0, false);
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "iface_down"}, {"server", "s" + std::to_string(i + 1)}});
 }
 
 void ClusterScenario::reconnect_server(int i) {
   servers_[static_cast<std::size_t>(i)]->set_interface_up(0, true);
+  obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
+           {{"kind", "iface_up"}, {"server", "s" + std::to_string(i + 1)}});
 }
 
 void ClusterScenario::graceful_leave(int i) {

@@ -16,6 +16,7 @@
 #include "apps/probe_client.hpp"
 #include "gcs/daemon.hpp"
 #include "net/router.hpp"
+#include "obs/observability.hpp"
 #include "sim/random.hpp"
 #include "wackamole/control.hpp"
 #include "wackamole/daemon.hpp"
@@ -86,6 +87,12 @@ class ClusterScenario {
 
   sim::Scheduler sched;
   sim::Log log{sched};
+  /// Shared observability context: every daemon, host and fabric in the
+  /// scenario is bound here (scopes "wam/s<N>", "gcs/s<N>", "net", ...),
+  /// and `timeline` records every structured event for JSON export.
+  /// Declared before the components so it outlives their bound counters.
+  obs::Observability obs;
+  obs::EventTimeline timeline{obs.bus};
   net::Fabric fabric{sched, &log};
 
  private:

@@ -32,6 +32,7 @@ class RouterScenario::ConvergingIpManager : public wackamole::SimIpManager {
 RouterScenario::RouterScenario(RouterScenarioOptions options)
     : options_(std::move(options)) {
   WAM_EXPECTS(options_.num_routers >= 2);
+  fabric.bind_observability(obs, "net");
   external_seg_ = fabric.add_segment();
   web_seg_ = fabric.add_segment();
   db_seg_ = fabric.add_segment();
@@ -91,6 +92,12 @@ RouterScenario::RouterScenario(RouterScenarioOptions options)
       return ips;
     });
 
+    const std::string suffix = "/s" + std::to_string(i + 1);
+    r->bind_observability(obs, "net" + suffix);
+    gcsd->bind_observability(obs, "gcs" + suffix);
+    ipmgr->bind_observability(obs, "ip" + suffix);
+    wamd->bind_observability(obs, "wam" + suffix);
+
     routers_.push_back(std::move(r));
     gcs_.push_back(std::move(gcsd));
     ipmgrs_.push_back(std::move(ipmgr));
@@ -129,10 +136,15 @@ void RouterScenario::start_probe() {
 
 void RouterScenario::fail_router(int i) {
   routers_[static_cast<std::size_t>(i)]->fail();
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "router_fail"}, {"router", "s" + std::to_string(i + 1)}});
 }
 
 void RouterScenario::recover_router(int i) {
   routers_[static_cast<std::size_t>(i)]->recover();
+  obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
+           {{"kind", "router_recover"},
+            {"router", "s" + std::to_string(i + 1)}});
 }
 
 void RouterScenario::graceful_leave(int i) {

@@ -25,6 +25,7 @@
 #include "apps/echo.hpp"
 #include "apps/probe_client.hpp"
 #include "gcs/daemon.hpp"
+#include "obs/observability.hpp"
 #include "wackamole/control.hpp"
 #include "wackamole/daemon.hpp"
 
@@ -92,6 +93,10 @@ class RouterScenario {
 
   sim::Scheduler sched;
   sim::Log log{sched};
+  /// Shared observability context (see ClusterScenario for the scope
+  /// conventions); declared before the bound components.
+  obs::Observability obs;
+  obs::EventTimeline timeline{obs.bus};
   net::Fabric fabric{sched, &log};
 
  private:

@@ -1,14 +1,15 @@
 #include "gcs/conf_parser.hpp"
 
-#include <algorithm>
-#include <cctype>
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/conf.hpp"
 
 namespace wam::gcs {
 
 namespace {
+
+namespace conf = util::conf;
 
 [[noreturn]] void fail(int line_no, const std::string& line,
                        const std::string& why) {
@@ -16,65 +17,16 @@ namespace {
                     line + "'): " + why);
 }
 
-std::string trim(const std::string& s) {
-  auto begin = s.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) return "";
-  auto end = s.find_last_not_of(" \t\r");
-  return s.substr(begin, end - begin + 1);
-}
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-sim::Duration parse_duration(const std::string& token, int line_no,
-                             const std::string& line) {
-  std::size_t pos = 0;
-  double value = 0;
-  try {
-    value = std::stod(token, &pos);
-  } catch (const std::exception&) {
-    fail(line_no, line, "bad duration '" + token + "'");
-  }
-  auto unit = token.substr(pos);
-  if (unit == "s") return sim::seconds(value);
-  if (unit == "ms") {
-    return sim::Duration(static_cast<std::int64_t>(value * 1e6));
-  }
-  fail(line_no, line, "duration needs an 's' or 'ms' suffix: '" + token + "'");
-}
-
-int parse_int(const std::string& token, int line_no, const std::string& line) {
-  try {
-    return std::stoi(token);
-  } catch (const std::exception&) {
-    fail(line_no, line, "expected an integer, got '" + token + "'");
-  }
-}
-
 }  // namespace
 
 Config parse_config(const std::string& text) {
   Config config;  // starts as Spread-default timeouts
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    auto stripped = trim(line);
-    if (stripped.empty()) continue;
-    auto eq = stripped.find('=');
-    if (eq == std::string::npos) fail(line_no, line, "expected 'Key = value'");
-    auto key = lower(trim(stripped.substr(0, eq)));
-    auto value = trim(stripped.substr(eq + 1));
-    if (value.empty()) fail(line_no, line, "missing value");
+  conf::for_each_line(text, [&](int line_no, const std::string& stripped,
+                                const std::string& line) {
+    auto [key, value] = conf::split_key_value(stripped, line_no, line, fail);
 
     if (key == "port") {
-      int port = parse_int(value, line_no, line);
+      int port = conf::parse_int(value, line_no, line, fail);
       if (port < 1 || port > 65535) fail(line_no, line, "port out of range");
       config.port = static_cast<std::uint16_t>(port);
     } else if (key == "multicast") {
@@ -84,7 +36,7 @@ Config parse_config(const std::string& text) {
       }
       config.multicast_group = *ip;
     } else if (key == "ordering") {
-      auto v = lower(value);
+      auto v = conf::lower(value);
       if (v == "sequencer") {
         config.ordering = OrderingEngine::kSequencer;
       } else if (v == "ring" || v == "token" || v == "token-ring") {
@@ -93,21 +45,24 @@ Config parse_config(const std::string& text) {
         fail(line_no, line, "Ordering must be 'sequencer' or 'ring'");
       }
     } else if (key == "faultdetection") {
-      config.fault_detection_timeout = parse_duration(value, line_no, line);
+      config.fault_detection_timeout =
+          conf::parse_duration(value, line_no, line, fail);
     } else if (key == "heartbeat") {
-      config.heartbeat_timeout = parse_duration(value, line_no, line);
+      config.heartbeat_timeout =
+          conf::parse_duration(value, line_no, line, fail);
     } else if (key == "discovery") {
-      config.discovery_timeout = parse_duration(value, line_no, line);
+      config.discovery_timeout =
+          conf::parse_duration(value, line_no, line, fail);
     } else if (key == "tokenhold") {
-      config.token_hold = parse_duration(value, line_no, line);
+      config.token_hold = conf::parse_duration(value, line_no, line, fail);
     } else if (key == "tokenretry") {
-      config.token_retry = parse_duration(value, line_no, line);
+      config.token_retry = conf::parse_duration(value, line_no, line, fail);
     } else if (key == "tokenwindow") {
-      config.token_window = parse_int(value, line_no, line);
+      config.token_window = conf::parse_int(value, line_no, line, fail);
     } else {
       fail(line_no, line, "unknown key '" + key + "'");
     }
-  }
+  });
   try {
     config.validate();
   } catch (const util::ContractViolation& e) {

@@ -11,7 +11,39 @@ namespace {
 std::pair<std::uint32_t, std::uint64_t> origin_key(const DataMessage& d) {
   return {d.sender.daemon.value(), d.origin_msg_id};
 }
+
+// Single source of truth for DaemonCounters field names.
+template <class CountersT, class Fn>
+void for_each_gcs_metric(CountersT&& c, Fn&& fn) {
+  fn("views_installed", c.views_installed);
+  fn("discoveries_started", c.discoveries_started);
+  fn("data_sequenced", c.data_sequenced);
+  fn("data_delivered", c.data_delivered);
+  fn("fifo_sent", c.fifo_sent);
+  fn("fifo_delivered", c.fifo_delivered);
+  fn("fifo_dropped_reconfig", c.fifo_dropped_reconfig);
+  fn("token_rotations", c.token_rotations);
+  fn("token_retries", c.token_retries);
+  fn("nacks_sent", c.nacks_sent);
+  fn("retransmissions", c.retransmissions);
+  fn("sync_messages_delivered", c.sync_messages_delivered);
+  fn("decode_errors", c.decode_errors);
+}
 }  // namespace
+
+void DaemonCounters::bind(obs::MetricRegistry& registry,
+                          const std::string& scope) {
+  for_each_gcs_metric(*this, [&](const char* name, obs::Counter& c) {
+    registry.bind(c, scope + "/" + name);
+  });
+}
+
+void DaemonCounters::export_into(obs::MetricRegistry& registry,
+                                 const std::string& scope) const {
+  for_each_gcs_metric(*this, [&](const char* name, const obs::Counter& c) {
+    registry.counter(scope + "/" + name) = c.value();
+  });
+}
 
 Daemon::Daemon(net::Host& host, Config config, sim::Log* log, int ifindex)
     : host_(host),
@@ -24,6 +56,12 @@ Daemon::Daemon(net::Host& host, Config config, sim::Log* log, int ifindex)
 
 Daemon::~Daemon() {
   if (running_) stop();
+}
+
+void Daemon::bind_observability(obs::Observability& obs, std::string scope) {
+  obs_ = &obs;
+  obs_scope_ = std::move(scope);
+  counters_.bind(obs.registry, obs_scope_);
 }
 
 void Daemon::start() {
@@ -958,6 +996,12 @@ void Daemon::install_view(const Install& inst) {
   discovery_deadline_timer_.cancel();
   install_deadline_timer_.cancel();
   ++counters_.views_installed;
+  if (obs_ != nullptr) {
+    obs_->emit(host_.scheduler().now(), obs::EventType::kViewInstalled,
+               obs_scope_,
+               {{"view", view_.id.to_string()},
+                {"members", std::to_string(view_.members.size())}});
+  }
 
   group_table_.replace(inst.groups, inst.group_seqs);
   // The merged table is authoritative for which groups our clients are in.

@@ -51,6 +51,7 @@
 #include "gcs/message.hpp"
 #include "gcs/types.hpp"
 #include "net/host.hpp"
+#include "obs/observability.hpp"
 #include "sim/log.hpp"
 
 namespace wam::gcs {
@@ -62,20 +63,26 @@ struct ClientCallbacks {
   std::function<void()> on_disconnect;
 };
 
+/// Per-daemon statistics; a thin view over registry cells once the daemon
+/// is bound to an obs::Observability (see obs/metrics.hpp).
 struct DaemonCounters {
-  std::uint64_t views_installed = 0;
-  std::uint64_t discoveries_started = 0;
-  std::uint64_t data_sequenced = 0;
-  std::uint64_t data_delivered = 0;
-  std::uint64_t fifo_sent = 0;
-  std::uint64_t fifo_delivered = 0;
-  std::uint64_t fifo_dropped_reconfig = 0;
-  std::uint64_t token_rotations = 0;
-  std::uint64_t token_retries = 0;
-  std::uint64_t nacks_sent = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t sync_messages_delivered = 0;
-  std::uint64_t decode_errors = 0;
+  obs::Counter views_installed;
+  obs::Counter discoveries_started;
+  obs::Counter data_sequenced;
+  obs::Counter data_delivered;
+  obs::Counter fifo_sent;
+  obs::Counter fifo_delivered;
+  obs::Counter fifo_dropped_reconfig;
+  obs::Counter token_rotations;
+  obs::Counter token_retries;
+  obs::Counter nacks_sent;
+  obs::Counter retransmissions;
+  obs::Counter sync_messages_delivered;
+  obs::Counter decode_errors;
+
+  void bind(obs::MetricRegistry& registry, const std::string& scope);
+  void export_into(obs::MetricRegistry& registry,
+                   const std::string& scope) const;
 };
 
 class Daemon {
@@ -87,6 +94,11 @@ class Daemon {
   ~Daemon();
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
+
+  /// Route metrics and structured events (ViewInstalled) through a shared
+  /// observability context; convention for `scope`: "gcs/s<N>".
+  void bind_observability(obs::Observability& obs, std::string scope);
+  [[nodiscard]] obs::Observability* observability() const { return obs_; }
 
   /// Open the socket and begin: a fresh daemon floods discovery to find
   /// peers (or installs a singleton view if alone).
@@ -252,6 +264,8 @@ class Daemon {
   std::uint32_t next_client_id_ = 1;
 
   DaemonCounters counters_;
+  obs::Observability* obs_ = nullptr;
+  std::string obs_scope_;
 };
 
 }  // namespace wam::gcs

@@ -6,8 +6,47 @@
 
 namespace wam::net {
 
+namespace {
+
+// Single source of truth for the fabric metric names: bind() and
+// export_into() both enumerate through here, so the registry view can
+// never drift from the struct.
+template <typename Counters, typename Fn>
+void for_each_fabric_metric(Counters& c, Fn&& fn) {
+  fn("frames_sent", c.frames_sent);
+  fn("frames_delivered", c.frames_delivered);
+  fn("dropped_no_target", c.dropped_no_target);
+  fn("dropped_partition", c.dropped_partition);
+  fn("dropped_nic_down", c.dropped_nic_down);
+  fn("dropped_random", c.dropped_random);
+  fn("dropped_directional", c.dropped_directional);
+}
+
+}  // namespace
+
+void FabricCounters::bind(obs::MetricRegistry& registry,
+                          const std::string& scope) {
+  for_each_fabric_metric(*this, [&](const char* name, obs::Counter& c) {
+    registry.bind(c, scope + "/" + name);
+  });
+}
+
+void FabricCounters::export_into(obs::MetricRegistry& registry,
+                                 const std::string& scope) const {
+  for_each_fabric_metric(*this,
+                         [&](const char* name, const obs::Counter& c) {
+                           registry.counter(scope + "/" + name) = c.value();
+                         });
+}
+
 Fabric::Fabric(sim::Scheduler& sched, sim::Log* log, std::uint64_t seed)
     : sched_(sched), log_(log, "net/fabric"), rng_(seed) {}
+
+void Fabric::bind_observability(obs::Observability& obs, std::string scope) {
+  obs_ = &obs;
+  obs_scope_ = std::move(scope);
+  counters_.bind(obs.registry, obs_scope_);
+}
 
 SegmentId Fabric::add_segment(SegmentConfig config) {
   segments_.push_back(Segment{std::move(config), {}});
@@ -81,6 +120,12 @@ void Fabric::set_partition(SegmentId seg,
   }
   WAM_EXPECTS(seen.size() == members.size());
   log_.info("segment %d partitioned into %zu components", seg, groups.size());
+  if (obs_ != nullptr) {
+    obs_->emit(sched_.now(), obs::EventType::kFaultInjected, obs_scope_,
+               {{"kind", "partition"},
+                {"segment", std::to_string(seg)},
+                {"components", std::to_string(groups.size())}});
+  }
 }
 
 void Fabric::block_direction(NicId from, NicId to) {
@@ -99,6 +144,10 @@ void Fabric::merge_segment(SegmentId seg) {
     nic(id).component = 0;
   }
   log_.info("segment %d merged", seg);
+  if (obs_ != nullptr) {
+    obs_->emit(sched_.now(), obs::EventType::kFaultHealed, obs_scope_,
+               {{"kind", "merge"}, {"segment", std::to_string(seg)}});
+  }
 }
 
 void Fabric::deliver_later(const Segment& seg, NicId to, Frame frame) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "obs/observability.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -31,14 +32,20 @@ namespace wam::net {
 using SegmentId = int;
 using NicId = int;
 
+/// Fabric statistics; a thin view over registry cells once the fabric is
+/// bound to an obs::Observability (see obs/metrics.hpp).
 struct FabricCounters {
-  std::uint64_t frames_sent = 0;
-  std::uint64_t frames_delivered = 0;
-  std::uint64_t dropped_no_target = 0;   // unicast MAC not present/up
-  std::uint64_t dropped_partition = 0;   // target in another component
-  std::uint64_t dropped_nic_down = 0;    // sender or receiver NIC down
-  std::uint64_t dropped_random = 0;      // loss model
-  std::uint64_t dropped_directional = 0; // one-way link faults
+  obs::Counter frames_sent;
+  obs::Counter frames_delivered;
+  obs::Counter dropped_no_target;    // unicast MAC not present/up
+  obs::Counter dropped_partition;    // target in another component
+  obs::Counter dropped_nic_down;     // sender or receiver NIC down
+  obs::Counter dropped_random;       // loss model
+  obs::Counter dropped_directional;  // one-way link faults
+
+  void bind(obs::MetricRegistry& registry, const std::string& scope);
+  void export_into(obs::MetricRegistry& registry,
+                   const std::string& scope) const;
 };
 
 class Fabric {
@@ -100,6 +107,10 @@ class Fabric {
   void set_tap(TapFn tap) { tap_ = std::move(tap); }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
 
+  /// Route frame metrics and partition fault events through a shared
+  /// observability context; convention for `scope`: "net".
+  void bind_observability(obs::Observability& obs, std::string scope);
+
  private:
   struct Nic {
     SegmentId segment = 0;
@@ -127,6 +138,8 @@ class Fabric {
   TapFn tap_;
   std::uint16_t next_mac_ = 1;
   std::set<std::pair<NicId, NicId>> blocked_;  // (from, to) one-way faults
+  obs::Observability* obs_ = nullptr;
+  std::string obs_scope_;
 };
 
 }  // namespace wam::net

@@ -27,17 +27,23 @@
 
 namespace wam::net {
 
+/// Per-host statistics; a thin view over registry cells once the host is
+/// bound to an obs::Observability (see obs/metrics.hpp).
 struct HostCounters {
-  std::uint64_t udp_sent = 0;
-  std::uint64_t udp_received = 0;
-  std::uint64_t udp_no_socket = 0;
-  std::uint64_t ip_forwarded = 0;
-  std::uint64_t ip_no_route = 0;
-  std::uint64_t ip_not_ours = 0;
-  std::uint64_t arp_requests_sent = 0;
-  std::uint64_t arp_replies_sent = 0;
-  std::uint64_t arp_resolution_failures = 0;
-  std::uint64_t decode_errors = 0;
+  obs::Counter udp_sent;
+  obs::Counter udp_received;
+  obs::Counter udp_no_socket;
+  obs::Counter ip_forwarded;
+  obs::Counter ip_no_route;
+  obs::Counter ip_not_ours;
+  obs::Counter arp_requests_sent;
+  obs::Counter arp_replies_sent;
+  obs::Counter arp_resolution_failures;
+  obs::Counter decode_errors;
+
+  void bind(obs::MetricRegistry& registry, const std::string& scope);
+  void export_into(obs::MetricRegistry& registry,
+                   const std::string& scope) const;
 };
 
 class Host {
@@ -133,6 +139,10 @@ class Host {
   [[nodiscard]] const HostCounters& counters() const { return counters_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] Fabric& fabric() { return fabric_; }
+
+  /// Back this host's counters with registry cells; convention for
+  /// `scope`: "net/s<N>".
+  void bind_observability(obs::Observability& obs, std::string scope);
 
   // ARP resolution tuning (Linux-like defaults).
   sim::Duration arp_retry_interval = sim::seconds(1.0);

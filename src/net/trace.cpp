@@ -53,6 +53,14 @@ std::vector<FrameTrace::Record> FrameTrace::find(
   return out;
 }
 
+std::size_t FrameTrace::count(const std::string& needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.summary.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
 std::string FrameTrace::dump() const {
   std::string out;
   for (const auto& r : records_) {

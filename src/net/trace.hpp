@@ -31,9 +31,8 @@ class FrameTrace {
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   /// Records whose summary contains `needle`.
   [[nodiscard]] std::vector<Record> find(const std::string& needle) const;
-  [[nodiscard]] std::size_t count(const std::string& needle) const {
-    return find(needle).size();
-  }
+  /// Number of matching records, without materializing them.
+  [[nodiscard]] std::size_t count(const std::string& needle) const;
   void clear() { records_.clear(); }
   /// Render all records, one per line, with timestamps.
   [[nodiscard]] std::string dump() const;

@@ -1,0 +1,88 @@
+// Minimal JSON support for the observability layer.
+//
+// JsonWriter emits deterministic, machine-readable JSON (keys in the order
+// they are written, integers rendered without a decimal point, strings
+// escaped per RFC 8259) — the substrate behind the `metrics` and
+// `status-json` control commands and the EventTimeline export. parse_json()
+// is the matching reader, used by tests and tools to round-trip what the
+// daemons publish. Neither aims to be a general-purpose JSON library; they
+// cover exactly the documents docs/OBSERVABILITY.md specifies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wam::obs {
+
+/// Streaming writer with automatic comma/nesting management.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key for the next value (only valid directly inside an object).
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void before_value();
+  std::string out_;
+  // One entry per open container: true = object, false = array; .second
+  // counts emitted elements (for comma placement).
+  std::vector<std::pair<bool, int>> stack_;
+  bool key_pending_ = false;
+};
+
+/// Thrown by parse_json() on malformed input; the message carries a byte
+/// offset into the document.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool has(const std::string& k) const {
+    return object.count(k) > 0;
+  }
+  /// Member access; throws JsonError when absent or not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& k) const;
+  [[nodiscard]] std::uint64_t as_u64() const {
+    return static_cast<std::uint64_t>(number);
+  }
+};
+
+/// Parse a complete JSON document (trailing garbage is an error).
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace wam::obs

@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace wam::obs {
+
+// ------------------------------------------------------------ histogram ----
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  WAM_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
+  ++count_;
+  sum_ += x;
+}
+
+// ------------------------------------------------------------- registry ----
+
+std::uint64_t& MetricRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+void MetricRegistry::bind(Counter& c, const std::string& name) {
+  auto& cell = counter(name);
+  cell += c.value_;
+  c.value_ = 0;
+  c.cell_ = &cell;
+}
+
+void MetricRegistry::bind(Gauge& g, const std::string& name) {
+  auto& cell = gauge(name);
+  cell = g.value();
+  g.value_ = 0;
+  g.cell_ = &cell;
+}
+
+std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0;
+}
+
+bool MetricRegistry::name_matches(const std::string& pattern,
+                                  const std::string& name) {
+  if (pattern.empty()) return true;
+  if (pattern.find('*') == std::string::npos) {
+    if (name == pattern) return true;
+    // Subtree prefix: "wam/s3" matches "wam/s3/acquires".
+    return name.size() > pattern.size() &&
+           name.compare(0, pattern.size(), pattern) == 0 &&
+           name[pattern.size()] == '/';
+  }
+  // Segment-wise match with '*' standing for exactly one segment.
+  std::size_t p = 0, n = 0;
+  while (true) {
+    auto p_end = pattern.find('/', p);
+    auto n_end = name.find('/', n);
+    auto p_seg = pattern.substr(p, p_end == std::string::npos
+                                       ? std::string::npos
+                                       : p_end - p);
+    auto n_seg = name.substr(n, n_end == std::string::npos ? std::string::npos
+                                                           : n_end - n);
+    if (p_seg != "*" && p_seg != n_seg) return false;
+    bool p_done = p_end == std::string::npos;
+    bool n_done = n_end == std::string::npos;
+    if (p_done || n_done) return p_done && n_done;
+    p = p_end + 1;
+    n = n_end + 1;
+  }
+}
+
+std::uint64_t MetricRegistry::sum(const std::string& pattern) const {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : counters_) {
+    if (name_matches(pattern, name)) total += value;
+  }
+  return total;
+}
+
+std::vector<std::string> MetricRegistry::match(
+    const std::string& pattern) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : counters_) {
+    if (name_matches(pattern, name)) out.push_back(name);
+  }
+  return out;
+}
+
+std::string MetricRegistry::to_json(const std::string& prefix) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) {
+    if (!name_matches(prefix, name)) continue;
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges_) {
+    if (!name_matches(prefix, name)) continue;
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    if (!name_matches(prefix, name)) continue;
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("min").value(h.min());
+    w.key("max").value(h.max());
+    w.key("bounds").begin_array();
+    for (double b : h.bounds()) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (std::uint64_t c : h.counts()) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace wam::obs

@@ -1,0 +1,35 @@
+// The one-stop observability context: a MetricRegistry plus an EventBus.
+//
+// A simulation owns exactly one Observability; components receive a
+// pointer to it (plus their metric scope) through bind_observability().
+// Components keep working without one — their legacy counter structs then
+// count free-standing and no events are published — so unit tests can
+// build daemons bare while scenarios and benches get the full picture.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace wam::obs {
+
+struct Observability {
+  MetricRegistry registry;
+  EventBus bus;
+
+  /// Publish a structured event stamped with the given virtual time.
+  void emit(sim::TimePoint time, EventType type, std::string source,
+            std::vector<std::pair<std::string, std::string>> fields = {}) {
+    Event e;
+    e.time = time;
+    e.type = type;
+    e.source = std::move(source);
+    e.fields = std::move(fields);
+    bus.publish(std::move(e));
+  }
+};
+
+}  // namespace wam::obs

@@ -34,15 +34,23 @@ double Stats::stddev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
+const std::vector<double>& Stats::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
 double Stats::percentile(double p) const {
   WAM_EXPECTS(!empty());
   WAM_EXPECTS(p >= 0.0 && p <= 100.0);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const auto& view = sorted();
   auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+      std::ceil(p / 100.0 * static_cast<double>(view.size())));
   if (rank == 0) rank = 1;
-  return sorted[rank - 1];
+  return view[rank - 1];
 }
 
 std::string Stats::summary() const {

@@ -12,7 +12,10 @@ namespace wam::sim {
 /// Collects samples and reports count/mean/min/max/stddev/percentiles.
 class Stats {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
   void add(Duration d) { add(to_seconds(d)); }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
@@ -31,7 +34,13 @@ class Stats {
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
  private:
+  // percentile() is called in tight loops by the benches; keep the sorted
+  // view across calls and invalidate on add().
+  const std::vector<double>& sorted() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace wam::sim

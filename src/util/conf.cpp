@@ -1,0 +1,101 @@
+#include "util/conf.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace wam::util::conf {
+
+namespace {
+
+[[noreturn]] void report(const FailFn& fail, int line_no,
+                         const std::string& line, const std::string& why) {
+  fail(line_no, line, why);
+  throw std::logic_error("conf FailFn returned instead of throwing");
+}
+
+}  // namespace
+
+std::string trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+sim::Duration parse_duration(const std::string& token, int line_no,
+                             const std::string& line, const FailFn& fail) {
+  std::size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    report(fail, line_no, line, "bad duration '" + token + "'");
+  }
+  auto unit = token.substr(pos);
+  if (unit == "s") return sim::seconds(value);
+  if (unit == "ms") {
+    return sim::Duration(static_cast<std::int64_t>(value * 1e6));
+  }
+  report(fail, line_no, line,
+         "duration needs an 's' or 'ms' suffix: '" + token + "'");
+}
+
+int parse_int(const std::string& token, int line_no, const std::string& line,
+              const FailFn& fail) {
+  try {
+    std::size_t pos = 0;
+    int value = std::stoi(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    report(fail, line_no, line, "expected an integer, got '" + token + "'");
+  }
+}
+
+bool parse_bool(const std::string& token, int line_no,
+                const std::string& line, const FailFn& fail) {
+  auto v = lower(token);
+  if (v == "yes" || v == "true" || v == "on") return true;
+  if (v == "no" || v == "false" || v == "off") return false;
+  report(fail, line_no, line, "expected yes/no, got '" + token + "'");
+}
+
+void for_each_line(
+    const std::string& text,
+    const std::function<void(int, const std::string&, const std::string&)>&
+        handler) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto stripped = trim(line);
+    if (stripped.empty()) continue;
+    handler(line_no, stripped, line);
+  }
+}
+
+KeyValue split_key_value(const std::string& stripped, int line_no,
+                         const std::string& line, const FailFn& fail) {
+  auto eq = stripped.find('=');
+  if (eq == std::string::npos) {
+    report(fail, line_no, line, "expected 'Key = value'");
+  }
+  KeyValue kv;
+  kv.key = lower(trim(stripped.substr(0, eq)));
+  kv.value = trim(stripped.substr(eq + 1));
+  if (kv.value.empty()) report(fail, line_no, line, "missing value");
+  return kv;
+}
+
+}  // namespace wam::util::conf

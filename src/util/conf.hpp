@@ -1,0 +1,60 @@
+// Shared tokenizer/section-parser behind the two conf dialects.
+//
+// gcs/conf_parser (spread.conf) and wackamole/conf_parser (wackamole.conf)
+// used to carry near-identical private copies of trim/lower/duration/int
+// parsing and the comment-stripping line loop. This is the one parsing
+// API both front-ends now sit on: they keep their own ConfigError types
+// and key handling, and report errors through a FailFn so the shared code
+// never has to know which dialect it is serving.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace wam::util::conf {
+
+/// Error reporter supplied by the front-end. MUST throw (the helpers treat
+/// it as [[noreturn]]; a returning FailFn is a programming error and trips
+/// a std::logic_error).
+using FailFn = std::function<void(int line_no, const std::string& line,
+                                  const std::string& why)>;
+
+[[nodiscard]] std::string trim(const std::string& s);
+[[nodiscard]] std::string lower(std::string s);
+
+/// "30s" / "2.5ms" -> Duration; anything else reports through `fail`.
+[[nodiscard]] sim::Duration parse_duration(const std::string& token,
+                                           int line_no,
+                                           const std::string& line,
+                                           const FailFn& fail);
+
+[[nodiscard]] int parse_int(const std::string& token, int line_no,
+                            const std::string& line, const FailFn& fail);
+
+/// yes/true/on -> true, no/false/off -> false (case-insensitive).
+[[nodiscard]] bool parse_bool(const std::string& token, int line_no,
+                              const std::string& line, const FailFn& fail);
+
+/// Strip comments ('#' to end of line) and blanks, then hand every
+/// remaining trimmed line to `handler(line_no, stripped, raw)`. `raw` is
+/// the comment-stripped original, for error messages.
+void for_each_line(
+    const std::string& text,
+    const std::function<void(int line_no, const std::string& stripped,
+                             const std::string& raw)>& handler);
+
+struct KeyValue {
+  std::string key;    // lowered + trimmed
+  std::string value;  // trimmed, never empty
+};
+
+/// Split a "Key = value" line; reports through `fail` when there is no '='
+/// or the value is empty.
+[[nodiscard]] KeyValue split_key_value(const std::string& stripped,
+                                       int line_no, const std::string& line,
+                                       const FailFn& fail);
+
+}  // namespace wam::util::conf

@@ -1,48 +1,20 @@
 #include "wackamole/conf_parser.hpp"
 
-#include <algorithm>
-#include <cctype>
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/conf.hpp"
 
 namespace wam::wackamole {
 
 namespace {
 
+namespace conf = util::conf;
+
 [[noreturn]] void fail(int line_no, const std::string& line,
                        const std::string& why) {
   throw ConfigError("wackamole.conf line " + std::to_string(line_no) + " ('" +
                     line + "'): " + why);
-}
-
-std::string trim(const std::string& s) {
-  auto begin = s.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) return "";
-  auto end = s.find_last_not_of(" \t\r");
-  return s.substr(begin, end - begin + 1);
-}
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-/// "30s" / "250ms" / "0s" -> Duration.
-sim::Duration parse_duration(const std::string& token, int line_no,
-                             const std::string& line) {
-  std::size_t pos = 0;
-  double value = 0;
-  try {
-    value = std::stod(token, &pos);
-  } catch (const std::exception&) {
-    fail(line_no, line, "bad duration '" + token + "'");
-  }
-  auto unit = token.substr(pos);
-  if (unit == "s") return sim::seconds(value);
-  if (unit == "ms") return sim::milliseconds(static_cast<std::int64_t>(value));
-  fail(line_no, line, "duration needs an 's' or 'ms' suffix: '" + token + "'");
 }
 
 /// "if0: 10.0.0.100/32" -> (address, ifindex). The /prefix is optional.
@@ -94,23 +66,15 @@ void parse_group_body(const std::string& body, VipGroup& group, int line_no,
 
 Config parse_config(const std::string& text) {
   Config config;
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
   bool in_vifs = false;
   std::string prefer_csv;
 
-  while (std::getline(in, line)) {
-    ++line_no;
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    auto stripped = trim(line);
-    if (stripped.empty()) continue;
-
+  conf::for_each_line(text, [&](int line_no, const std::string& stripped,
+                                const std::string& line) {
     if (in_vifs) {
       if (stripped == "}") {
         in_vifs = false;
-        continue;
+        return;
       }
       // Either "{ ... }" or "name { ... }".
       auto open = stripped.find('{');
@@ -120,76 +84,71 @@ Config parse_config(const std::string& text) {
         fail(line_no, line, "expected '[name] { ifN:addr ... }'");
       }
       VipGroup group;
-      group.name = trim(stripped.substr(0, open));
+      group.name = conf::trim(stripped.substr(0, open));
       parse_group_body(stripped.substr(open + 1, close - open - 1), group,
                        line_no, line);
       if (group.name.empty()) {
         group.name = group.addresses.front().first.to_string();
       }
       config.vip_groups.push_back(std::move(group));
-      continue;
+      return;
     }
 
-    if (lower(stripped).rfind("virtualinterfaces", 0) == 0) {
+    if (conf::lower(stripped).rfind("virtualinterfaces", 0) == 0) {
       if (stripped.find('{') == std::string::npos) {
         fail(line_no, line, "VirtualInterfaces needs an opening '{'");
       }
       in_vifs = true;
-      continue;
+      return;
     }
 
-    auto eq = stripped.find('=');
-    if (eq == std::string::npos) {
-      fail(line_no, line, "expected 'Key = value'");
-    }
-    auto key = lower(trim(stripped.substr(0, eq)));
-    auto value = trim(stripped.substr(eq + 1));
-    if (value.empty()) fail(line_no, line, "missing value");
+    auto [key, value] = conf::split_key_value(stripped, line_no, line, fail);
 
     if (key == "group") {
       config.group = value;
     } else if (key == "mature") {
-      config.maturity_timeout = parse_duration(value, line_no, line);
+      config.maturity_timeout =
+          conf::parse_duration(value, line_no, line, fail);
       config.start_mature = config.maturity_timeout == sim::kZero;
     } else if (key == "balance") {
-      config.balance_timeout = parse_duration(value, line_no, line);
+      config.balance_timeout = conf::parse_duration(value, line_no, line, fail);
     } else if (key == "spreadretryinterval") {
-      config.reconnect_interval = parse_duration(value, line_no, line);
+      config.reconnect_interval =
+          conf::parse_duration(value, line_no, line, fail);
     } else if (key == "arpshare") {
-      config.arp_share_interval = parse_duration(value, line_no, line);
+      config.arp_share_interval =
+          conf::parse_duration(value, line_no, line, fail);
     } else if (key == "announce") {
-      config.announce_interval = parse_duration(value, line_no, line);
+      config.announce_interval =
+          conf::parse_duration(value, line_no, line, fail);
     } else if (key == "representativedriven") {
-      auto v = lower(value);
-      if (v == "yes" || v == "true" || v == "on") {
-        config.representative_driven = true;
-      } else if (v == "no" || v == "false" || v == "off") {
-        config.representative_driven = false;
-      } else {
-        fail(line_no, line, "RepresentativeDriven must be yes/no");
-      }
+      config.representative_driven =
+          conf::parse_bool(value, line_no, line, [&](int n, const auto& l,
+                                                     const auto&) {
+            fail(n, l, "RepresentativeDriven must be yes/no");
+          });
     } else if (key == "weight") {
-      try {
-        config.weight = std::stoi(value);
-      } catch (const std::exception&) {
-        fail(line_no, line, "Weight must be an integer");
-      }
+      config.weight =
+          conf::parse_int(value, line_no, line, [&](int n, const auto& l,
+                                                    const auto&) {
+            fail(n, l, "Weight must be an integer");
+          });
     } else if (key == "prefer") {
       prefer_csv = value;
     } else {
       fail(line_no, line, "unknown key '" + key + "'");
     }
-  }
+  });
   if (in_vifs) {
     throw ConfigError("wackamole.conf: unterminated VirtualInterfaces block");
   }
 
   // Preferences reference group names, so resolve them last.
-  if (!prefer_csv.empty() && lower(prefer_csv) != "none") {
+  if (!prefer_csv.empty() && conf::lower(prefer_csv) != "none") {
     std::istringstream items(prefer_csv);
     std::string item;
     while (std::getline(items, item, ',')) {
-      auto name = trim(item);
+      auto name = conf::trim(item);
       if (!name.empty()) config.preferred.push_back(name);
     }
   }

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/json.hpp"
 #include "util/assert.hpp"
 
 namespace wam::wackamole {
@@ -46,12 +47,51 @@ std::string render_status(const Status& s) {
   return out.str();
 }
 
+std::string render_status_json(const Status& s) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("state").value(wam_state_name(s.state));
+  w.key("mature").value(s.mature);
+  w.key("connected").value(s.connected);
+  w.key("representative").value(s.representative);
+  w.key("view").value(s.view);
+  w.key("owned").begin_array();
+  for (const auto& g : s.owned) w.value(g);
+  w.end_array();
+  w.key("table").begin_object();
+  for (const auto& [group, owner] : s.table) w.key(group).value(owner);
+  w.end_object();
+  w.key("counters").begin_object();
+  WamCounters::for_each(s.counters,
+                        [&](const char* name, const obs::Counter& c) {
+                          w.key(name).value(c.value());
+                        });
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
 std::string AdminControl::execute(const std::string& command) {
   std::istringstream in(command);
   std::string verb;
   in >> verb;
   if (verb == "status") {
     return render_status(snapshot(daemon_));
+  }
+  if (verb == "status-json") {
+    return render_status_json(snapshot(daemon_));
+  }
+  if (verb == "metrics") {
+    std::string prefix;
+    in >> prefix;
+    if (auto* obs = daemon_.observability()) {
+      return obs->registry.to_json(prefix) + "\n";
+    }
+    // Unbound daemon: snapshot its own counters into a throwaway registry
+    // so the command keeps one output format either way.
+    obs::MetricRegistry tmp;
+    daemon_.counters().export_into(tmp, "wam");
+    return tmp.to_json(prefix) + "\n";
   }
   if (verb == "balance") {
     return daemon_.trigger_balance()
@@ -78,7 +118,8 @@ std::string AdminControl::execute(const std::string& command) {
     daemon_.graceful_shutdown();
     return "left the cluster\n";
   }
-  return "usage: status | balance | prefer [g1,g2,...] | leave\n";
+  return "usage: status | status-json | metrics [prefix] | balance | "
+         "prefer [g1,g2,...] | leave\n";
 }
 
 }  // namespace wam::wackamole

@@ -27,14 +27,23 @@ struct Status {
 
 [[nodiscard]] Status snapshot(const Daemon& daemon);
 [[nodiscard]] std::string render_status(const Status& status);
+/// Machine-readable status: one deterministic JSON object (schema in
+/// docs/OBSERVABILITY.md).
+[[nodiscard]] std::string render_status_json(const Status& status);
 
 class AdminControl {
  public:
   explicit AdminControl(Daemon& daemon) : daemon_(daemon) {}
 
-  /// Commands: "status", "balance", "prefer <g1,g2,...>", "prefer" (clear),
-  /// "leave". Returns a human-readable response; unknown commands get a
-  /// usage string.
+  /// Commands: "status", "status-json", "metrics [prefix]", "balance",
+  /// "prefer <g1,g2,...>", "prefer" (clear), "leave". Returns a
+  /// human-readable (or, for the -json/metrics commands, JSON) response;
+  /// unknown commands get a usage string.
+  ///
+  /// "metrics" exports the daemon's observability registry; when the daemon
+  /// is bound this is the simulation-wide registry (optionally restricted
+  /// to a subtree by `prefix`), otherwise a snapshot of the daemon's own
+  /// counters under "wam".
   std::string execute(const std::string& command);
 
  private:

@@ -15,6 +15,20 @@ const char* wam_state_name(WamState s) {
   return "?";
 }
 
+void WamCounters::bind(obs::MetricRegistry& registry,
+                       const std::string& scope) {
+  for_each(*this, [&](const char* name, obs::Counter& c) {
+    registry.bind(c, scope + "/" + name);
+  });
+}
+
+void WamCounters::export_into(obs::MetricRegistry& registry,
+                              const std::string& scope) const {
+  for_each(*this, [&](const char* name, const obs::Counter& c) {
+    registry.counter(scope + "/" + name) = c.value();
+  });
+}
+
 Daemon::Daemon(sim::Scheduler& sched, Config config, gcs::Daemon& gcs,
                IpManager& ip_manager, sim::Log* log)
     : sched_(sched),
@@ -28,6 +42,26 @@ Daemon::Daemon(sim::Scheduler& sched, Config config, gcs::Daemon& gcs,
                   [this](const gcs::GroupMessage& m) { on_message(m); },
                   [this] { on_disconnect(); }}) {
   config_.validate();
+}
+
+void Daemon::bind_observability(obs::Observability& obs, std::string scope) {
+  obs_ = &obs;
+  obs_scope_ = std::move(scope);
+  counters_.bind(obs.registry, obs_scope_);
+}
+
+void Daemon::emit(obs::EventType type,
+                  std::vector<std::pair<std::string, std::string>> fields) {
+  if (obs_ == nullptr) return;
+  obs_->emit(sched_.now(), type, obs_scope_, std::move(fields));
+}
+
+void Daemon::enter_state(WamState next) {
+  if (state_ == next) return;
+  WamState from = state_;
+  state_ = next;
+  emit(obs::EventType::kStateTransition,
+       {{"from", wam_state_name(from)}, {"to", wam_state_name(next)}});
 }
 
 void Daemon::start() {
@@ -63,7 +97,7 @@ void Daemon::graceful_shutdown() {
   }
   release_everything();
   if (client_.connected()) client_.disconnect();
-  state_ = WamState::kIdle;
+  enter_state(WamState::kIdle);
   view_.reset();
   table_.clear();
   log_.info("graceful shutdown complete");
@@ -108,7 +142,7 @@ void Daemon::on_membership(const gcs::GroupView& gv) {
   balance_timer_.cancel();
   // Enter GATHER before multicasting: local delivery is synchronous, so our
   // own STATE_MSG can arrive inside the multicast call below.
-  state_ = WamState::kGather;
+  enter_state(WamState::kGather);
   send_state_msg();
 }
 
@@ -150,11 +184,12 @@ void Daemon::on_message(const gcs::GroupMessage& gm) {
 void Daemon::on_disconnect() {
   if (!running_) return;
   ++counters_.disconnects;
+  emit(obs::EventType::kDisconnect);
   log_.warn("lost local GCS daemon: releasing all virtual interfaces");
   // Correctness cannot be ensured without the GCS (§4.2): drop everything
   // and retry the connection periodically.
   release_everything();
-  state_ = WamState::kIdle;
+  enter_state(WamState::kIdle);
   view_.reset();
   table_.clear();
   received_.clear();
@@ -243,7 +278,7 @@ void Daemon::finish_gather() {
   if (config_.representative_driven) {
     // §4.2 variant: only the representative decides; its ALLOC_MSG imposes
     // the assignment on everyone (including itself, via self-delivery).
-    state_ = WamState::kRun;
+    enter_state(WamState::kRun);
     arm_balance_timer();
     if (is_representative()) {
       auto assignments =
@@ -260,6 +295,9 @@ void Daemon::finish_gather() {
       }
       client_.multicast(config_.group, encode_alloc(m));
       ++counters_.reallocations;
+      emit(obs::EventType::kReallocation,
+           {{"groups", std::to_string(m.allocation.size())},
+            {"mode", "representative"}});
       log_.info("GATHER complete (representative): imposing allocation of "
                 "%zu groups",
                 m.allocation.size());
@@ -279,7 +317,10 @@ void Daemon::finish_gather() {
     }
   }
   ++counters_.reallocations;
-  state_ = WamState::kRun;
+  emit(obs::EventType::kReallocation,
+       {{"holes", std::to_string(assignments.size())},
+        {"mode", "deterministic"}});
+  enter_state(WamState::kRun);
   log_.info("GATHER complete: reallocated %zu holes, table %s",
             assignments.size(), table_.describe().c_str());
   arm_balance_timer();
@@ -350,6 +391,8 @@ bool Daemon::run_balance() {
   }
   client_.multicast(config_.group, encode_balance(m));
   ++counters_.balance_rounds;
+  emit(obs::EventType::kBalanceRound,
+       {{"groups", std::to_string(m.allocation.size())}});
   log_.info("representative: broadcasting balance (%zu groups)",
             m.allocation.size());
   return true;
@@ -478,6 +521,7 @@ void Daemon::acquire_group(const std::string& name) {
   if (ip_manager_.holds(name)) return;
   ip_manager_.acquire(*group);
   ++counters_.acquires;
+  emit(obs::EventType::kVipAcquired, {{"group", name}});
   log_.info("acquired VIP group %s", name.c_str());
 }
 
@@ -487,6 +531,7 @@ void Daemon::release_group(const std::string& name) {
   if (!ip_manager_.holds(name)) return;
   ip_manager_.release(*group);
   ++counters_.releases;
+  emit(obs::EventType::kVipReleased, {{"group", name}});
   log_.info("released VIP group %s", name.c_str());
 }
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "gcs/client.hpp"
+#include "obs/observability.hpp"
 #include "sim/log.hpp"
 #include "wackamole/balance.hpp"
 #include "wackamole/config.hpp"
@@ -60,20 +61,49 @@ enum class WamState { kIdle, kRun, kGather };
 
 const char* wam_state_name(WamState s);
 
+/// Per-daemon statistics. A thin view: once the daemon is bound to an
+/// obs::Observability, every field reads and writes a registry cell under
+/// "wam/<scope>/<field>" — the legacy accessors and the metric queries
+/// always agree.
 struct WamCounters {
-  std::uint64_t view_changes = 0;
-  std::uint64_t state_msgs_sent = 0;
-  std::uint64_t state_msgs_received = 0;
-  std::uint64_t stale_msgs_ignored = 0;
-  std::uint64_t reallocations = 0;
-  std::uint64_t conflicts_dropped = 0;  // claims *we* released on conflict
-  std::uint64_t acquires = 0;
-  std::uint64_t releases = 0;
-  std::uint64_t balance_rounds = 0;    // representative decisions multicast
-  std::uint64_t balance_applied = 0;   // BALANCE_MSGs executed
-  std::uint64_t maturity_timeouts = 0;
-  std::uint64_t reconnect_attempts = 0;
-  std::uint64_t disconnects = 0;
+  obs::Counter view_changes;
+  obs::Counter state_msgs_sent;
+  obs::Counter state_msgs_received;
+  obs::Counter stale_msgs_ignored;
+  obs::Counter reallocations;
+  obs::Counter conflicts_dropped;  // claims *we* released on conflict
+  obs::Counter acquires;
+  obs::Counter releases;
+  obs::Counter balance_rounds;    // representative decisions multicast
+  obs::Counter balance_applied;   // BALANCE_MSGs executed
+  obs::Counter maturity_timeouts;
+  obs::Counter reconnect_attempts;
+  obs::Counter disconnects;
+
+  /// Back every field with a registry cell named "<scope>/<field>".
+  void bind(obs::MetricRegistry& registry, const std::string& scope);
+  /// Copy current values into `registry` (snapshot for unbound daemons).
+  void export_into(obs::MetricRegistry& registry,
+                   const std::string& scope) const;
+
+  /// Enumerate (name, field) pairs — the single source of truth for the
+  /// field names used by bind(), export_into() and the JSON renderers.
+  template <class Self, class Fn>
+  static void for_each(Self& self, Fn&& fn) {
+    fn("view_changes", self.view_changes);
+    fn("state_msgs_sent", self.state_msgs_sent);
+    fn("state_msgs_received", self.state_msgs_received);
+    fn("stale_msgs_ignored", self.stale_msgs_ignored);
+    fn("reallocations", self.reallocations);
+    fn("conflicts_dropped", self.conflicts_dropped);
+    fn("acquires", self.acquires);
+    fn("releases", self.releases);
+    fn("balance_rounds", self.balance_rounds);
+    fn("balance_applied", self.balance_applied);
+    fn("maturity_timeouts", self.maturity_timeouts);
+    fn("reconnect_attempts", self.reconnect_attempts);
+    fn("disconnects", self.disconnects);
+  }
 };
 
 class Daemon {
@@ -82,6 +112,13 @@ class Daemon {
          IpManager& ip_manager, sim::Log* log = nullptr);
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
+
+  /// Route metrics and structured events through a shared observability
+  /// context; `scope` prefixes every metric name and stamps every event
+  /// source (convention: "wam/s<N>"). Call before start().
+  void bind_observability(obs::Observability& obs, std::string scope);
+  [[nodiscard]] obs::Observability* observability() const { return obs_; }
+  [[nodiscard]] const std::string& obs_scope() const { return obs_scope_; }
 
   /// Connect to the local GCS daemon and join the wackamole group.
   void start();
@@ -136,6 +173,10 @@ class Daemon {
   void announce_tick();
   void reconnect_tick();
   void become_mature(const char* how);
+  /// Switch the Figure-2 state machine, publishing a StateTransition event.
+  void enter_state(WamState next);
+  void emit(obs::EventType type,
+            std::vector<std::pair<std::string, std::string>> fields = {});
 
   sim::Scheduler& sched_;
   Config config_;
@@ -167,6 +208,8 @@ class Daemon {
   std::function<std::vector<std::uint32_t>()> arp_share_source_;
 
   WamCounters counters_;
+  obs::Observability* obs_ = nullptr;
+  std::string obs_scope_;
 };
 
 }  // namespace wam::wackamole

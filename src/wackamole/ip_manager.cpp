@@ -6,6 +6,19 @@ void SimIpManager::set_router(int ifindex, net::Ipv4Address router_ip) {
   routers_[ifindex] = router_ip;
 }
 
+void SimIpManager::bind_observability(obs::Observability& obs,
+                                      std::string scope) {
+  obs_ = &obs;
+  obs_scope_ = std::move(scope);
+  update_held_gauge();
+}
+
+void SimIpManager::update_held_gauge() {
+  if (obs_ == nullptr) return;
+  obs_->registry.gauge(obs_scope_ + "/held_groups") =
+      static_cast<double>(held_.size());
+}
+
 void SimIpManager::add_notify_target(net::Ipv4Address ip) {
   notify_targets_[ip] = host_.scheduler().now();
 }
@@ -34,6 +47,7 @@ void SimIpManager::acquire(const VipGroup& group) {
     host_.add_alias(ifindex, ip);
   }
   held_.insert(group.name);
+  update_held_gauge();
   announce(group);
 }
 
@@ -42,11 +56,18 @@ void SimIpManager::release(const VipGroup& group) {
     host_.remove_alias(ifindex, ip);
   }
   held_.erase(group.name);
+  update_held_gauge();
 }
 
 void SimIpManager::announce(const VipGroup& group) {
   if (held_.count(group.name) == 0) return;
   expire_notify_targets();
+  if (obs_ != nullptr) {
+    obs_->emit(host_.scheduler().now(), obs::EventType::kArpAnnounce,
+               obs_scope_,
+               {{"group", group.name},
+                {"addresses", std::to_string(group.addresses.size())}});
+  }
   for (const auto& [ip, ifindex] : group.addresses) {
     // Broadcast gratuitous ARP updates every host that already resolved the
     // address...

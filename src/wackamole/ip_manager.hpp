@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/host.hpp"
+#include "obs/observability.hpp"
 #include "wackamole/config.hpp"
 
 namespace wam::wackamole {
@@ -59,14 +60,21 @@ class SimIpManager : public IpManager {
 
   [[nodiscard]] net::Host& host() { return host_; }
 
+  /// Publish ArpAnnounce events and a "held_groups" gauge through a shared
+  /// observability context; convention for `scope`: "ip/s<N>".
+  void bind_observability(obs::Observability& obs, std::string scope);
+
  private:
   void expire_notify_targets();
+  void update_held_gauge();
 
   net::Host& host_;
   std::map<int, net::Ipv4Address> routers_;  // ifindex -> router ip
   std::map<net::Ipv4Address, sim::TimePoint> notify_targets_;  // ip -> seen
   sim::Duration notify_ttl_ = sim::kZero;
   std::set<std::string> held_;
+  obs::Observability* obs_ = nullptr;
+  std::string obs_scope_;
 };
 
 /// Test double: records the operation sequence, holds no real addresses.

@@ -1,0 +1,80 @@
+// The shared conf tokenizer/section-parser both conf dialects sit on.
+#include "util/conf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace wam::util::conf {
+namespace {
+
+struct TestError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+FailFn thrower() {
+  return [](int line_no, const std::string& line, const std::string& why) {
+    throw TestError("line " + std::to_string(line_no) + ": " + why + " [" +
+                    line + "]");
+  };
+}
+
+TEST(Conf, TrimAndLower) {
+  EXPECT_EQ(trim("  a b \t"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(lower("MixedCase"), "mixedcase");
+}
+
+TEST(Conf, ParseDuration) {
+  auto fail = thrower();
+  EXPECT_EQ(parse_duration("30s", 1, "x", fail), sim::seconds(30.0));
+  EXPECT_EQ(parse_duration("2.5ms", 1, "x", fail),
+            sim::Duration(2500000));  // 2.5 ms in ns
+  EXPECT_THROW((void)parse_duration("fast", 1, "x", fail), TestError);
+  EXPECT_THROW((void)parse_duration("10", 1, "x", fail), TestError);
+}
+
+TEST(Conf, ParseIntAndBool) {
+  auto fail = thrower();
+  EXPECT_EQ(parse_int("42", 1, "x", fail), 42);
+  EXPECT_THROW((void)parse_int("4x2", 1, "x", fail), TestError);
+  EXPECT_TRUE(parse_bool("Yes", 1, "x", fail));
+  EXPECT_TRUE(parse_bool("on", 1, "x", fail));
+  EXPECT_FALSE(parse_bool("FALSE", 1, "x", fail));
+  EXPECT_THROW((void)parse_bool("maybe", 1, "x", fail), TestError);
+}
+
+TEST(Conf, ForEachLineStripsCommentsAndBlanks) {
+  std::vector<int> line_nos;
+  std::vector<std::string> lines;
+  for_each_line("# header\n\nKey = 1  # trailing\n  \n Other = 2\n",
+                [&](int line_no, const std::string& stripped,
+                    const std::string& raw) {
+                  line_nos.push_back(line_no);
+                  lines.push_back(stripped);
+                  EXPECT_EQ(raw.find('#'), std::string::npos);
+                });
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(line_nos[0], 3);
+  EXPECT_EQ(lines[0], "Key = 1");
+  EXPECT_EQ(line_nos[1], 5);
+  EXPECT_EQ(lines[1], "Other = 2");
+}
+
+TEST(Conf, SplitKeyValue) {
+  auto fail = thrower();
+  auto kv = split_key_value("HeartBeat = 0.4s", 1, "x", fail);
+  EXPECT_EQ(kv.key, "heartbeat");  // lowered
+  EXPECT_EQ(kv.value, "0.4s");
+  EXPECT_THROW(split_key_value("NoEquals", 1, "x", fail), TestError);
+  EXPECT_THROW(split_key_value("Key =", 1, "x", fail), TestError);
+}
+
+TEST(Conf, ReturningFailFnIsAProgrammingError) {
+  FailFn noop = [](int, const std::string&, const std::string&) {};
+  EXPECT_THROW((void)parse_int("bad", 1, "x", noop), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wam::util::conf

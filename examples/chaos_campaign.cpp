@@ -1,0 +1,153 @@
+// chaos_campaign: randomized fault-injection campaign with invariant
+// oracles (see docs/CHAOS.md).
+//
+//   chaos_campaign --seeds 100                 # seeds 1..100, both profiles
+//   chaos_campaign --seed 42 --profile cluster # one seed, one profile
+//   chaos_campaign --seed 42 --dsl             # print the schedule DSL
+//   chaos_campaign --seed 42 --replay          # print the event timeline
+//
+// Exit status is non-zero iff any seed produced a Property 1/2 violation;
+// each violating seed prints its violations, the shrunk schedule and the
+// DSL replay artifact, so CI failures are immediately reproducible.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::uint64_t first_seed = 1;
+  std::uint64_t num_seeds = 25;
+  bool single_seed = false;
+  bool cluster = true;
+  bool router = true;
+  bool print_dsl = false;
+  bool print_timeline = false;
+  bool quiet = false;
+  wam::chaos::CampaignOptions campaign;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds N] [--seed S] [--profile cluster|router|both]\n"
+      "          [--rounds R] [--servers N] [--vips K]\n"
+      "          [--no-shrink] [--dsl] [--replay] [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end && *end == '\0' && end != s;
+}
+
+void report(const wam::chaos::CampaignResult& r, const CliOptions& cli) {
+  using wam::chaos::profile_name;
+  if (r.passed()) {
+    if (!cli.quiet) {
+      std::printf("seed %llu %s: OK (%zu actions, %zu checkpoints)\n",
+                  static_cast<unsigned long long>(r.seed),
+                  profile_name(r.profile), r.schedule.actions.size(),
+                  r.schedule.checkpoints.size());
+    }
+  } else {
+    std::printf("seed %llu %s: %zu VIOLATION(S)\n",
+                static_cast<unsigned long long>(r.seed),
+                profile_name(r.profile), r.violations.size());
+    for (const auto& v : r.violations) {
+      std::printf("  %s\n", wam::chaos::to_string(v).c_str());
+    }
+    if (!r.shrunk_actions.empty()) {
+      std::printf(
+          "  shrunk to %zu/%zu actions (%d replays); minimal schedule:\n",
+          r.shrunk_actions.size(), r.schedule.actions.size(),
+          r.shrink_evaluations);
+      std::printf("%s", r.shrunk_dsl.c_str());
+    }
+    std::printf("  full replay artifact (scenario DSL):\n%s", r.dsl.c_str());
+  }
+  if (cli.print_dsl) std::printf("%s", r.dsl.c_str());
+  if (cli.print_timeline) std::printf("%s\n", r.timeline_json.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(arg, "--seeds") == 0) {
+      const char* a = next();
+      if (!a || !parse_u64(a, cli.num_seeds) || cli.num_seeds == 0) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* a = next();
+      if (!a || !parse_u64(a, cli.first_seed)) return usage(argv[0]);
+      cli.single_seed = true;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      const char* a = next();
+      if (!a) return usage(argv[0]);
+      cli.cluster = std::strcmp(a, "router") != 0;
+      cli.router = std::strcmp(a, "cluster") != 0;
+      if (!cli.cluster && !cli.router) return usage(argv[0]);
+    } else if (std::strcmp(arg, "--rounds") == 0) {
+      const char* a = next();
+      if (!a || !parse_u64(a, v) || v == 0) return usage(argv[0]);
+      cli.campaign.generator.rounds = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--servers") == 0) {
+      const char* a = next();
+      if (!a || !parse_u64(a, v) || v < 2) return usage(argv[0]);
+      cli.campaign.generator.num_servers = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--vips") == 0) {
+      const char* a = next();
+      if (!a || !parse_u64(a, v) || v == 0 || v > 100) return usage(argv[0]);
+      cli.campaign.generator.num_vips = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      cli.campaign.shrink = false;
+    } else if (std::strcmp(arg, "--dsl") == 0) {
+      cli.print_dsl = true;
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      cli.print_timeline = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      cli.quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<wam::chaos::Profile> profiles;
+  if (cli.cluster) profiles.push_back(wam::chaos::Profile::kCluster);
+  if (cli.router) profiles.push_back(wam::chaos::Profile::kRouter);
+  const std::uint64_t last_seed =
+      cli.single_seed ? cli.first_seed : cli.first_seed + cli.num_seeds - 1;
+
+  int failures = 0;
+  std::uint64_t runs = 0;
+  for (std::uint64_t seed = cli.first_seed; seed <= last_seed; ++seed) {
+    for (auto profile : profiles) {
+      auto opts = cli.campaign;
+      if (profile == wam::chaos::Profile::kRouter &&
+          cli.campaign.generator.num_servers > 4) {
+        opts.generator.num_servers = 3;  // paper-sized router deployments
+      }
+      auto r = wam::chaos::run_seed(seed, profile, opts);
+      report(r, cli);
+      if (!r.passed()) ++failures;
+      ++runs;
+    }
+  }
+  std::printf("%llu run(s), %d with violations\n",
+              static_cast<unsigned long long>(runs), failures);
+  return failures == 0 ? 0 : 1;
+}

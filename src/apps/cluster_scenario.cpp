@@ -11,7 +11,7 @@ constexpr int kVipBase = 100;  // VIPs are 10.0.0.(100+k)
 }
 
 ClusterScenario::ClusterScenario(ClusterOptions options)
-    : options_(std::move(options)) {
+    : fabric(sched, &log, options.seed), options_(std::move(options)) {
   WAM_EXPECTS(options_.num_servers >= 1);
   WAM_EXPECTS(options_.num_vips >= 1 && options_.num_vips <= 100);
 
@@ -146,6 +146,44 @@ void ClusterScenario::partition(const std::vector<std::vector<int>>& groups) {
 }
 
 void ClusterScenario::merge() { fabric.merge_segment(cluster_seg_); }
+
+void ClusterScenario::crash_daemon(int i) {
+  auto& d = *gcs_[static_cast<std::size_t>(i)];
+  if (!d.running()) return;
+  d.stop();
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "daemon_crash"}, {"server", "s" + std::to_string(i + 1)}});
+}
+
+void ClusterScenario::restart_daemon(int i) {
+  auto& d = *gcs_[static_cast<std::size_t>(i)];
+  if (d.running()) return;
+  d.start();
+  obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
+           {{"kind", "daemon_restart"},
+            {"server", "s" + std::to_string(i + 1)}});
+}
+
+void ClusterScenario::rejoin(int i) {
+  auto& w = *wams_[static_cast<std::size_t>(i)];
+  if (w.running()) return;
+  w.start();
+  obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
+           {{"kind", "rejoin"}, {"server", "s" + std::to_string(i + 1)}});
+}
+
+void ClusterScenario::block_path(int a, int b) {
+  fabric.block_direction(servers_[static_cast<std::size_t>(a)]->nic_id(0),
+                         servers_[static_cast<std::size_t>(b)]->nic_id(0));
+}
+
+void ClusterScenario::clear_blocked_paths() {
+  fabric.clear_directional_blocks();
+}
+
+void ClusterScenario::set_loss(double p) {
+  fabric.set_drop_probability(cluster_seg_, p);
+}
 
 net::Ipv4Address ClusterScenario::vip(int index) const {
   WAM_EXPECTS(index >= 0 && index < options_.num_vips);

@@ -54,6 +54,21 @@ class ClusterScenario {
   void graceful_leave(int i);
   void partition(const std::vector<std::vector<int>>& groups);
   void merge();
+  /// Crash the GCS daemon on server i: the local Wackamole daemon loses
+  /// its GCS, releases every virtual interface (§4.2) and starts a
+  /// reconnect loop; peers see a membership fault. No-op if already down.
+  void crash_daemon(int i);
+  /// Restart a crashed GCS daemon; the local Wackamole daemon reconnects
+  /// within its reconnect interval. No-op if running.
+  void restart_daemon(int i);
+  /// Restart a Wackamole daemon after graceful_leave(). No-op if running.
+  void rejoin(int i);
+  /// Asymmetric fault: frames from server a to server b are dropped while
+  /// the reverse direction keeps working (§2's pathological case).
+  void block_path(int a, int b);
+  void clear_blocked_paths();
+  /// Random loss burst on the cluster segment; p = 0 heals.
+  void set_loss(double p);
 
   // ---- queries ----
   [[nodiscard]] net::Ipv4Address vip(int index) const;
@@ -93,7 +108,9 @@ class ClusterScenario {
   /// Declared before the components so it outlives their bound counters.
   obs::Observability obs;
   obs::EventTimeline timeline{obs.bus};
-  net::Fabric fabric{sched, &log};
+  /// Seeded from ClusterOptions::seed in the constructor, so two scenarios
+  /// with the same options replay byte-identical frame timing.
+  net::Fabric fabric;
 
  private:
   ClusterOptions options_;

@@ -30,7 +30,7 @@ class RouterScenario::ConvergingIpManager : public wackamole::SimIpManager {
 };
 
 RouterScenario::RouterScenario(RouterScenarioOptions options)
-    : options_(std::move(options)) {
+    : fabric(sched, &log, options.seed), options_(std::move(options)) {
   WAM_EXPECTS(options_.num_routers >= 2);
   fabric.bind_observability(obs, "net");
   external_seg_ = fabric.add_segment();
@@ -149,6 +149,20 @@ void RouterScenario::recover_router(int i) {
 
 void RouterScenario::graceful_leave(int i) {
   wams_[static_cast<std::size_t>(i)]->graceful_shutdown();
+}
+
+void RouterScenario::rejoin(int i) {
+  auto& w = *wams_[static_cast<std::size_t>(i)];
+  if (w.running()) return;
+  w.start();
+  obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
+           {{"kind", "rejoin"}, {"router", "s" + std::to_string(i + 1)}});
+}
+
+void RouterScenario::set_loss(double p) {
+  fabric.set_drop_probability(external_seg_, p);
+  fabric.set_drop_probability(web_seg_, p);
+  fabric.set_drop_probability(db_seg_, p);
 }
 
 int RouterScenario::active_router() const {

@@ -59,6 +59,10 @@ class RouterScenario {
   void fail_router(int i);
   void recover_router(int i);
   void graceful_leave(int i);
+  /// Restart a Wackamole daemon after graceful_leave(). No-op if running.
+  void rejoin(int i);
+  /// Random loss burst on all three segments; p = 0 heals.
+  void set_loss(double p);
 
   /// Index of the router currently holding the virtual-router group, -1 if
   /// none, -2 if held more than once (conflict).
@@ -97,7 +101,8 @@ class RouterScenario {
   /// conventions); declared before the bound components.
   obs::Observability obs;
   obs::EventTimeline timeline{obs.bus};
-  net::Fabric fabric{sched, &log};
+  /// Seeded from RouterScenarioOptions::seed in the constructor.
+  net::Fabric fabric;
 
  private:
   RouterScenarioOptions options_;

@@ -111,10 +111,26 @@ ParsedScenario parse_scenario(const std::string& text) {
       sa.verb = action;
       int n = parsed.options.num_servers;
       if (action == "disconnect" || action == "reconnect" ||
-          action == "leave" || action == "status") {
+          action == "leave" || action == "status" || action == "crash" ||
+          action == "restart" || action == "join") {
         std::string target;
         if (!(words >> target)) fail(line_no, line, action + " needs a server");
         sa.servers.push_back(parse_server(target, n, line_no, line));
+      } else if (action == "drop") {
+        std::string from;
+        std::string to;
+        if (!(words >> from >> to)) {
+          fail(line_no, line, "drop needs two servers (from, to)");
+        }
+        sa.servers.push_back(parse_server(from, n, line_no, line));
+        sa.servers.push_back(parse_server(to, n, line_no, line));
+        if (sa.servers[0] == sa.servers[1]) {
+          fail(line_no, line, "drop needs two distinct servers");
+        }
+      } else if (action == "loss") {
+        if (!(words >> sa.value) || sa.value < 0 || sa.value >= 1) {
+          fail(line_no, line, "loss needs a probability in [0, 1)");
+        }
       } else if (action == "partition") {
         // Remainder: comma-lists separated by '|'.
         std::string rest;
@@ -132,7 +148,7 @@ ParsedScenario parse_scenario(const std::string& text) {
           fail(line_no, line, "partition needs at least two groups");
         }
       } else if (action == "merge" || action == "balance" ||
-                 action == "coverage") {
+                 action == "coverage" || action == "undrop") {
         // no operands
       } else {
         fail(line_no, line, "unknown action '" + action + "'");
@@ -198,6 +214,18 @@ bool run_scenario(const std::string& text, std::ostream& out,
         s.reconnect_server(action.servers[0]);
       } else if (action.verb == "leave") {
         s.graceful_leave(action.servers[0]);
+      } else if (action.verb == "crash") {
+        s.crash_daemon(action.servers[0]);
+      } else if (action.verb == "restart") {
+        s.restart_daemon(action.servers[0]);
+      } else if (action.verb == "join") {
+        s.rejoin(action.servers[0]);
+      } else if (action.verb == "drop") {
+        s.block_path(action.servers[0], action.servers[1]);
+      } else if (action.verb == "undrop") {
+        s.clear_blocked_paths();
+      } else if (action.verb == "loss") {
+        s.set_loss(action.value);
       } else if (action.verb == "partition") {
         s.partition(action.groups);
       } else if (action.verb == "merge") {

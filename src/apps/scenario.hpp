@@ -13,9 +13,15 @@
 //     at 15  reconnect server2
 //     at 20  partition server1,server2 | server3,server4
 //     at 30  merge
+//     at 32  crash server1          # GCS daemon crash
+//     at 36  restart server1        # ... and restart
 //     at 40  leave server3
-//     at 45  balance
-//     at 50  status server1
+//     at 44  join server3           # rejoin after a graceful leave
+//     at 46  drop server1 server2   # one-way frame drop 1 -> 2
+//     at 48  undrop                 # heal all one-way drops
+//     at 50  loss 0.2               # random loss burst (loss 0 heals)
+//     at 52  balance
+//     at 54  status server1
 //     at 55  coverage
 //     run 60
 //
@@ -44,6 +50,7 @@ struct ScenarioAction {
   std::string verb;                // disconnect|reconnect|leave|partition|...
   std::vector<int> servers;        // operands as server indices
   std::vector<std::vector<int>> groups;  // for partition
+  double value = 0.0;              // for loss
 };
 
 struct ParsedScenario {

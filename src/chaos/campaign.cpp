@@ -1,0 +1,210 @@
+#include "chaos/campaign.hpp"
+
+#include "apps/cluster_scenario.hpp"
+#include "apps/router_scenario.hpp"
+
+namespace wam::chaos {
+
+namespace {
+
+// Dispatchers mirror ClusterFaultModel/RouterFaultModel::apply exactly:
+// every action inapplicable in the current state is a no-op, so shrunk
+// subsequences execute cleanly.
+
+void apply_cluster(apps::ClusterScenario& s, const FaultAction& a) {
+  switch (a.kind) {
+    case FaultKind::kPartition:
+      s.partition(a.groups);
+      break;
+    case FaultKind::kMerge:
+      s.merge();
+      break;
+    case FaultKind::kNicDown:
+      s.disconnect_server(a.servers[0]);
+      break;
+    case FaultKind::kNicUp:
+      s.reconnect_server(a.servers[0]);
+      break;
+    case FaultKind::kCrash:
+      s.crash_daemon(a.servers[0]);
+      break;
+    case FaultKind::kRestart:
+      s.restart_daemon(a.servers[0]);
+      break;
+    case FaultKind::kLeave: {
+      auto& w = s.wam(a.servers[0]);
+      if (w.running() && w.connected()) s.graceful_leave(a.servers[0]);
+      break;
+    }
+    case FaultKind::kJoin:
+      s.rejoin(a.servers[0]);
+      break;
+    case FaultKind::kDrop:
+      s.block_path(a.servers[0], a.servers[1]);
+      break;
+    case FaultKind::kUndrop:
+      s.clear_blocked_paths();
+      break;
+    case FaultKind::kLoss:
+      s.set_loss(a.value);
+      break;
+  }
+}
+
+void apply_router(apps::RouterScenario& s, const FaultAction& a) {
+  switch (a.kind) {
+    case FaultKind::kNicDown:
+      if (s.router_host(a.servers[0]).is_up()) s.fail_router(a.servers[0]);
+      break;
+    case FaultKind::kNicUp:
+      if (!s.router_host(a.servers[0]).is_up()) {
+        s.recover_router(a.servers[0]);
+      }
+      break;
+    case FaultKind::kLeave: {
+      auto& w = s.wam(a.servers[0]);
+      if (w.running() && w.connected()) s.graceful_leave(a.servers[0]);
+      break;
+    }
+    case FaultKind::kJoin:
+      s.rejoin(a.servers[0]);
+      break;
+    case FaultKind::kLoss:
+      s.set_loss(a.value);
+      break;
+    default:
+      break;  // not generated for the router profile
+  }
+}
+
+/// Step the scheduler through the merged (action, checkpoint) timeline.
+/// `Scenario` provides sched/timeline; `Apply` and `Check` close over the
+/// profile-specific scenario and fault model.
+template <class Scenario, class Apply, class Check>
+std::vector<Violation> drive(Scenario& s, const FaultSchedule& schedule,
+                             const std::vector<FaultAction>& actions,
+                             const Apply& apply, const Check& check,
+                             std::string* timeline_json) {
+  std::vector<Violation> violations;
+  std::size_t ai = 0;
+  std::size_t ci = 0;
+  while (ai < actions.size() || ci < schedule.checkpoints.size()) {
+    const bool take_action =
+        ai < actions.size() &&
+        (ci >= schedule.checkpoints.size() ||
+         actions[ai].at <= schedule.checkpoints[ci].at);
+    if (take_action) {
+      s.sched.run_until(sim::TimePoint(actions[ai].at));
+      apply(actions[ai]);
+      ++ai;
+    } else {
+      s.sched.run_until(sim::TimePoint(schedule.checkpoints[ci].at));
+      check(schedule.checkpoints[ci], violations);
+      ++ci;
+    }
+  }
+  s.sched.run_until(sim::TimePoint(schedule.horizon));
+  if (timeline_json) *timeline_json = s.timeline.to_json();
+  return violations;
+}
+
+std::vector<Violation> execute_cluster(const FaultSchedule& schedule,
+                                       const std::vector<FaultAction>& actions,
+                                       std::uint64_t fabric_seed,
+                                       std::string* timeline_json) {
+  apps::ClusterOptions copts;
+  copts.num_servers = schedule.num_servers;
+  copts.num_vips = schedule.num_vips;
+  copts.with_router = false;
+  copts.balance_timeout = sim::seconds(15.0);  // let balance interleave
+  copts.seed = fabric_seed;
+  apps::ClusterScenario s(copts);
+  s.start();
+  s.run_until_stable(sim::seconds(8.0));  // actions start at t = 10 s
+
+  ClusterFaultModel model(schedule.num_servers);
+  return drive(
+      s, schedule, actions,
+      [&](const FaultAction& a) {
+        apply_cluster(s, a);
+        model.apply(a);
+      },
+      [&](const Checkpoint& cp, std::vector<Violation>& out) {
+        check_cluster_invariants(s, model, cp.regression_guard, out);
+      },
+      timeline_json);
+}
+
+std::vector<Violation> execute_router(const FaultSchedule& schedule,
+                                      const std::vector<FaultAction>& actions,
+                                      std::uint64_t fabric_seed,
+                                      std::string* timeline_json) {
+  apps::RouterScenarioOptions ropts;
+  ropts.num_routers = schedule.num_servers;
+  ropts.seed = fabric_seed;
+  apps::RouterScenario s(ropts);
+  s.start();
+  s.run(sim::seconds(8.0));
+
+  RouterFaultModel model(schedule.num_servers);
+  return drive(
+      s, schedule, actions,
+      [&](const FaultAction& a) {
+        apply_router(s, a);
+        model.apply(a);
+      },
+      [&](const Checkpoint& cp, std::vector<Violation>& out) {
+        check_router_invariants(s, model, cp.regression_guard, out);
+      },
+      timeline_json);
+}
+
+}  // namespace
+
+const char* profile_name(Profile p) {
+  return p == Profile::kCluster ? "cluster" : "router";
+}
+
+std::vector<Violation> execute_schedule(
+    const FaultSchedule& schedule, const std::vector<FaultAction>& actions,
+    std::uint64_t fabric_seed, std::string* timeline_json) {
+  return schedule.router_profile
+             ? execute_router(schedule, actions, fabric_seed, timeline_json)
+             : execute_cluster(schedule, actions, fabric_seed, timeline_json);
+}
+
+CampaignResult run_seed(std::uint64_t seed, Profile profile,
+                        const CampaignOptions& opt) {
+  // Decoupled streams: schedule generation (1) and fabric jitter (2), so
+  // replaying a shrunk action list keeps identical network timing.
+  sim::Rng base(seed);
+  auto gen_rng = base.stream(1);
+  const std::uint64_t fabric_seed = base.stream(2).next();
+
+  CampaignResult r;
+  r.seed = seed;
+  r.profile = profile;
+  r.schedule = profile == Profile::kCluster
+                   ? generate_cluster_schedule(gen_rng, opt.generator)
+                   : generate_router_schedule(gen_rng, opt.generator);
+  r.dsl = to_dsl(r.schedule);
+  r.violations = execute_schedule(r.schedule, r.schedule.actions, fabric_seed,
+                                  &r.timeline_json);
+
+  if (!r.passed() && opt.shrink) {
+    auto still_fails = [&](const std::vector<FaultAction>& candidate) {
+      return !execute_schedule(r.schedule, candidate, fabric_seed, nullptr)
+                  .empty();
+    };
+    auto shrunk = shrink_schedule(r.schedule.actions, still_fails,
+                                  opt.shrink_max_evals);
+    r.shrunk_actions = std::move(shrunk.actions);
+    r.shrink_evaluations = shrunk.evaluations;
+    FaultSchedule mini = r.schedule;
+    mini.actions = r.shrunk_actions;
+    r.shrunk_dsl = to_dsl(mini);
+  }
+  return r;
+}
+
+}  // namespace wam::chaos

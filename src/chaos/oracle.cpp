@@ -1,0 +1,132 @@
+#include "chaos/oracle.hpp"
+
+namespace wam::chaos {
+
+namespace {
+
+std::string component_label(const std::vector<int>& component) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < component.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "server" + std::to_string(component[i] + 1);
+  }
+  return out + "}";
+}
+
+void check_daemon_run(wackamole::Daemon& w, const std::string& who,
+                      sim::TimePoint now, bool regression_guard,
+                      std::vector<Violation>& out) {
+  if (w.running() && w.connected() &&
+      w.state() == wackamole::WamState::kRun) {
+    return;
+  }
+  Violation v;
+  v.kind = Violation::Kind::kNotRun;
+  v.at = now;
+  v.persisted = regression_guard;
+  v.detail = who + " state=" + wackamole::wam_state_name(w.state()) +
+             (w.running() ? "" : " (stopped)") +
+             (w.connected() ? "" : " (disconnected)") + " for " +
+             sim::format_duration(w.time_in_state(now));
+  out.push_back(std::move(v));
+}
+
+void report_coverage(int count, const std::string& what,
+                     const std::string& where, sim::TimePoint now,
+                     bool regression_guard, std::vector<Violation>& out) {
+  if (count == 1) return;
+  Violation v;
+  v.kind = count == 0 ? Violation::Kind::kUncovered
+                      : Violation::Kind::kConflict;
+  v.at = now;
+  v.persisted = regression_guard;
+  v.detail = what + " covered " + std::to_string(count) + "x in component " +
+             where;
+  out.push_back(std::move(v));
+}
+
+}  // namespace
+
+const char* violation_kind_name(Violation::Kind k) {
+  switch (k) {
+    case Violation::Kind::kUncovered: return "uncovered";
+    case Violation::Kind::kConflict: return "conflict";
+    case Violation::Kind::kNotRun: return "not-run";
+  }
+  return "?";
+}
+
+std::string to_string(const Violation& v) {
+  return sim::format_time(v.at) + " [" + violation_kind_name(v.kind) + "] " +
+         v.detail + (v.persisted ? " (persisted across quiet window)" : "");
+}
+
+void check_cluster_invariants(apps::ClusterScenario& s,
+                              const ClusterFaultModel& model,
+                              bool regression_guard,
+                              std::vector<Violation>& out) {
+  if (model.transient_active()) return;
+  const auto now = s.sched.now();
+  for (const auto& component : model.components()) {
+    std::vector<int> participants;
+    for (int i : component) {
+      if (model.participant(i)) participants.push_back(i);
+    }
+    // A component whose daemons all crashed or left has nobody obliged to
+    // cover anything (Property 1 quantifies over Wackamole participants).
+    if (participants.empty()) continue;
+
+    for (int i : participants) {
+      check_daemon_run(s.wam(i), "server" + std::to_string(i + 1), now,
+                       regression_guard, out);
+    }
+    const auto label = component_label(component);
+    for (int k = 0; k < s.options().num_vips; ++k) {
+      report_coverage(s.coverage_count(s.vip(k), participants),
+                      s.vip(k).to_string(), label, now, regression_guard,
+                      out);
+    }
+  }
+}
+
+void check_router_invariants(apps::RouterScenario& s,
+                             const RouterFaultModel& model,
+                             bool regression_guard,
+                             std::vector<Violation>& out) {
+  if (model.transient_active()) return;
+  const auto now = s.sched.now();
+  // Failed routers are singleton components that legitimately keep their
+  // aliases; the interesting component is the surviving fabric.
+  std::vector<int> participants;
+  for (int i = 0; i < model.num_routers(); ++i) {
+    if (!model.failed(i) && !model.left(i)) participants.push_back(i);
+  }
+  if (participants.empty()) return;
+
+  for (int i : participants) {
+    check_daemon_run(s.wam(i), "router" + std::to_string(i + 1), now,
+                     regression_guard, out);
+  }
+
+  // Property 1 for the indivisible group: exactly one participant holds
+  // the WHOLE virtual-router identity, everyone else holds none of it.
+  int holders = 0;
+  for (int i : participants) {
+    if (s.holds_whole_group(i)) {
+      ++holders;
+    } else if (!s.holds_nothing(i)) {
+      Violation v;
+      v.kind = Violation::Kind::kConflict;
+      v.at = now;
+      v.persisted = regression_guard;
+      v.detail = "router" + std::to_string(i + 1) +
+                 " holds a strict subset of the virtual-router group "
+                 "(indivisibility broken)";
+      out.push_back(std::move(v));
+    }
+  }
+  report_coverage(holders, "virtual-router group", "{up routers}", now,
+                  regression_guard, out);
+}
+
+}  // namespace wam::chaos

@@ -1,0 +1,56 @@
+// Invariant oracles for the chaos campaign: Section 3.1's two properties,
+// checked at every schedule checkpoint after a quiescence window.
+//
+//   Property 1 (Correctness): within every maximal connected component,
+//   every VIP is covered by EXACTLY ONE participating daemon — uncovered
+//   and multiply-covered addresses are distinct violation kinds.
+//   Property 2 (Liveness): every participating daemon in a stabilized
+//   component has reached RUN (reported with how long it has been stuck
+//   in its current state, via Daemon::time_in_state()).
+//
+// A checkpoint whose fault model still has a transient active (directional
+// drop, loss burst) is skipped: the component prediction is unsound there,
+// and the schedule generator always heals transients before quiescence, so
+// a skipped checkpoint can only appear in shrunk sub-schedules — where
+// "violation disappears" correctly prunes the candidate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/cluster_scenario.hpp"
+#include "apps/router_scenario.hpp"
+#include "chaos/schedule.hpp"
+
+namespace wam::chaos {
+
+struct Violation {
+  enum class Kind {
+    kUncovered,  // Property 1: a VIP with no owner in its component
+    kConflict,   // Property 1: a VIP owned more than once in its component
+    kNotRun,     // Property 2: a participant stuck outside RUN
+  };
+  Kind kind = Kind::kUncovered;
+  sim::TimePoint at{};
+  /// True when detected at a regression-guard checkpoint: the condition
+  /// persisted across a fault-free quiet window.
+  bool persisted = false;
+  std::string detail;
+};
+
+[[nodiscard]] const char* violation_kind_name(Violation::Kind k);
+[[nodiscard]] std::string to_string(const Violation& v);
+
+/// Append any Property 1/2 violations observed in `s` right now, given the
+/// fault model replayed up to this checkpoint.
+void check_cluster_invariants(apps::ClusterScenario& s,
+                              const ClusterFaultModel& model,
+                              bool regression_guard,
+                              std::vector<Violation>& out);
+
+void check_router_invariants(apps::RouterScenario& s,
+                             const RouterFaultModel& model,
+                             bool regression_guard,
+                             std::vector<Violation>& out);
+
+}  // namespace wam::chaos

@@ -1,0 +1,432 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace wam::chaos {
+
+namespace {
+
+std::int64_t to_ms(sim::Duration d) { return d.count() / 1'000'000; }
+
+/// Uniform pick from a non-empty vector.
+int pick(sim::Rng& rng, const std::vector<int>& from) {
+  WAM_EXPECTS(!from.empty());
+  return from[rng.below(from.size())];
+}
+
+std::vector<int> all_upto(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+const char* fault_kind_verb(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kMerge: return "merge";
+    case FaultKind::kNicDown: return "disconnect";
+    case FaultKind::kNicUp: return "reconnect";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kLeave: return "leave";
+    case FaultKind::kJoin: return "join";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kUndrop: return "undrop";
+    case FaultKind::kLoss: return "loss";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- models
+
+ClusterFaultModel::ClusterFaultModel(int num_servers) : n_(num_servers) {
+  groups_.push_back(all_upto(n_));
+}
+
+void ClusterFaultModel::apply(const FaultAction& a) {
+  // Mirrors the defensive no-op semantics of ClusterScenario and the
+  // campaign dispatcher exactly: the shrinker deletes arbitrary actions,
+  // so e.g. a restart whose crash was deleted must be a no-op here too.
+  switch (a.kind) {
+    case FaultKind::kPartition:
+      groups_ = a.groups;
+      break;
+    case FaultKind::kMerge:
+      groups_ = {all_upto(n_)};
+      break;
+    case FaultKind::kNicDown:
+      nic_down_.insert(a.servers[0]);
+      break;
+    case FaultKind::kNicUp:
+      nic_down_.erase(a.servers[0]);
+      break;
+    case FaultKind::kCrash:
+      crashed_.insert(a.servers[0]);
+      break;
+    case FaultKind::kRestart:
+      crashed_.erase(a.servers[0]);
+      break;
+    case FaultKind::kLeave:
+      // The dispatcher only leaves a running, connected daemon.
+      if (crashed_.count(a.servers[0]) == 0) left_.insert(a.servers[0]);
+      break;
+    case FaultKind::kJoin:
+      left_.erase(a.servers[0]);
+      break;
+    case FaultKind::kDrop:
+      ++drops_;
+      break;
+    case FaultKind::kUndrop:
+      drops_ = 0;
+      break;
+    case FaultKind::kLoss:
+      loss_ = a.value;
+      break;
+  }
+}
+
+std::vector<std::vector<int>> ClusterFaultModel::components() const {
+  // Partition groups minus NIC-down servers, plus one singleton per
+  // NIC-down server: an administratively isolated server forms its own
+  // maximal connected component and must cover every VIP alone.
+  std::vector<std::vector<int>> out;
+  for (const auto& g : groups_) {
+    std::vector<int> alive;
+    for (int idx : g) {
+      if (nic_down_.count(idx) == 0) alive.push_back(idx);
+    }
+    if (!alive.empty()) out.push_back(std::move(alive));
+  }
+  for (int idx : nic_down_) out.push_back({idx});
+  return out;
+}
+
+bool ClusterFaultModel::participant(int i) const {
+  return crashed_.count(i) == 0 && left_.count(i) == 0;
+}
+
+RouterFaultModel::RouterFaultModel(int num_routers) : n_(num_routers) {}
+
+void RouterFaultModel::apply(const FaultAction& a) {
+  switch (a.kind) {
+    case FaultKind::kNicDown:
+      failed_.insert(a.servers[0]);
+      break;
+    case FaultKind::kNicUp:
+      failed_.erase(a.servers[0]);
+      break;
+    case FaultKind::kLeave:
+      if (failed_.count(a.servers[0]) == 0) left_.insert(a.servers[0]);
+      break;
+    case FaultKind::kJoin:
+      left_.erase(a.servers[0]);
+      break;
+    case FaultKind::kLoss:
+      loss_ = a.value;
+      break;
+    default:
+      break;  // other kinds are not generated for the router profile
+  }
+}
+
+// ------------------------------------------------------------- generator
+
+namespace {
+
+/// One storm action chosen among the kinds applicable to the model state.
+/// `restarted_ms[i]` is the time of server i's last GCS restart: a leave
+/// within 3 s of it could race the daemon's 2 s reconnect loop (the live
+/// executor would no-op while the model records the departure), so such
+/// servers are not leave candidates.
+FaultAction pick_cluster_action(sim::Rng& rng, const ClusterFaultModel& model,
+                                const std::vector<std::int64_t>& restarted_ms,
+                                std::int64_t now_ms, int n) {
+  std::vector<int> nic_up;
+  std::vector<int> nic_down;
+  std::vector<int> crashed;
+  std::vector<int> not_crashed;
+  std::vector<int> leavable;
+  std::vector<int> joinable;
+  for (int i = 0; i < n; ++i) {
+    (model.nic_down(i) ? nic_down : nic_up).push_back(i);
+    (model.crashed(i) ? crashed : not_crashed).push_back(i);
+    if (!model.left(i) && !model.crashed(i) &&
+        now_ms - restarted_ms[static_cast<std::size_t>(i)] >= 3000) {
+      leavable.push_back(i);
+    }
+    if (model.left(i) && !model.crashed(i)) joinable.push_back(i);
+  }
+
+  std::vector<FaultKind> kinds{FaultKind::kPartition, FaultKind::kMerge,
+                               FaultKind::kLoss};
+  if (!nic_up.empty()) kinds.push_back(FaultKind::kNicDown);
+  if (!nic_down.empty()) kinds.push_back(FaultKind::kNicUp);
+  if (!not_crashed.empty()) kinds.push_back(FaultKind::kCrash);
+  if (!crashed.empty()) kinds.push_back(FaultKind::kRestart);
+  if (!leavable.empty()) kinds.push_back(FaultKind::kLeave);
+  if (!joinable.empty()) kinds.push_back(FaultKind::kJoin);
+  if (nic_up.size() >= 2) kinds.push_back(FaultKind::kDrop);
+
+  FaultAction a;
+  a.kind = kinds[rng.below(kinds.size())];
+  switch (a.kind) {
+    case FaultKind::kPartition: {
+      do {
+        a.groups.clear();
+        auto k = 2 + rng.below(2);  // 2 or 3 groups
+        std::vector<std::vector<int>> buckets(k);
+        for (int i = 0; i < n; ++i) buckets[rng.below(k)].push_back(i);
+        for (auto& b : buckets) {
+          if (!b.empty()) a.groups.push_back(std::move(b));
+        }
+      } while (a.groups.size() < 2);
+      break;
+    }
+    case FaultKind::kNicDown:
+      a.servers.push_back(pick(rng, nic_up));
+      break;
+    case FaultKind::kNicUp:
+      a.servers.push_back(pick(rng, nic_down));
+      break;
+    case FaultKind::kCrash:
+      a.servers.push_back(pick(rng, not_crashed));
+      break;
+    case FaultKind::kRestart:
+      a.servers.push_back(pick(rng, crashed));
+      break;
+    case FaultKind::kLeave:
+      a.servers.push_back(pick(rng, leavable));
+      break;
+    case FaultKind::kJoin:
+      a.servers.push_back(pick(rng, joinable));
+      break;
+    case FaultKind::kDrop: {
+      int from = pick(rng, nic_up);
+      int to = from;
+      while (to == from) to = pick(rng, nic_up);
+      a.servers = {from, to};
+      break;
+    }
+    case FaultKind::kLoss:
+      // Whole-millesimal probabilities survive the DSL round-trip exactly.
+      a.value = static_cast<double>(rng.range(50, 300)) / 1000.0;
+      break;
+    default:
+      break;
+  }
+  return a;
+}
+
+FaultAction pick_router_action(sim::Rng& rng, const RouterFaultModel& model,
+                               int n) {
+  std::vector<int> up;
+  std::vector<int> down;
+  std::vector<int> leavable;
+  std::vector<int> joinable;
+  for (int i = 0; i < n; ++i) {
+    (model.failed(i) ? down : up).push_back(i);
+    if (!model.failed(i) && !model.left(i)) leavable.push_back(i);
+    if (model.left(i) && !model.failed(i)) joinable.push_back(i);
+  }
+
+  std::vector<FaultKind> kinds{FaultKind::kLoss};
+  if (!up.empty()) kinds.push_back(FaultKind::kNicDown);
+  if (!down.empty()) kinds.push_back(FaultKind::kNicUp);
+  if (!leavable.empty()) kinds.push_back(FaultKind::kLeave);
+  if (!joinable.empty()) kinds.push_back(FaultKind::kJoin);
+
+  FaultAction a;
+  a.kind = kinds[rng.below(kinds.size())];
+  switch (a.kind) {
+    case FaultKind::kNicDown:
+      a.servers.push_back(pick(rng, up));
+      break;
+    case FaultKind::kNicUp:
+      a.servers.push_back(pick(rng, down));
+      break;
+    case FaultKind::kLeave:
+      a.servers.push_back(pick(rng, leavable));
+      break;
+    case FaultKind::kJoin:
+      a.servers.push_back(pick(rng, joinable));
+      break;
+    case FaultKind::kLoss:
+      a.value = static_cast<double>(rng.range(50, 300)) / 1000.0;
+      break;
+    default:
+      break;
+  }
+  return a;
+}
+
+}  // namespace
+
+FaultSchedule generate_cluster_schedule(sim::Rng& rng,
+                                        const GeneratorOptions& opt) {
+  WAM_EXPECTS(opt.num_servers >= 3);
+  const int n = opt.num_servers;
+  FaultSchedule s;
+  s.num_servers = n;
+  s.num_vips = opt.num_vips;
+
+  ClusterFaultModel model(n);
+  std::vector<std::int64_t> restarted_ms(static_cast<std::size_t>(n), -10000);
+  const std::int64_t quiesce_ms = to_ms(opt.quiesce);
+  const std::int64_t calm_ms = to_ms(opt.calm);
+  std::int64_t cursor = 10'000;  // actions start after initial stabilization
+
+  for (int round = 0; round < opt.rounds; ++round) {
+    int burst = 1 + static_cast<int>(rng.below(3));
+    for (int b = 0; b < burst; ++b) {
+      cursor += rng.range(50, 600);
+      FaultAction a = pick_cluster_action(rng, model, restarted_ms, cursor, n);
+      a.at = sim::milliseconds(cursor);
+      if (a.kind == FaultKind::kRestart) {
+        restarted_ms[static_cast<std::size_t>(a.servers[0])] = cursor;
+      }
+      model.apply(a);
+      s.actions.push_back(std::move(a));
+    }
+    // Heal transients before quiescence: the oracle's component prediction
+    // is unsound while asymmetric drops or loss are active.
+    if (model.transient_active()) {
+      for (auto kind : {FaultKind::kUndrop, FaultKind::kLoss}) {
+        cursor += 50;
+        FaultAction heal;
+        heal.at = sim::milliseconds(cursor);
+        heal.kind = kind;
+        model.apply(heal);
+        s.actions.push_back(std::move(heal));
+      }
+    }
+    s.checkpoints.push_back({sim::milliseconds(cursor + quiesce_ms), false});
+    s.checkpoints.push_back(
+        {sim::milliseconds(cursor + quiesce_ms + calm_ms), true});
+    cursor += quiesce_ms + calm_ms + 500;
+  }
+  s.horizon = sim::milliseconds(cursor + 1000);
+  return s;
+}
+
+FaultSchedule generate_router_schedule(sim::Rng& rng,
+                                       const GeneratorOptions& opt) {
+  WAM_EXPECTS(opt.num_servers >= 2);
+  const int n = opt.num_servers;
+  FaultSchedule s;
+  s.num_servers = n;
+  s.num_vips = 1;  // one indivisible virtual-router group
+  s.router_profile = true;
+
+  RouterFaultModel model(n);
+  const std::int64_t quiesce_ms = to_ms(opt.quiesce);
+  const std::int64_t calm_ms = to_ms(opt.calm);
+  std::int64_t cursor = 10'000;
+
+  for (int round = 0; round < opt.rounds; ++round) {
+    int burst = 1 + static_cast<int>(rng.below(2));
+    for (int b = 0; b < burst; ++b) {
+      cursor += rng.range(50, 600);
+      FaultAction a = pick_router_action(rng, model, n);
+      a.at = sim::milliseconds(cursor);
+      model.apply(a);
+      s.actions.push_back(std::move(a));
+    }
+    if (model.transient_active()) {
+      cursor += 50;
+      FaultAction heal;
+      heal.at = sim::milliseconds(cursor);
+      heal.kind = FaultKind::kLoss;
+      model.apply(heal);
+      s.actions.push_back(std::move(heal));
+    }
+    s.checkpoints.push_back({sim::milliseconds(cursor + quiesce_ms), false});
+    s.checkpoints.push_back(
+        {sim::milliseconds(cursor + quiesce_ms + calm_ms), true});
+    cursor += quiesce_ms + calm_ms + 500;
+  }
+  s.horizon = sim::milliseconds(cursor + 1000);
+  return s;
+}
+
+// ------------------------------------------------------------------ DSL
+
+namespace {
+
+std::string format_secs(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(d.count()) / 1e9);
+  return buf;
+}
+
+std::string server_token(int i) { return "server" + std::to_string(i + 1); }
+
+}  // namespace
+
+std::string to_dsl(const FaultSchedule& s) {
+  std::string out;
+  out += "# chaos schedule (profile: ";
+  out += s.router_profile ? "router" : "cluster";
+  out += ")\n";
+  out += "servers " + std::to_string(s.num_servers) + "\n";
+  out += "vips " + std::to_string(s.num_vips) + "\n";
+  out += "gcs tuned\n";
+  out += "balance 15\n\n";
+
+  // Merge actions and checkpoints into one chronological listing so the
+  // artifact reads as the exact campaign timeline.
+  std::size_t ci = 0;
+  auto flush_checkpoints = [&](sim::Duration upto) {
+    while (ci < s.checkpoints.size() && s.checkpoints[ci].at <= upto) {
+      out += "# checkpoint at " + format_secs(s.checkpoints[ci].at) +
+             (s.checkpoints[ci].regression_guard ? " (regression guard)"
+                                                 : " (post-quiesce)") +
+             "\n";
+      ++ci;
+    }
+  };
+  for (const auto& a : s.actions) {
+    flush_checkpoints(a.at);
+    out += "at " + format_secs(a.at) + " " + fault_kind_verb(a.kind);
+    switch (a.kind) {
+      case FaultKind::kPartition: {
+        out += " ";
+        for (std::size_t g = 0; g < a.groups.size(); ++g) {
+          if (g > 0) out += " | ";
+          for (std::size_t i = 0; i < a.groups[g].size(); ++i) {
+            if (i > 0) out += ",";
+            out += server_token(a.groups[g][i]);
+          }
+        }
+        break;
+      }
+      case FaultKind::kDrop:
+        out += " " + server_token(a.servers[0]) + " " +
+               server_token(a.servers[1]);
+        break;
+      case FaultKind::kLoss: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %.3f", a.value);
+        out += buf;
+        break;
+      }
+      case FaultKind::kMerge:
+      case FaultKind::kUndrop:
+        break;
+      default:
+        out += " " + server_token(a.servers[0]);
+        break;
+    }
+    out += "\n";
+  }
+  flush_checkpoints(s.horizon);
+  out += "run " + format_secs(s.horizon) + "\n";
+  return out;
+}
+
+}  // namespace wam::chaos

@@ -1,0 +1,149 @@
+// Randomized fault schedules for the chaos campaign.
+//
+// A FaultSchedule is data: a list of timed fault actions (partitions,
+// merges, NIC faults, daemon crashes, graceful leaves, asymmetric drops,
+// loss bursts) interleaved with oracle checkpoints. Schedules are produced
+// by a seeded generator — the same (seed, options) pair always yields the
+// same schedule — executed by chaos::run_seed() against a ClusterScenario
+// or RouterScenario, and rendered into the scenario DSL of
+// apps/scenario.hpp as the replay artifact attached to violations.
+//
+// The generator interleaves each fault storm with a quiescence window and
+// heals transient faults (directional drops, loss bursts) before the
+// window starts: under asymmetric connectivity the GCS may legitimately
+// split servers of one partition group across views, so the predicted
+// components below would be unsound while a transient is active.
+//
+// ClusterFaultModel / RouterFaultModel replay an action prefix and answer
+// the two questions the invariant oracle needs at a checkpoint:
+//   - components(): the maximal connected components implied by the
+//     injected faults (partition groups minus NIC-down servers, plus one
+//     singleton per NIC-down server — an isolated server must cover every
+//     VIP alone, Section 3.1);
+//   - participant(i): whether server i's Wackamole daemon is expected to
+//     manage addresses (its GCS daemon is up and it has not gracefully
+//     left).
+// Both mirror the defensive no-op semantics of the scenario executors, so
+// ANY subsequence of a schedule — the shrinker deletes actions — stays
+// executable and soundly checkable.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace wam::chaos {
+
+enum class FaultKind {
+  kPartition,  // split the cluster segment into groups
+  kMerge,      // heal all partitions
+  kNicDown,    // administratively down server i's NIC (router: fail host)
+  kNicUp,      // bring it back (router: recover host)
+  kCrash,      // crash the GCS daemon on server i
+  kRestart,    // restart a crashed GCS daemon
+  kLeave,      // graceful Wackamole shutdown on server i
+  kJoin,       // restart a gracefully-left Wackamole daemon
+  kDrop,       // one-way frame drop a -> b (asymmetric fault)
+  kUndrop,     // heal all one-way drops
+  kLoss,       // random loss burst with probability `value` (0 heals)
+};
+
+/// The scenario-DSL verb for a kind ("crash", "drop", ...).
+[[nodiscard]] const char* fault_kind_verb(FaultKind k);
+
+struct FaultAction {
+  sim::Duration at{};
+  FaultKind kind = FaultKind::kMerge;
+  std::vector<int> servers;              // operand server/router indices
+  std::vector<std::vector<int>> groups;  // kPartition only
+  double value = 0.0;                    // kLoss only
+};
+
+/// A pause where the campaign asserts Properties 1 and 2.
+struct Checkpoint {
+  sim::Duration at{};
+  /// Second checkpoint of a round: no fault was injected since the
+  /// previous one, so a violation here persisted across a quiet window
+  /// (the no-regression property).
+  bool regression_guard = false;
+};
+
+struct FaultSchedule {
+  int num_servers = 5;
+  int num_vips = 7;
+  bool router_profile = false;
+  std::vector<FaultAction> actions;      // sorted by `at`, strictly increasing
+  std::vector<Checkpoint> checkpoints;   // sorted by `at`
+  sim::Duration horizon{};               // run the simulation this far
+};
+
+struct GeneratorOptions {
+  int num_servers = 5;   // routers for the router profile
+  int num_vips = 7;
+  int rounds = 4;        // storm/quiesce/checkpoint cycles
+  sim::Duration quiesce = sim::seconds(12.0);
+  sim::Duration calm = sim::seconds(5.0);
+};
+
+/// Deterministic: the same (rng seed, options) yields the same schedule.
+[[nodiscard]] FaultSchedule generate_cluster_schedule(
+    sim::Rng& rng, const GeneratorOptions& opt);
+[[nodiscard]] FaultSchedule generate_router_schedule(
+    sim::Rng& rng, const GeneratorOptions& opt);
+
+class ClusterFaultModel {
+ public:
+  explicit ClusterFaultModel(int num_servers);
+
+  void apply(const FaultAction& a);
+
+  /// Expected maximal connected components of servers.
+  [[nodiscard]] std::vector<std::vector<int>> components() const;
+  /// Whether server i's daemon is expected to manage addresses.
+  [[nodiscard]] bool participant(int i) const;
+  /// A directional drop or loss burst is active: component prediction is
+  /// unsound, the oracle must skip this checkpoint.
+  [[nodiscard]] bool transient_active() const {
+    return drops_ > 0 || loss_ > 0.0;
+  }
+  [[nodiscard]] bool nic_down(int i) const { return nic_down_.count(i) > 0; }
+  [[nodiscard]] bool crashed(int i) const { return crashed_.count(i) > 0; }
+  [[nodiscard]] bool left(int i) const { return left_.count(i) > 0; }
+
+ private:
+  int n_;
+  std::vector<std::vector<int>> groups_;  // current partition groups
+  std::set<int> nic_down_;
+  std::set<int> crashed_;
+  std::set<int> left_;
+  int drops_ = 0;
+  double loss_ = 0.0;
+};
+
+class RouterFaultModel {
+ public:
+  explicit RouterFaultModel(int num_routers);
+
+  void apply(const FaultAction& a);
+
+  [[nodiscard]] bool failed(int i) const { return failed_.count(i) > 0; }
+  [[nodiscard]] bool left(int i) const { return left_.count(i) > 0; }
+  [[nodiscard]] bool transient_active() const { return loss_ > 0.0; }
+  [[nodiscard]] int num_routers() const { return n_; }
+
+ private:
+  int n_;
+  std::set<int> failed_;
+  std::set<int> left_;
+  double loss_ = 0.0;
+};
+
+/// Render the schedule in the apps/scenario.hpp DSL (checkpoints become
+/// comments). parse_scenario() accepts the output verbatim — the replay
+/// artifact for a violating seed.
+[[nodiscard]] std::string to_dsl(const FaultSchedule& s);
+
+}  // namespace wam::chaos

@@ -1,0 +1,48 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+
+namespace wam::chaos {
+
+ShrinkResult shrink_schedule(std::vector<FaultAction> actions,
+                             const ShrinkPredicate& still_fails,
+                             int max_evaluations) {
+  ShrinkResult result;
+  std::size_t chunk = std::max<std::size_t>(1, actions.size() / 2);
+  while (chunk >= 1 && !actions.empty()) {
+    bool removed_any = false;
+    std::size_t i = 0;
+    while (i < actions.size()) {
+      if (result.evaluations >= max_evaluations) {
+        result.exhausted = true;
+        result.actions = std::move(actions);
+        return result;
+      }
+      std::vector<FaultAction> candidate;
+      candidate.reserve(actions.size());
+      const std::size_t end = std::min(actions.size(), i + chunk);
+      candidate.insert(candidate.end(), actions.begin(),
+                       actions.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.end(),
+                       actions.begin() + static_cast<std::ptrdiff_t>(end),
+                       actions.end());
+      ++result.evaluations;
+      if (still_fails(candidate)) {
+        actions = std::move(candidate);
+        removed_any = true;
+        // Re-test from the same index: the next chunk slid into place.
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;  // 1-minimal: no single deletion reproduces
+    } else {
+      chunk /= 2;
+    }
+  }
+  result.actions = std::move(actions);
+  return result;
+}
+
+}  // namespace wam::chaos

@@ -1,0 +1,40 @@
+// Greedy schedule shrinker: delta debugging over fault-action lists.
+//
+// Given a failing schedule and a predicate that re-runs the campaign on a
+// candidate action subsequence, repeatedly try deleting chunks of actions
+// (halving the chunk size as deletions stop helping, ddmin-style) and keep
+// every candidate that still fails. Checkpoint times and the horizon stay
+// fixed, and every executor action is a defensive no-op when inapplicable,
+// so ANY subsequence is executable — the predicate never has to reject a
+// candidate as malformed.
+//
+// The result is 1-minimal with respect to single-chunk deletion, which in
+// practice collapses a 4-round storm to the two or three actions that
+// actually interact. Each predicate evaluation is a full simulated run, so
+// `max_evaluations` bounds the work.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+
+namespace wam::chaos {
+
+using ShrinkPredicate =
+    std::function<bool(const std::vector<FaultAction>&)>;
+
+struct ShrinkResult {
+  std::vector<FaultAction> actions;  // smallest still-failing subsequence
+  int evaluations = 0;               // predicate runs spent
+  bool exhausted = false;            // hit max_evaluations before 1-minimal
+};
+
+/// `still_fails(candidate)` must return true iff the violation reproduces.
+/// `actions` itself is assumed failing (it is returned unchanged if no
+/// deletion reproduces).
+[[nodiscard]] ShrinkResult shrink_schedule(std::vector<FaultAction> actions,
+                                           const ShrinkPredicate& still_fails,
+                                           int max_evaluations = 200);
+
+}  // namespace wam::chaos

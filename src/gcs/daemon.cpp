@@ -97,6 +97,7 @@ void Daemon::start() {
   next_seq_ = 1;
   delivered_seq_ = 0;
   stable_seq_ = 0;
+  advertised_seq_ = 0;
   view_ = View{ViewId{0, id_}, {id_}};
   state_ = State::kOp;
   heartbeat_timer_ = host_.scheduler().schedule(
@@ -246,6 +247,16 @@ void Daemon::on_heartbeat(const Heartbeat& hb) {
   } else if (hb.sender == sequencer() && hb.stable_seq > stable_seq_) {
     prune_stable(hb.stable_seq);
   }
+  // Sequenced-stream tail recovery: a short connectivity glitch (below the
+  // fault-detection threshold, so no view change repairs it) can drop the
+  // LAST sequenced messages, and with nothing newer in flight there is no
+  // gap to notice — we would diverge from the group silently and forever.
+  // Peers advertise their delivered head in every heartbeat; falling behind
+  // it is the missing gap signal.
+  if (hb.in_op && !is_sequencer()) {
+    advertised_seq_ = std::max(advertised_seq_, hb.delivered_seq);
+    if (advertised_seq_ > delivered_seq_) schedule_nack();
+  }
   // FIFO/causal tail recovery: a dropped message with no successor leaves
   // no gap to detect, so the heartbeat advertises the origin's stream head
   // and we NACK up to it.
@@ -310,7 +321,13 @@ void Daemon::submit(DataMessage data) {
 
 void Daemon::reforward_pending() {
   if (state_ != State::kOp || token_mode()) return;
-  for (auto data : pending_out_) {
+  // When we are the sequencer, on_forward() delivers synchronously and the
+  // client callbacks it triggers may submit() (growing pending_out_) or ack
+  // messages that deliver() then erases — either invalidates a live
+  // iterator. Iterate a snapshot; new submissions forward themselves and
+  // on_forward dedups anything already sequenced.
+  const auto snapshot = pending_out_;
+  for (auto data : snapshot) {
     data.view = view_.id;
     if (is_sequencer()) {
       // Dedup in on_forward path; call it directly for symmetry.
@@ -429,9 +446,13 @@ void Daemon::schedule_nack() {
 }
 
 void Daemon::nack_tick() {
-  if (state_ != State::kOp || buffer_.empty() || is_sequencer()) return;
+  if (state_ != State::kOp || is_sequencer()) return;
   Nack nack{view_.id, id_, {}};
-  std::uint64_t hi = buffer_.rbegin()->first;
+  // Everything below the highest buffered seq is a classic gap; everything
+  // up to the heartbeat-advertised delivered head is potential tail loss
+  // (buffer_ may be empty then — the lost messages had no successor).
+  std::uint64_t hi = buffer_.empty() ? 0 : buffer_.rbegin()->first;
+  hi = std::max(hi, advertised_seq_ + 1);
   for (std::uint64_t s = delivered_seq_ + 1; s < hi && nack.missing.size() < 64;
        ++s) {
     if (buffer_.count(s) == 0) nack.missing.push_back(s);
@@ -971,6 +992,7 @@ void Daemon::install_view(const Install& inst) {
   next_seq_ = 1;
   delivered_seq_ = 0;
   stable_seq_ = 0;
+  advertised_seq_ = 0;
   store_.clear();
   buffer_.clear();
   dispatch_queue_.clear();

@@ -210,6 +210,7 @@ class Daemon {
   std::uint64_t next_seq_ = 1;          // sequencer: next seq to assign
   std::uint64_t delivered_seq_ = 0;     // highest contiguously delivered
   std::uint64_t stable_seq_ = 0;        // GC watermark
+  std::uint64_t advertised_seq_ = 0;    // heard delivered head (heartbeats)
   std::map<std::uint64_t, DataMessage> store_;   // delivered, > stable
   std::map<std::uint64_t, DataMessage> buffer_;  // received out of order
   std::deque<DataMessage> dispatch_queue_;       // delivered, not dispatched

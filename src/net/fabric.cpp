@@ -129,14 +129,51 @@ void Fabric::set_partition(SegmentId seg,
 }
 
 void Fabric::block_direction(NicId from, NicId to) {
-  blocked_.emplace(from, to);
+  if (!blocked_.emplace(from, to).second) return;
+  log_.info("directional block: nic %d -> nic %d", from, to);
+  if (obs_ != nullptr) {
+    obs_->emit(sched_.now(), obs::EventType::kFaultInjected, obs_scope_,
+               {{"kind", "directional_block"},
+                {"from", std::to_string(from)},
+                {"to", std::to_string(to)}});
+  }
 }
 
 void Fabric::unblock_direction(NicId from, NicId to) {
-  blocked_.erase({from, to});
+  if (blocked_.erase({from, to}) == 0) return;
+  if (obs_ != nullptr) {
+    obs_->emit(sched_.now(), obs::EventType::kFaultHealed, obs_scope_,
+               {{"kind", "directional_unblock"},
+                {"from", std::to_string(from)},
+                {"to", std::to_string(to)}});
+  }
 }
 
-void Fabric::clear_directional_blocks() { blocked_.clear(); }
+void Fabric::clear_directional_blocks() {
+  if (blocked_.empty()) return;
+  blocked_.clear();
+  if (obs_ != nullptr) {
+    obs_->emit(sched_.now(), obs::EventType::kFaultHealed, obs_scope_,
+               {{"kind", "directional_clear"}});
+  }
+}
+
+void Fabric::set_drop_probability(SegmentId seg, double p) {
+  WAM_EXPECTS(p >= 0.0 && p < 1.0);
+  auto& config = segment_config(seg);
+  if (config.drop_probability == p) return;
+  config.drop_probability = p;
+  log_.info("segment %d loss probability now %g", seg, p);
+  if (obs_ != nullptr) {
+    obs_->emit(sched_.now(),
+               p > 0.0 ? obs::EventType::kFaultInjected
+                       : obs::EventType::kFaultHealed,
+               obs_scope_,
+               {{"kind", p > 0.0 ? "loss_burst" : "loss_end"},
+                {"segment", std::to_string(seg)},
+                {"p", std::to_string(p)}});
+  }
+}
 
 void Fabric::merge_segment(SegmentId seg) {
   WAM_EXPECTS(seg >= 0 && seg < segment_count());

@@ -99,6 +99,15 @@ class Fabric {
   void block_direction(NicId from, NicId to);
   void unblock_direction(NicId from, NicId to);
   void clear_directional_blocks();
+  [[nodiscard]] std::size_t directional_block_count() const {
+    return blocked_.size();
+  }
+
+  /// Loss burst: set the segment's random-drop probability (0 heals). A
+  /// convenience over segment_config() that also publishes the fault /
+  /// heal event, so chaos timelines record when the burst started and
+  /// ended.
+  void set_drop_probability(SegmentId seg, double p);
 
   /// Transmit a frame from `from`. Fire-and-forget (UDP-like) semantics.
   void send(NicId from, Frame frame);

@@ -19,7 +19,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);
 }
@@ -70,5 +70,14 @@ Duration Rng::duration_range(Duration lo, Duration hi) {
 }
 
 Rng Rng::fork() { return Rng(next()); }
+
+Rng Rng::stream(std::uint64_t id) const {
+  // Mix (seed, id) through splitmix64 twice so adjacent stream ids land in
+  // unrelated regions of the seed space.
+  std::uint64_t x = seed_ ^ (id * 0xd1342543de82ef95ULL);
+  std::uint64_t mixed = splitmix64(x);
+  mixed ^= splitmix64(x);
+  return Rng(mixed);
+}
 
 }  // namespace wam::sim

@@ -31,6 +31,12 @@ class Rng {
   Duration duration_range(Duration lo, Duration hi);
   /// Split off an independently-seeded child stream.
   Rng fork();
+  /// Derive the `id`-th named substream WITHOUT consuming state: the same
+  /// (seed, id) pair always yields the same stream, regardless of how much
+  /// the parent has been used. The chaos campaign keys its schedule
+  /// generation, execution and shrink re-runs off decoupled streams so
+  /// deleting one draw cannot shift every later decision.
+  [[nodiscard]] Rng stream(std::uint64_t id) const;
 
   // UniformRandomBitGenerator interface for <random>/std::shuffle.
   using result_type = std::uint64_t;
@@ -41,6 +47,7 @@ class Rng {
   result_type operator()() { return next(); }
 
  private:
+  std::uint64_t seed_;  // construction seed, for stream() derivation
   std::uint64_t s_[4];
 };
 

@@ -60,6 +60,7 @@ void Daemon::enter_state(WamState next) {
   if (state_ == next) return;
   WamState from = state_;
   state_ = next;
+  state_since_ = sched_.now();
   emit(obs::EventType::kStateTransition,
        {{"from", wam_state_name(from)}, {"to", wam_state_name(next)}});
 }
@@ -69,6 +70,7 @@ void Daemon::start() {
   running_ = true;
   mature_ = config_.start_mature;
   state_ = WamState::kIdle;
+  state_since_ = sched_.now();
   if (client_.connect(gcs_)) {
     client_.join(config_.group);
   } else {
@@ -174,6 +176,8 @@ void Daemon::on_message(const gcs::GroupMessage& gm) {
         }
         break;
       }
+      case WamMsgType::kAfterLast_:
+        break;  // unreachable: peek_type() rejects out-of-range codes
     }
   } catch (const util::DecodeError&) {
     log_.warn("malformed %d message from %s", static_cast<int>(type),
@@ -336,12 +340,28 @@ void Daemon::handle_balance_msg(const BalanceMsg& m) {
     return;
   }
   ++counters_.balance_applied;
-  // Change_IPs(): apply the representative's allocation atomically.
+  // Change_IPs(): apply the representative's allocation atomically. The
+  // message carries bare (ip, client) owner pairs; MemberId equality
+  // deliberately ignores the informational name, so the reconstructed
+  // owners still compare equal to client_.self().
+  //
+  // Start from the current table rather than from scratch: a BALANCE/ALLOC
+  // whose allocation omits a configured group (version-skewed or buggy
+  // peer) must not silently drop that group's coverage — omitted groups
+  // keep their present owner.
   if (!mature_) become_mature("balance implies a bootstrapped cluster");
-  VipTable next;
+  VipTable next = table_;
+  std::set<std::string> listed;
   for (const auto& [group, owner] : m.allocation) {
     next.set_owner(group, gcs::MemberId{net::Ipv4Address(owner.first),
                                         owner.second, ""});
+    listed.insert(group);
+  }
+  for (const auto& g : config_.vip_groups) {
+    if (listed.count(g.name) == 0) {
+      log_.warn("balance allocation omits group %s: keeping current owner",
+                g.name.c_str());
+    }
   }
   if (client_.connected()) {
     auto me = client_.self();

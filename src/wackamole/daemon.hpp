@@ -129,6 +129,14 @@ class Daemon {
 
   // ---- Introspection ----
   [[nodiscard]] WamState state() const { return state_; }
+  /// Virtual time of the last Figure-2 state-machine edge (simulation start
+  /// if none yet). Lets liveness oracles report how long a daemon has been
+  /// stuck outside RUN.
+  [[nodiscard]] sim::TimePoint state_since() const { return state_since_; }
+  /// Time spent in the current state as of `now`.
+  [[nodiscard]] sim::Duration time_in_state(sim::TimePoint now) const {
+    return now - state_since_;
+  }
   [[nodiscard]] bool mature() const { return mature_; }
   [[nodiscard]] bool connected() const { return client_.connected(); }
   [[nodiscard]] const VipTable& table() const { return table_; }
@@ -187,6 +195,7 @@ class Daemon {
 
   bool running_ = false;
   WamState state_ = WamState::kIdle;
+  sim::TimePoint state_since_{};
   bool mature_ = false;
 
   std::optional<gcs::GroupView> view_;

@@ -1,5 +1,7 @@
 #include "wackamole/health.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace wam::wackamole {
@@ -11,11 +13,22 @@ UdpServiceCheck::UdpServiceCheck(net::Host& host, net::Ipv4Address service_ip,
       service_ip_(service_ip),
       service_port_(service_port),
       probe_port_(probe_port) {
-  host_.open_udp(probe_port_,
-                 [this](const net::Host::UdpContext&, const util::Bytes&) {
-                   reply_seen_ = true;
-                   awaiting_ = false;
-                 });
+  host_.open_udp(
+      probe_port_,
+      [this](const net::Host::UdpContext&, const util::Bytes& reply) {
+        // Echo-style services return the request payload (possibly behind
+        // a header, e.g. EchoServer's hostname prefix), so the current
+        // round's tag must appear as the reply's suffix. A reply from an
+        // earlier round is stale and must not satisfy this one.
+        if (!awaiting_ || reply.size() < probe_.size() ||
+            !std::equal(probe_.begin(), probe_.end(),
+                        reply.end() - static_cast<std::ptrdiff_t>(
+                                          probe_.size()))) {
+          return;
+        }
+        reply_seen_ = true;
+        awaiting_ = false;
+      });
 }
 
 UdpServiceCheck::~UdpServiceCheck() { host_.close_udp(probe_port_); }
@@ -29,8 +42,14 @@ void UdpServiceCheck::run() {
   // Evaluate the previous round: if we were still waiting, it failed.
   if (awaiting_) reply_seen_ = false;
   awaiting_ = true;
+  ++seq_;
+  util::ByteWriter w;
+  w.u8('h');
+  w.u8('c');
+  w.u32(seq_);
+  probe_ = w.take();
   host_.send_udp_from(host_.primary_ip(0), service_ip_, service_port_,
-                      probe_port_, {'h', 'c'});
+                      probe_port_, probe_);
 }
 
 HealthMonitor::HealthMonitor(sim::Scheduler& sched, Daemon& daemon,

@@ -47,6 +47,12 @@ class HealthCheck {
 /// Probes a UDP service on this host via the loopback of the simulated
 /// stack: a request is "answered" when the service's socket handler exists
 /// and the service replies before the next round.
+///
+/// Every probe carries a round sequence number which an echo-style service
+/// returns in its reply; only a reply tagged with the CURRENT round counts.
+/// Without the tag, a single stale in-flight reply at death — or a service
+/// that answers slower than the check interval — would satisfy the next
+/// round and mask a dead service forever.
 class UdpServiceCheck : public HealthCheck {
  public:
   UdpServiceCheck(net::Host& host, net::Ipv4Address service_ip,
@@ -65,6 +71,8 @@ class UdpServiceCheck : public HealthCheck {
   std::uint16_t probe_port_;
   bool reply_seen_ = true;  // optimistic until the first probe completes
   bool awaiting_ = false;
+  std::uint32_t seq_ = 0;      // round number of the probe in flight
+  util::Bytes probe_;          // payload of the current round's probe
 };
 
 /// Fails when the monitored interface is administratively/physically down.

@@ -2,6 +2,13 @@
 
 namespace wam::wackamole {
 
+// peek_type() trusts the [kWamMsgTypeFirst, kWamMsgTypeLast] range derived
+// from the sentinel; this pin breaks the build if an enumerator is ever
+// appended after kAfterLast_ or the codes stop being contiguous from 1.
+static_assert(kWamMsgTypeFirst == 1, "wackamole wire codes start at 1");
+static_assert(kWamMsgTypeLast == static_cast<std::uint8_t>(WamMsgType::kAlloc),
+              "kAfterLast_ must stay the final WamMsgType enumerator");
+
 namespace {
 
 void put_tag(util::ByteWriter& w, const ViewTag& t) {
@@ -23,8 +30,19 @@ void put_names(util::ByteWriter& w, const std::vector<std::string>& names) {
   for (const auto& n : names) w.str(n);
 }
 
-std::vector<std::string> get_names(util::ByteReader& r) {
+// A count claiming more elements than the remaining bytes could possibly
+// hold is rejected before reserve() turns an attacker-controlled length
+// into a giant allocation (each element is at least `min_entry` bytes).
+std::uint32_t get_count(util::ByteReader& r, std::size_t min_entry) {
   auto n = r.u32();
+  if (n > r.remaining() / min_entry) {
+    throw util::DecodeError("implausible element count " + std::to_string(n));
+  }
+  return n;
+}
+
+std::vector<std::string> get_names(util::ByteReader& r) {
+  auto n = get_count(r, 4);  // each name: u32 length prefix
   std::vector<std::string> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.str());
@@ -84,7 +102,7 @@ BalanceMsg decode_allocation_body(const util::Bytes& buf, WamMsgType type) {
   check_type(r, type);
   BalanceMsg m;
   m.view = get_tag(r);
-  auto n = r.u32();
+  auto n = get_count(r, 12);  // name length prefix + two owner u32s
   m.allocation.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     auto group = r.str();
@@ -125,7 +143,7 @@ ArpShareMsg decode_arp_share(const util::Bytes& buf) {
   util::ByteReader r(buf);
   check_type(r, WamMsgType::kArpShare);
   ArpShareMsg m;
-  auto n = r.u32();
+  auto n = get_count(r, 4);
   m.ips.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.ips.push_back(r.u32());
   r.expect_end();
@@ -135,7 +153,7 @@ ArpShareMsg decode_arp_share(const util::Bytes& buf) {
 WamMsgType peek_type(const util::Bytes& buf) {
   util::ByteReader r(buf);
   auto t = r.u8();
-  if (t < 1 || t > 4) {
+  if (t < kWamMsgTypeFirst || t > kWamMsgTypeLast) {
     throw util::DecodeError("unknown wackamole message type " +
                             std::to_string(t));
   }

@@ -40,7 +40,17 @@ enum class WamMsgType : std::uint8_t {
   /// representative at the end of GATHER and imposed on the other daemons.
   /// Same body as BALANCE_MSG.
   kAlloc = 4,
+  /// Sentinel: one past the last valid wire code. Keep it the final
+  /// enumerator — peek_type() derives its validity range from it, so a new
+  /// message type added above extends the range automatically.
+  kAfterLast_,
 };
+
+/// First and last codes accepted on the wire, derived from the enum.
+inline constexpr std::uint8_t kWamMsgTypeFirst =
+    static_cast<std::uint8_t>(WamMsgType::kState);
+inline constexpr std::uint8_t kWamMsgTypeLast =
+    static_cast<std::uint8_t>(WamMsgType::kAfterLast_) - 1;
 
 /// STATE_MSG: the sender's local knowledge, sent on every view change.
 struct StateMsg {

@@ -173,5 +173,97 @@ TEST_F(RobustnessTest, FlappingMemberEventuallySettles) {
   c.expect_views({{0, 1, 2}}, "after flapping");
 }
 
+// Regression (chaos seeds 4/28/55/66): a connectivity glitch SHORTER than
+// the fault-detection timeout that eats the LAST sequenced message leaves
+// no gap to NACK — nothing newer ever arrives on the stream — so the
+// affected member silently diverged until the next view change. Peers now
+// advertise their delivered head in heartbeats and the member NACKs up to
+// it; the recovery must happen without any membership change.
+TEST_F(RobustnessTest, SequencedTailLossRecoversViaHeartbeats) {
+  auto view_before = c.daemons[2]->view().id;
+  // One-way glitch: the sequencer's broadcasts don't reach daemon 2.
+  c.fabric.block_direction(c.hosts[0]->nic_id(0), c.hosts[2]->nic_id(0));
+  recs[1]->send("tail");
+  c.run(sim::milliseconds(100));
+  c.fabric.clear_directional_blocks();
+
+  ASSERT_EQ(recs[0]->messages.size(), 1u);  // delivered where reachable
+  EXPECT_TRUE(recs[2]->messages.empty());   // lost the tail
+
+  // Well under the 1 s fault-detection timeout: recovery must come from
+  // heartbeat watermarks, not from a reconfiguration.
+  c.run(sim::seconds(2.0));
+  ASSERT_EQ(recs[2]->messages.size(), 1u);
+  EXPECT_EQ(recs[2]->messages[0], "tail");
+  EXPECT_EQ(c.daemons[2]->view().id, view_before)
+      << "tail loss must be repaired without a view change";
+}
+
+// Regression (chaos seed 63, ASan): reforward_pending() used to iterate
+// pending_out_ directly; a client whose on_message callback multicasts —
+// reentrant submit() inside the synchronous delivery path — grows the
+// deque mid-loop and invalidated the iterator (heap-use-after-free). The
+// ping/pong clients below answer from inside delivery while partitions
+// force re-forwards at every install.
+TEST_F(RobustnessTest, ReentrantSubmitDuringViewChangesIsSafe) {
+  struct Ponger {
+    std::unique_ptr<gcs::Client> client;
+    int id;
+    explicit Ponger(int i) : id(i) {
+      gcs::ClientCallbacks cb;
+      cb.on_message = [this](const gcs::GroupMessage& m) {
+        std::string text(m.payload.begin(), m.payload.end());
+        if (text.rfind("ping", 0) == 0 && client->connected()) {
+          auto reply = "pong" + std::to_string(id) + "/" + text;
+          client->multicast("g", util::Bytes(reply.begin(), reply.end()));
+        }
+      };
+      client = std::make_unique<gcs::Client>("p" + std::to_string(i),
+                                             std::move(cb));
+    }
+  };
+  std::vector<std::unique_ptr<Ponger>> pongers;
+  for (std::size_t i = 0; i < c.daemons.size(); ++i) {
+    auto p = std::make_unique<Ponger>(static_cast<int>(i));
+    ASSERT_TRUE(p->client->connect(*c.daemons[i]));
+    p->client->join("g");
+    pongers.push_back(std::move(p));
+  }
+  c.run(sim::seconds(1.0));
+
+  for (int round = 0; round < 3; ++round) {
+    recs[static_cast<std::size_t>(round) % 3]->send(
+        "ping-a" + std::to_string(round));
+    c.partition({{0}, {1, 2}});
+    c.run(sim::seconds(2.0));
+    for (std::size_t i = 0; i < 3; ++i) {
+      recs[i]->send("ping-b" + std::to_string(round) + std::to_string(i));
+    }
+    c.merge();
+    c.run(sim::seconds(4.0));
+  }
+  c.run(sim::seconds(5.0));
+
+  c.expect_views({{0, 1, 2}}, "after ping/pong churn");
+
+  // Partition-era deliveries legitimately differ per component; what must
+  // agree — and proves the daemons survived the churn intact — is the
+  // total order from the healed view onward.
+  std::vector<std::size_t> base;
+  for (auto& r : recs) base.push_back(r->messages.size());
+  recs[0]->send("ping-final");
+  c.run(sim::seconds(2.0));
+  auto suffix = [&](std::size_t i) {
+    return std::vector<std::string>(
+        recs[i]->messages.begin() +
+            static_cast<std::ptrdiff_t>(base[i]),
+        recs[i]->messages.end());
+  };
+  auto s0 = suffix(0);
+  ASSERT_FALSE(s0.empty());
+  EXPECT_EQ(s0, suffix(1));
+  EXPECT_EQ(s0, suffix(2));
+}
+
 }  // namespace
 }  // namespace wam::testing

@@ -35,7 +35,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seeds N] [--seed S] [--profile cluster|router|both]\n"
-      "          [--rounds R] [--servers N] [--vips K]\n"
+      "          [--rounds R] [--servers N] [--vips K] [--os-faults]\n"
       "          [--no-shrink] [--dsl] [--replay] [--quiet]\n",
       argv0);
   return 2;
@@ -113,6 +113,8 @@ int main(int argc, char** argv) {
       const char* a = next();
       if (!a || !parse_u64(a, v) || v == 0 || v > 100) return usage(argv[0]);
       cli.campaign.generator.num_vips = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--os-faults") == 0) {
+      cli.campaign.generator.os_faults = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       cli.campaign.shrink = false;
     } else if (std::strcmp(arg, "--dsl") == 0) {

@@ -55,13 +55,20 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
     if (options_.with_router) {
       ipmgr->set_router(0, net::Ipv4Address(10, 0, 0, 254));
     }
+    // Every daemon talks through the fault decorator; at default knobs it
+    // is a pure pass-through consuming no randomness, so pre-existing
+    // pinned seeds replay byte-identically.
+    auto faulty = std::make_unique<wackamole::FaultyIpManager>(
+        *ipmgr, options_.seed * 1000003u + static_cast<std::uint64_t>(i));
 
     auto config = wackamole::Config::web_cluster(vips, 0);
     config.balance_timeout = options_.balance_timeout;
     config.maturity_timeout = options_.maturity_timeout;
     config.start_mature = options_.maturity_timeout == sim::kZero;
+    config.announce_interval = options_.announce_interval;
+    config.quarantine_cooldown = options_.quarantine_cooldown;
     auto wamd = std::make_unique<wackamole::Daemon>(sched, config, *gcsd,
-                                                    *ipmgr, &log);
+                                                    *faulty, &log);
     auto echo = std::make_unique<EchoServer>(*host);
 
     // One scope suffix per server — "s1" matches host name "server1" — so
@@ -75,6 +82,7 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
     servers_.push_back(std::move(host));
     gcs_.push_back(std::move(gcsd));
     ipmgrs_.push_back(std::move(ipmgr));
+    faulty_.push_back(std::move(faulty));
     wams_.push_back(std::move(wamd));
     echos_.push_back(std::move(echo));
   }
@@ -183,6 +191,40 @@ void ClusterScenario::clear_blocked_paths() {
 
 void ClusterScenario::set_loss(double p) {
   fabric.set_drop_probability(cluster_seg_, p);
+}
+
+void ClusterScenario::set_os_fail(int i, double p) {
+  auto& f = faulty_ip_manager(i);
+  f.set_acquire_fail_probability(p);
+  f.set_release_fail_probability(p);
+  obs.emit(sched.now(),
+           p > 0.0 ? obs::EventType::kFaultInjected
+                   : obs::EventType::kFaultHealed,
+           "scenario",
+           {{"kind", "os_fail"},
+            {"server", "s" + std::to_string(i + 1)},
+            {"p", std::to_string(p)}});
+}
+
+void ClusterScenario::set_os_fail_sticky(int i) {
+  faulty_ip_manager(i).set_sticky_all(true);
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "os_fail_sticky"},
+            {"server", "s" + std::to_string(i + 1)}});
+}
+
+void ClusterScenario::set_arp_lose(int i, bool on) {
+  faulty_ip_manager(i).set_arp_lose(on);
+  obs.emit(sched.now(),
+           on ? obs::EventType::kFaultInjected : obs::EventType::kFaultHealed,
+           "scenario",
+           {{"kind", "arp_lose"}, {"server", "s" + std::to_string(i + 1)}});
+}
+
+void ClusterScenario::heal_os(int i) {
+  faulty_ip_manager(i).heal();
+  obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
+           {{"kind", "os_heal"}, {"server", "s" + std::to_string(i + 1)}});
 }
 
 net::Ipv4Address ClusterScenario::vip(int index) const {

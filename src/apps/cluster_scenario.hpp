@@ -31,6 +31,12 @@ struct ClusterOptions {
   sim::Duration maturity_timeout = sim::kZero;  // 0 = start mature
   sim::Duration probe_interval = sim::milliseconds(10);
   bool with_router = true;  // client reaches VIPs through a router
+  /// Gratuitous-ARP refresh period (Config::announce_interval). Zero keeps
+  /// the default (disabled); chaos campaigns with OS faults enable it so
+  /// quarantine cooldown probes have live announce paths to exercise.
+  sim::Duration announce_interval = sim::kZero;
+  /// Self-fence cooldown before a daemon re-probes its enforcement layer.
+  sim::Duration quarantine_cooldown = sim::seconds(30.0);
   std::uint64_t seed = 1;
 };
 
@@ -69,6 +75,18 @@ class ClusterScenario {
   void clear_blocked_paths();
   /// Random loss burst on the cluster segment; p = 0 heals.
   void set_loss(double p);
+  /// Enforcement-layer faults (the fallible OS-op decorator): every
+  /// acquire/release on server i fails with probability p; p = 0 heals the
+  /// probabilistic knobs (sticky state is untouched).
+  void set_os_fail(int i, double p);
+  /// Sticky enforcement fault on server i: every acquire (and the
+  /// announce-probe at quarantine cooldown) fails until heal_os(i).
+  void set_os_fail_sticky(int i);
+  /// Server i's gratuitous ARPs are silently lost (announce succeeds but
+  /// never reaches the wire); on = false heals.
+  void set_arp_lose(int i, bool on);
+  /// Clear every injected enforcement fault on server i.
+  void heal_os(int i);
 
   // ---- queries ----
   [[nodiscard]] net::Ipv4Address vip(int index) const;
@@ -92,6 +110,11 @@ class ClusterScenario {
   }
   [[nodiscard]] wackamole::SimIpManager& ip_manager(int i) {
     return *ipmgrs_[static_cast<std::size_t>(i)];
+  }
+  /// The fault-injecting decorator each daemon actually talks through; a
+  /// pure pass-through to ip_manager(i) until a fault knob is set.
+  [[nodiscard]] wackamole::FaultyIpManager& faulty_ip_manager(int i) {
+    return *faulty_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] net::Host& client_host() { return *client_; }
   [[nodiscard]] ProbeClient& probe() { return *probe_; }
@@ -120,6 +143,7 @@ class ClusterScenario {
   std::vector<std::unique_ptr<net::Host>> servers_;
   std::vector<std::unique_ptr<gcs::Daemon>> gcs_;
   std::vector<std::unique_ptr<wackamole::SimIpManager>> ipmgrs_;
+  std::vector<std::unique_ptr<wackamole::FaultyIpManager>> faulty_;
   std::vector<std::unique_ptr<wackamole::Daemon>> wams_;
   std::vector<std::unique_ptr<EchoServer>> echos_;
   std::unique_ptr<net::Host> client_;

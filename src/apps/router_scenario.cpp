@@ -12,9 +12,9 @@ class RouterScenario::ConvergingIpManager : public wackamole::SimIpManager {
   ConvergingIpManager(net::Host& host, sim::Duration delay)
       : SimIpManager(host), delay_(delay) {}
 
-  void acquire(const wackamole::VipGroup& group) override {
-    SimIpManager::acquire(group);
-    if (delay_ == sim::kZero) return;
+  wackamole::OsOpResult acquire(const wackamole::VipGroup& group) override {
+    auto result = SimIpManager::acquire(group);
+    if (!result.ok() || delay_ == sim::kZero) return result;
     host().enable_forwarding(false);
     ++generation_;
     auto gen = generation_;
@@ -22,6 +22,7 @@ class RouterScenario::ConvergingIpManager : public wackamole::SimIpManager {
       // A release/re-acquire in between restarts the convergence clock.
       if (gen == generation_) host().enable_forwarding(true);
     });
+    return result;
   }
 
  private:

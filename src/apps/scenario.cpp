@@ -131,6 +131,18 @@ ParsedScenario parse_scenario(const std::string& text) {
         if (!(words >> sa.value) || sa.value < 0 || sa.value >= 1) {
           fail(line_no, line, "loss needs a probability in [0, 1)");
         }
+      } else if (action == "osfail") {
+        std::string target;
+        if (!(words >> target)) fail(line_no, line, "osfail needs a server");
+        sa.servers.push_back(parse_server(target, n, line_no, line));
+        if (!(words >> sa.value) || sa.value < 0 || sa.value >= 1) {
+          fail(line_no, line, "osfail needs a probability in [0, 1)");
+        }
+      } else if (action == "osfail-sticky" || action == "arp-lose" ||
+                 action == "osheal") {
+        std::string target;
+        if (!(words >> target)) fail(line_no, line, action + " needs a server");
+        sa.servers.push_back(parse_server(target, n, line_no, line));
       } else if (action == "partition") {
         // Remainder: comma-lists separated by '|'.
         std::string rest;
@@ -226,6 +238,14 @@ bool run_scenario(const std::string& text, std::ostream& out,
         s.clear_blocked_paths();
       } else if (action.verb == "loss") {
         s.set_loss(action.value);
+      } else if (action.verb == "osfail") {
+        s.set_os_fail(action.servers[0], action.value);
+      } else if (action.verb == "osfail-sticky") {
+        s.set_os_fail_sticky(action.servers[0]);
+      } else if (action.verb == "arp-lose") {
+        s.set_arp_lose(action.servers[0], true);
+      } else if (action.verb == "osheal") {
+        s.heal_os(action.servers[0]);
       } else if (action.verb == "partition") {
         s.partition(action.groups);
       } else if (action.verb == "merge") {

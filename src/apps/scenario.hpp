@@ -23,6 +23,10 @@
 //     at 52  balance
 //     at 54  status server1
 //     at 55  coverage
+//     at 56  osfail server2 0.5     # acquire/release fails with p=0.5
+//     at 57  osfail-sticky server3  # every acquire fails until osheal
+//     at 58  arp-lose server1       # gratuitous ARPs silently lost
+//     at 59  osheal server2         # clear all enforcement faults
 //     run 60
 //
 // parse_scenario() validates and returns the structured form;
@@ -50,7 +54,7 @@ struct ScenarioAction {
   std::string verb;                // disconnect|reconnect|leave|partition|...
   std::vector<int> servers;        // operands as server indices
   std::vector<std::vector<int>> groups;  // for partition
-  double value = 0.0;              // for loss
+  double value = 0.0;              // for loss / osfail
 };
 
 struct ParsedScenario {

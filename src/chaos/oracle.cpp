@@ -52,6 +52,7 @@ const char* violation_kind_name(Violation::Kind k) {
     case Violation::Kind::kUncovered: return "uncovered";
     case Violation::Kind::kConflict: return "conflict";
     case Violation::Kind::kNotRun: return "not-run";
+    case Violation::Kind::kFencedButHeld: return "fenced-but-held";
   }
   return "?";
 }
@@ -76,15 +77,31 @@ void check_cluster_invariants(apps::ClusterScenario& s,
     // cover anything (Property 1 quantifies over Wackamole participants).
     if (participants.empty()) continue;
 
+    bool all_sticky = true;
     for (int i : participants) {
       check_daemon_run(s.wam(i), "server" + std::to_string(i + 1), now,
                        regression_guard, out);
+      if (!model.os_sticky(i)) all_sticky = false;
+      // Fence protocol invariant: quarantined means released.
+      for (const auto& g : s.wam(i).quarantined_groups()) {
+        if (!s.ip_manager(i).holds(g)) continue;
+        Violation v;
+        v.kind = Violation::Kind::kFencedButHeld;
+        v.at = now;
+        v.persisted = regression_guard;
+        v.detail = "server" + std::to_string(i + 1) + " quarantined " + g +
+                   " but still holds its addresses";
+        out.push_back(std::move(v));
+      }
     }
     const auto label = component_label(component);
     for (int k = 0; k < s.options().num_vips; ++k) {
-      report_coverage(s.coverage_count(s.vip(k), participants),
-                      s.vip(k).to_string(), label, now, regression_guard,
-                      out);
+      int count = s.coverage_count(s.vip(k), participants);
+      // Quarantine-aware Property 1: an uncovered VIP is tolerable only
+      // when no participant's enforcement layer can bind anything.
+      if (count == 0 && all_sticky) continue;
+      report_coverage(count, s.vip(k).to_string(), label, now,
+                      regression_guard, out);
     }
   }
 }
@@ -127,6 +144,30 @@ void check_router_invariants(apps::RouterScenario& s,
   }
   report_coverage(holders, "virtual-router group", "{up routers}", now,
                   regression_guard, out);
+}
+
+void PairPersistenceFilter::apply(bool regression_guard,
+                                  std::vector<Violation> found,
+                                  std::vector<Violation>& out) {
+  for (auto& v : found) {
+    if (v.kind == Violation::Kind::kNotRun) {
+      // Property 2 carries a stuck-duration in its detail and is not a
+      // coverage transient: report immediately.
+      out.push_back(std::move(v));
+      continue;
+    }
+    // The detail string is stable across a pair (same VIP, same component:
+    // no actions land between the two checkpoints), so it keys the
+    // condition.
+    std::string key =
+        std::string(violation_kind_name(v.kind)) + "|" + v.detail;
+    if (!regression_guard) {
+      pending_.insert(std::move(key));
+    } else if (pending_.count(key) > 0) {
+      out.push_back(std::move(v));
+    }
+  }
+  if (regression_guard) pending_.clear();
 }
 
 }  // namespace wam::chaos

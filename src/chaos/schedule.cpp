@@ -38,6 +38,10 @@ const char* fault_kind_verb(FaultKind k) {
     case FaultKind::kDrop: return "drop";
     case FaultKind::kUndrop: return "undrop";
     case FaultKind::kLoss: return "loss";
+    case FaultKind::kOsFail: return "osfail";
+    case FaultKind::kOsFailSticky: return "osfail-sticky";
+    case FaultKind::kArpLose: return "arp-lose";
+    case FaultKind::kOsHeal: return "osheal";
   }
   return "?";
 }
@@ -86,6 +90,24 @@ void ClusterFaultModel::apply(const FaultAction& a) {
       break;
     case FaultKind::kLoss:
       loss_ = a.value;
+      break;
+    case FaultKind::kOsFail:
+      if (a.value > 0.0) {
+        os_prob_.insert(a.servers[0]);
+      } else {
+        os_prob_.erase(a.servers[0]);
+      }
+      break;
+    case FaultKind::kOsFailSticky:
+      os_sticky_.insert(a.servers[0]);
+      break;
+    case FaultKind::kArpLose:
+      arp_lose_.insert(a.servers[0]);
+      break;
+    case FaultKind::kOsHeal:
+      os_prob_.erase(a.servers[0]);
+      os_sticky_.erase(a.servers[0]);
+      arp_lose_.erase(a.servers[0]);
       break;
   }
 }
@@ -145,13 +167,16 @@ namespace {
 /// servers are not leave candidates.
 FaultAction pick_cluster_action(sim::Rng& rng, const ClusterFaultModel& model,
                                 const std::vector<std::int64_t>& restarted_ms,
-                                std::int64_t now_ms, int n) {
+                                std::int64_t now_ms, int n, bool os_faults) {
   std::vector<int> nic_up;
   std::vector<int> nic_down;
   std::vector<int> crashed;
   std::vector<int> not_crashed;
   std::vector<int> leavable;
   std::vector<int> joinable;
+  std::vector<int> not_sticky;
+  std::vector<int> not_arp_lose;
+  std::vector<int> os_faulted;
   for (int i = 0; i < n; ++i) {
     (model.nic_down(i) ? nic_down : nic_up).push_back(i);
     (model.crashed(i) ? crashed : not_crashed).push_back(i);
@@ -160,6 +185,11 @@ FaultAction pick_cluster_action(sim::Rng& rng, const ClusterFaultModel& model,
       leavable.push_back(i);
     }
     if (model.left(i) && !model.crashed(i)) joinable.push_back(i);
+    if (!model.os_sticky(i)) not_sticky.push_back(i);
+    if (!model.arp_lose(i)) not_arp_lose.push_back(i);
+    if (model.os_prob(i) || model.os_sticky(i) || model.arp_lose(i)) {
+      os_faulted.push_back(i);
+    }
   }
 
   std::vector<FaultKind> kinds{FaultKind::kPartition, FaultKind::kMerge,
@@ -171,6 +201,12 @@ FaultAction pick_cluster_action(sim::Rng& rng, const ClusterFaultModel& model,
   if (!leavable.empty()) kinds.push_back(FaultKind::kLeave);
   if (!joinable.empty()) kinds.push_back(FaultKind::kJoin);
   if (nic_up.size() >= 2) kinds.push_back(FaultKind::kDrop);
+  if (os_faults) {
+    kinds.push_back(FaultKind::kOsFail);
+    if (!not_sticky.empty()) kinds.push_back(FaultKind::kOsFailSticky);
+    if (!not_arp_lose.empty()) kinds.push_back(FaultKind::kArpLose);
+    if (!os_faulted.empty()) kinds.push_back(FaultKind::kOsHeal);
+  }
 
   FaultAction a;
   a.kind = kinds[rng.below(kinds.size())];
@@ -215,6 +251,19 @@ FaultAction pick_cluster_action(sim::Rng& rng, const ClusterFaultModel& model,
     case FaultKind::kLoss:
       // Whole-millesimal probabilities survive the DSL round-trip exactly.
       a.value = static_cast<double>(rng.range(50, 300)) / 1000.0;
+      break;
+    case FaultKind::kOsFail:
+      a.servers.push_back(pick(rng, all_upto(n)));
+      a.value = static_cast<double>(rng.range(100, 600)) / 1000.0;
+      break;
+    case FaultKind::kOsFailSticky:
+      a.servers.push_back(pick(rng, not_sticky));
+      break;
+    case FaultKind::kArpLose:
+      a.servers.push_back(pick(rng, not_arp_lose));
+      break;
+    case FaultKind::kOsHeal:
+      a.servers.push_back(pick(rng, os_faulted));
       break;
     default:
       break;
@@ -273,6 +322,7 @@ FaultSchedule generate_cluster_schedule(sim::Rng& rng,
   FaultSchedule s;
   s.num_servers = n;
   s.num_vips = opt.num_vips;
+  s.os_faults = opt.os_faults;
 
   ClusterFaultModel model(n);
   std::vector<std::int64_t> restarted_ms(static_cast<std::size_t>(n), -10000);
@@ -284,7 +334,8 @@ FaultSchedule generate_cluster_schedule(sim::Rng& rng,
     int burst = 1 + static_cast<int>(rng.below(3));
     for (int b = 0; b < burst; ++b) {
       cursor += rng.range(50, 600);
-      FaultAction a = pick_cluster_action(rng, model, restarted_ms, cursor, n);
+      FaultAction a = pick_cluster_action(rng, model, restarted_ms, cursor, n,
+                                          opt.os_faults);
       a.at = sim::milliseconds(cursor);
       if (a.kind == FaultKind::kRestart) {
         restarted_ms[static_cast<std::size_t>(a.servers[0])] = cursor;
@@ -293,13 +344,26 @@ FaultSchedule generate_cluster_schedule(sim::Rng& rng,
       s.actions.push_back(std::move(a));
     }
     // Heal transients before quiescence: the oracle's component prediction
-    // is unsound while asymmetric drops or loss are active.
+    // is unsound while asymmetric drops, loss or probabilistic enforcement
+    // faults are active. (Sticky / arp-lose faults persist: the oracle
+    // reasons about those deterministically.)
     if (model.transient_active()) {
       for (auto kind : {FaultKind::kUndrop, FaultKind::kLoss}) {
         cursor += 50;
         FaultAction heal;
         heal.at = sim::milliseconds(cursor);
         heal.kind = kind;
+        model.apply(heal);
+        s.actions.push_back(std::move(heal));
+      }
+      for (int i = 0; i < n; ++i) {
+        if (!model.os_prob(i)) continue;
+        cursor += 50;
+        FaultAction heal;
+        heal.at = sim::milliseconds(cursor);
+        heal.kind = FaultKind::kOsFail;
+        heal.servers.push_back(i);
+        heal.value = 0.0;
         model.apply(heal);
         s.actions.push_back(std::move(heal));
       }
@@ -413,6 +477,12 @@ std::string to_dsl(const FaultSchedule& s) {
         char buf[32];
         std::snprintf(buf, sizeof(buf), " %.3f", a.value);
         out += buf;
+        break;
+      }
+      case FaultKind::kOsFail: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %.3f", a.value);
+        out += " " + server_token(a.servers[0]) + buf;
         break;
       }
       case FaultKind::kMerge:

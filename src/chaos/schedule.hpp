@@ -49,6 +49,11 @@ enum class FaultKind {
   kDrop,       // one-way frame drop a -> b (asymmetric fault)
   kUndrop,     // heal all one-way drops
   kLoss,       // random loss burst with probability `value` (0 heals)
+  // ---- enforcement-layer faults (the fallible IpManager decorator) ----
+  kOsFail,        // server i's acquire/release fails with `value` (0 heals)
+  kOsFailSticky,  // server i's acquires fail until kOsHeal (dead NIC)
+  kArpLose,       // server i's gratuitous ARPs are silently lost
+  kOsHeal,        // clear every enforcement fault on server i
 };
 
 /// The scenario-DSL verb for a kind ("crash", "drop", ...).
@@ -75,6 +80,10 @@ struct FaultSchedule {
   int num_servers = 5;
   int num_vips = 7;
   bool router_profile = false;
+  /// Generated with enforcement faults: the executor shortens the cluster's
+  /// quarantine cooldown and enables periodic announces so fence/unfence
+  /// cycles complete within a quiescence window.
+  bool os_faults = false;
   std::vector<FaultAction> actions;      // sorted by `at`, strictly increasing
   std::vector<Checkpoint> checkpoints;   // sorted by `at`
   sim::Duration horizon{};               // run the simulation this far
@@ -86,6 +95,10 @@ struct GeneratorOptions {
   int rounds = 4;        // storm/quiesce/checkpoint cycles
   sim::Duration quiesce = sim::seconds(12.0);
   sim::Duration calm = sim::seconds(5.0);
+  /// Also generate enforcement-layer faults (osfail / osfail-sticky /
+  /// arp-lose / osheal). Off by default so pre-existing pinned seeds keep
+  /// consuming the generator stream identically.
+  bool os_faults = false;
 };
 
 /// Deterministic: the same (rng seed, options) yields the same schedule.
@@ -104,14 +117,25 @@ class ClusterFaultModel {
   [[nodiscard]] std::vector<std::vector<int>> components() const;
   /// Whether server i's daemon is expected to manage addresses.
   [[nodiscard]] bool participant(int i) const;
-  /// A directional drop or loss burst is active: component prediction is
-  /// unsound, the oracle must skip this checkpoint.
+  /// A directional drop, loss burst or probabilistic enforcement fault is
+  /// active: predictions are unsound, the oracle must skip this checkpoint.
+  /// (Sticky and arp-lose faults are NOT transient: their effect on
+  /// coverage is deterministic and the oracle reasons about them.)
   [[nodiscard]] bool transient_active() const {
-    return drops_ > 0 || loss_ > 0.0;
+    return drops_ > 0 || loss_ > 0.0 || !os_prob_.empty();
   }
   [[nodiscard]] bool nic_down(int i) const { return nic_down_.count(i) > 0; }
   [[nodiscard]] bool crashed(int i) const { return crashed_.count(i) > 0; }
   [[nodiscard]] bool left(int i) const { return left_.count(i) > 0; }
+  /// Probabilistic enforcement fault armed on server i.
+  [[nodiscard]] bool os_prob(int i) const { return os_prob_.count(i) > 0; }
+  /// Sticky enforcement fault: server i cannot acquire any group until a
+  /// kOsHeal, so the oracle tolerates uncovered VIPs only in components
+  /// where EVERY participant is sticky.
+  [[nodiscard]] bool os_sticky(int i) const {
+    return os_sticky_.count(i) > 0;
+  }
+  [[nodiscard]] bool arp_lose(int i) const { return arp_lose_.count(i) > 0; }
 
  private:
   int n_;
@@ -119,6 +143,9 @@ class ClusterFaultModel {
   std::set<int> nic_down_;
   std::set<int> crashed_;
   std::set<int> left_;
+  std::set<int> os_prob_;
+  std::set<int> os_sticky_;
+  std::set<int> arp_lose_;
   int drops_ = 0;
   double loss_ = 0.0;
 };

@@ -73,6 +73,29 @@ NicId Fabric::attach(SegmentId seg, MacAddress mac, DeliverFn deliver) {
   return id;
 }
 
+void Fabric::set_address_probe(NicId id, AddressProbeFn probe) {
+  nic(id).probe = std::move(probe);
+}
+
+bool Fabric::address_in_use(NicId asking, Ipv4Address ip) const {
+  const auto& asker = nic(asking);
+  if (!asker.up) return false;
+  for (const auto& other_id :
+       segments_[static_cast<std::size_t>(asker.segment)].nics) {
+    if (other_id == asking) continue;
+    const auto& other = nic(other_id);
+    if (!other.up || other.component != asker.component) continue;
+    // A probe is a round trip: the who-has must reach the holder and the
+    // is-at must make it back.
+    if (blocked_.count({asking, other_id}) > 0 ||
+        blocked_.count({other_id, asking}) > 0) {
+      continue;
+    }
+    if (other.probe && other.probe(ip)) return true;
+  }
+  return false;
+}
+
 const Fabric::Nic& Fabric::nic(NicId id) const {
   WAM_EXPECTS(id >= 0 && id < static_cast<NicId>(nics_.size()));
   return nics_[static_cast<std::size_t>(id)];

@@ -52,6 +52,10 @@ class Fabric {
  public:
   /// Delivery callback: (frame, receiving nic).
   using DeliverFn = std::function<void(const Frame&, NicId)>;
+  /// Address-ownership predicate, answered synchronously on behalf of a
+  /// NIC's host when a peer ARP-probes an address (duplicate-address
+  /// detection).
+  using AddressProbeFn = std::function<bool(Ipv4Address)>;
   /// Optional tap observing every frame accepted for transmission.
   using TapFn = std::function<void(SegmentId, const Frame&)>;
 
@@ -76,6 +80,8 @@ class Fabric {
 
   /// Attach a NIC with the given MAC; frames for it go to `deliver`.
   NicId attach(SegmentId seg, MacAddress mac, DeliverFn deliver);
+  /// Register the NIC's answer to ARP probes (see address_in_use()).
+  void set_address_probe(NicId nic, AddressProbeFn probe);
   void set_nic_up(NicId nic, bool up);
   /// Multicast filters: a NIC also receives frames addressed to these MACs.
   void add_mac_filter(NicId nic, MacAddress mac);
@@ -112,6 +118,13 @@ class Fabric {
   /// Transmit a frame from `from`. Fire-and-forget (UDP-like) semantics.
   void send(NicId from, Frame frame);
 
+  /// ARP probe: would anyone else answer a who-has for `ip` sent from
+  /// `asking`? Honours the same reachability rules as delivery — the
+  /// answering NIC must share the asker's segment and partition component,
+  /// both NICs must be up and neither direction blocked — so a holder the
+  /// asker genuinely cannot hear never counts as a duplicate.
+  [[nodiscard]] bool address_in_use(NicId asking, Ipv4Address ip) const;
+
   [[nodiscard]] const FabricCounters& counters() const { return counters_; }
   void set_tap(TapFn tap) { tap_ = std::move(tap); }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
@@ -128,6 +141,7 @@ class Fabric {
     int component = 0;
     DeliverFn deliver;
     std::set<MacAddress> filters;  // multicast subscriptions
+    AddressProbeFn probe;          // duplicate-address detection answer
   };
   struct Segment {
     SegmentConfig config;

@@ -62,8 +62,18 @@ int Host::add_interface(SegmentId segment, Ipv4Address primary,
                            [this](const Frame& f, NicId nic) {
                              receive(f, nic);
                            });
+  // Answer peers' duplicate-address probes: we "defend" every address we
+  // currently own on this interface, primary and aliases alike.
+  fabric_.set_address_probe(ifc.nic, [this, ifindex](Ipv4Address ip) {
+    const auto& i = ifaces_[static_cast<std::size_t>(ifindex)];
+    return i.primary == ip || i.aliases.count(ip) > 0;
+  });
   ifaces_.push_back(std::move(ifc));
   return ifindex;
+}
+
+bool Host::probe_address(int ifindex, Ipv4Address ip) const {
+  return fabric_.address_in_use(iface(ifindex).nic, ip);
 }
 
 const Host::Interface& Host::iface(int ifindex) const {

@@ -92,6 +92,10 @@ class Host {
   /// host owning `target_ip` (resolving its MAC first if needed).
   void send_spoofed_reply(int ifindex, Ipv4Address claimed_ip,
                           Ipv4Address target_ip);
+  /// Duplicate-address detection: would another reachable host on this
+  /// interface's segment answer a who-has for `ip`? (RFC 5227-style probe,
+  /// answered synchronously by the fabric's ownership predicates.)
+  [[nodiscard]] bool probe_address(int ifindex, Ipv4Address ip) const;
   [[nodiscard]] ArpCache& arp_cache() { return arp_; }
   [[nodiscard]] const ArpCache& arp_cache() const { return arp_; }
 

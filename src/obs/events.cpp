@@ -16,6 +16,10 @@ const char* event_type_name(EventType t) {
     case EventType::kArpAnnounce: return "ArpAnnounce";
     case EventType::kFaultInjected: return "FaultInjected";
     case EventType::kFaultHealed: return "FaultHealed";
+    case EventType::kArpConflict: return "ArpConflict";
+    case EventType::kGroupFenced: return "GroupFenced";
+    case EventType::kGroupUnfenced: return "GroupUnfenced";
+    case EventType::kPanicRelease: return "PanicRelease";
   }
   return "?";
 }

@@ -41,6 +41,10 @@ enum class EventType : std::uint8_t {
   kArpAnnounce,      // ip: gratuitous-ARP/spoofed-reply takeover broadcast
   kFaultInjected,    // scenario: disconnect/partition/crash injected
   kFaultHealed,      // scenario: reconnect/merge/recovery
+  kArpConflict,      // ip: duplicate-address probe found another holder
+  kGroupFenced,      // wam: OS-op retry budget exhausted, group self-fenced
+  kGroupUnfenced,    // wam: quarantine cooldown probe succeeded
+  kPanicRelease,     // wam: release_everything() — all groups dropped at once
 };
 
 [[nodiscard]] const char* event_type_name(EventType t);

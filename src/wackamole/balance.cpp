@@ -32,7 +32,6 @@ std::map<std::string, gcs::MemberId> reallocate_ips(
 
   auto holes = table.uncovered(all_groups);
   for (const auto& group : holes) {
-    const MemberInfo* best = nullptr;
     // Score: (prefers the group, weight-normalized load, membership
     // order). `mature` is already in membership order, so a strict '<'
     // comparison keeps the earlier member on ties. Weight-normalized load
@@ -45,9 +44,27 @@ std::map<std::string, gcs::MemberId> reallocate_ips(
       auto lb = static_cast<long>(load[b->id]) * a->weight;
       return la < lb;
     };
-    for (const auto* candidate : mature) {
-      if (best == nullptr || better(candidate, best)) best = candidate;
-    }
+    // A quarantine for ANY group marks the member's enforcement layer
+    // suspect: each new assignment it fails burns a retry budget and rips
+    // another coverage hole, so quarantine-free members take new work
+    // first. Then members merely fenced for OTHER groups, and only when
+    // every mature member is fenced for this very group is it forced onto
+    // one anyway (someone must keep retrying rather than leave the address
+    // permanently dark).
+    auto pick = [&](int strictness) {
+      const MemberInfo* best = nullptr;
+      for (const auto* candidate : mature) {
+        if (strictness >= 2 && !candidate->quarantined.empty()) continue;
+        if (strictness >= 1 && candidate->quarantined.count(group) > 0) {
+          continue;
+        }
+        if (best == nullptr || better(candidate, best)) best = candidate;
+      }
+      return best;
+    };
+    const auto* best = pick(2);
+    if (best == nullptr) best = pick(1);
+    if (best == nullptr) best = pick(0);  // forced coverage
     assignments.emplace(group, best->id);
     ++load[best->id];
   }
@@ -92,10 +109,14 @@ std::map<std::string, gcs::MemberId> balance_ips(
   std::map<gcs::MemberId, std::vector<std::string>> held;
   for (const auto& group : all_groups) {
     auto owner = table.owner(group);
+    // The current owner keeps the group only if it is mature and not
+    // quarantined for it — a fenced holder cannot enforce the binding, so
+    // the group re-enters placement like any other homeless group.
     bool owner_mature =
         owner && std::any_of(mature.begin(), mature.end(),
                              [&](const MemberInfo* mi) {
-                               return mi->id == *owner;
+                               return mi->id == *owner &&
+                                      mi->quarantined.count(group) == 0;
                              });
     if (owner_mature) {
       held[*owner].push_back(group);
@@ -139,19 +160,35 @@ std::map<std::string, gcs::MemberId> balance_ips(
   // then membership order.
   std::sort(homeless.begin(), homeless.end());
   for (const auto& group : homeless) {
-    const MemberInfo* best = nullptr;
-    for (const auto* candidate : mature) {
-      if (load[candidate->id] >= target[candidate->id]) continue;
-      if (best == nullptr) {
-        best = candidate;
-        continue;
+    auto key = [&](const MemberInfo* mi) {
+      return std::make_pair(mi->preferred.count(group) == 0, load[mi->id]);
+    };
+    auto place = [&](bool respect_target, int strictness) {
+      const MemberInfo* best = nullptr;
+      for (const auto* candidate : mature) {
+        if (respect_target && load[candidate->id] >= target[candidate->id]) {
+          continue;
+        }
+        if (strictness >= 2 && !candidate->quarantined.empty()) continue;
+        if (strictness >= 1 && candidate->quarantined.count(group) > 0) {
+          continue;
+        }
+        if (best == nullptr || key(candidate) < key(best)) best = candidate;
       }
-      auto key = [&](const MemberInfo* mi) {
-        return std::make_pair(mi->preferred.count(group) == 0,
-                              load[mi->id]);
-      };
-      if (key(candidate) < key(best)) best = candidate;
-    }
+      return best;
+    };
+    // A member quarantined for ANY group has a suspect enforcement layer:
+    // handing it fresh work guarantees another retry-budget burn and a
+    // transient coverage hole when it fences. An over-target healthy
+    // member is merely imbalanced, so overload one of those first — the
+    // suspect member only receives a group when no quarantine-free member
+    // exists at all.
+    const auto* best = place(true, 2);
+    if (best == nullptr) best = place(false, 2);
+    if (best == nullptr) best = place(true, 1);
+    if (best == nullptr) best = place(false, 1);
+    // Forced coverage: every mature member is fenced for this group.
+    if (best == nullptr) best = place(false, 0);
     WAM_ASSERT(best != nullptr);  // targets sum to n by construction
     allocation.emplace(group, best->id);
     ++load[best->id];

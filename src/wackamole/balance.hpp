@@ -24,6 +24,16 @@ struct MemberInfo {
   bool mature = false;
   int weight = 1;  // relative capacity (balance targets are proportional)
   std::set<std::string> preferred;
+  /// Groups this member has self-fenced (NOTIFY protocol): its enforcement
+  /// layer cannot bind them. A non-empty set marks the whole member
+  /// suspect, so both procedures hand new groups to quarantine-free
+  /// members first (overloading them past their balance target if need
+  /// be), then to members fenced only for OTHER groups, and force-assign a
+  /// group to a member fenced for it only when every mature member is —
+  /// someone must keep retrying rather than leave the address permanently
+  /// dark. Groups a member already holds are kept on the per-group rule
+  /// alone: bindings that stuck before the fence stay put.
+  std::set<std::string> quarantined;
 };
 
 /// Reallocate_IPs(): assign every uncovered group to exactly one mature

@@ -127,6 +127,30 @@ Config parse_config(const std::string& text) {
                                                      const auto&) {
             fail(n, l, "RepresentativeDriven must be yes/no");
           });
+    } else if (key == "acquireretries") {
+      config.acquire_retry_limit =
+          conf::parse_int(value, line_no, line, [&](int n, const auto& l,
+                                                    const auto&) {
+            fail(n, l, "AcquireRetries must be an integer");
+          });
+    } else if (key == "acquirebackoff") {
+      config.acquire_backoff =
+          conf::parse_duration(value, line_no, line, fail);
+    } else if (key == "acquirebackoffmax") {
+      config.acquire_backoff_max =
+          conf::parse_duration(value, line_no, line, fail);
+    } else if (key == "quarantinecooldown") {
+      config.quarantine_cooldown =
+          conf::parse_duration(value, line_no, line, fail);
+    } else if (key == "backoffjitter") {
+      try {
+        config.backoff_jitter = std::stod(value);
+      } catch (const std::exception&) {
+        fail(line_no, line, "BackoffJitter must be a number");
+      }
+      if (config.backoff_jitter < 0.0 || config.backoff_jitter >= 1.0) {
+        fail(line_no, line, "BackoffJitter must be in [0, 1)");
+      }
     } else if (key == "weight") {
       config.weight =
           conf::parse_int(value, line_no, line, [&](int n, const auto& l,
@@ -173,6 +197,14 @@ std::string render_config(const Config& config) {
   out << "Announce = " << sim::to_seconds(config.announce_interval) << "s\n";
   out << "RepresentativeDriven = "
       << (config.representative_driven ? "yes" : "no") << "\n";
+  out << "AcquireRetries = " << config.acquire_retry_limit << "\n";
+  out << "AcquireBackoff = " << sim::to_seconds(config.acquire_backoff)
+      << "s\n";
+  out << "AcquireBackoffMax = " << sim::to_seconds(config.acquire_backoff_max)
+      << "s\n";
+  out << "QuarantineCooldown = "
+      << sim::to_seconds(config.quarantine_cooldown) << "s\n";
+  out << "BackoffJitter = " << config.backoff_jitter << "\n";
   out << "Weight = " << config.weight << "\n";
   if (!config.preferred.empty()) {
     out << "Prefer = ";

@@ -36,6 +36,11 @@ void Config::validate() const {
   }
   WAM_EXPECTS(!group.empty());
   WAM_EXPECTS(weight >= 1);
+  WAM_EXPECTS(acquire_retry_limit >= 1);
+  WAM_EXPECTS(acquire_backoff > sim::kZero);
+  WAM_EXPECTS(acquire_backoff_max >= acquire_backoff);
+  WAM_EXPECTS(backoff_jitter >= 0.0 && backoff_jitter < 1.0);
+  WAM_EXPECTS(quarantine_cooldown > sim::kZero);
   for (const auto& pref : preferred) {
     WAM_EXPECTS(names.count(pref) > 0);
   }

@@ -61,6 +61,23 @@ struct Config {
   /// whose ALLOC_MSG carries the full assignment to everyone else.
   bool representative_driven = false;
 
+  // ---- Fallible enforcement layer (OS-op retry / self-fence) ----
+  /// Failed acquire attempts tolerated per group before self-fencing
+  /// (NOTIFY protocol). Counts the initial attempt: 4 = initial + 3 retries.
+  int acquire_retry_limit = 4;
+  /// Base delay of the exponential acquire/release backoff: the n-th retry
+  /// waits base * 2^(n-1), capped at acquire_backoff_max.
+  sim::Duration acquire_backoff = sim::milliseconds(100);
+  sim::Duration acquire_backoff_max = sim::seconds(2.0);
+  /// Multiplicative jitter: each backoff delay is scaled by a uniform draw
+  /// from [1 - jitter, 1 + jitter]. Zero disables (exact schedules in
+  /// tests).
+  double backoff_jitter = 0.2;
+  /// How long a self-fenced group stays quarantined before the daemon
+  /// probes the enforcement layer again and, on success, broadcasts a
+  /// NOTIFY clear.
+  sim::Duration quarantine_cooldown = sim::seconds(30.0);
+
   /// Sorted group names (the canonical iteration order of set I).
   [[nodiscard]] std::vector<std::string> group_names() const;
   [[nodiscard]] const VipGroup* find_group(const std::string& name) const;

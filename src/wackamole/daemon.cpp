@@ -40,7 +40,8 @@ Daemon::Daemon(sim::Scheduler& sched, Config config, gcs::Daemon& gcs,
               gcs::ClientCallbacks{
                   [this](const gcs::GroupView& v) { on_membership(v); },
                   [this](const gcs::GroupMessage& m) { on_message(m); },
-                  [this] { on_disconnect(); }}) {
+                  [this] { on_disconnect(); }}),
+      rng_(gcs.id().value()) {
   config_.validate();
 }
 
@@ -91,13 +92,18 @@ void Daemon::graceful_shutdown() {
   arp_share_timer_.cancel();
   announce_timer_.cancel();
   reconnect_timer_.cancel();
+  cancel_pending_acquires();
+  for (auto& [name, p] : pending_releases_) p.timer.cancel();
+  pending_releases_.clear();
+  for (auto& [name, t] : cooldown_timers_) t.cancel();
+  cooldown_timers_.clear();
   if (client_.connected()) {
     // Leaving the group is a lightweight membership change: the survivors
     // reallocate within milliseconds, long before any fault detector would
     // have noticed us missing.
     client_.leave(config_.group);
   }
-  release_everything();
+  release_everything("graceful_shutdown");
   if (client_.connected()) client_.disconnect();
   enter_state(WamState::kIdle);
   view_.reset();
@@ -112,6 +118,10 @@ std::vector<std::string> Daemon::owned() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::string> Daemon::quarantined_groups() const {
+  return {quarantined_.begin(), quarantined_.end()};
 }
 
 bool Daemon::is_representative() const {
@@ -142,6 +152,9 @@ void Daemon::on_membership(const gcs::GroupView& gv) {
   received_.clear();
   info_.clear();
   balance_timer_.cancel();
+  // In-flight acquire retries are moot: the new GATHER recomputes the
+  // allocation from scratch (quarantine survives — it rides in STATE_MSGs).
+  cancel_pending_acquires();
   // Enter GATHER before multicasting: local delivery is synchronous, so our
   // own STATE_MSG can arrive inside the multicast call below.
   enter_state(WamState::kGather);
@@ -176,6 +189,9 @@ void Daemon::on_message(const gcs::GroupMessage& gm) {
         }
         break;
       }
+      case WamMsgType::kNotify:
+        handle_notify(gm.sender, decode_notify(gm.payload));
+        break;
       case WamMsgType::kAfterLast_:
         break;  // unreachable: peek_type() rejects out-of-range codes
     }
@@ -192,7 +208,8 @@ void Daemon::on_disconnect() {
   log_.warn("lost local GCS daemon: releasing all virtual interfaces");
   // Correctness cannot be ensured without the GCS (§4.2): drop everything
   // and retry the connection periodically.
-  release_everything();
+  cancel_pending_acquires();
+  release_everything("gcs_disconnect");
   enter_state(WamState::kIdle);
   view_.reset();
   table_.clear();
@@ -225,6 +242,7 @@ void Daemon::send_state_msg() {
   m.weight = static_cast<std::uint32_t>(config_.weight);
   m.owned = owned();
   m.preferred = config_.preferred;
+  m.quarantined = quarantined_groups();
   client_.multicast(config_.group, encode_state(m));
   ++counters_.state_msgs_sent;
 }
@@ -244,6 +262,8 @@ void Daemon::handle_state_msg(const gcs::MemberId& sender, const StateMsg& m) {
   peer.weight = m.weight == 0 ? 1 : static_cast<int>(m.weight);
   peer.preferred = std::set<std::string>(m.preferred.begin(),
                                          m.preferred.end());
+  peer.quarantined = std::set<std::string>(m.quarantined.begin(),
+                                           m.quarantined.end());
   if (m.mature && !mature_) become_mature("mature peer announced itself");
 
   // ResolveConflicts(): fold the sender's coverage into current_table,
@@ -529,6 +549,7 @@ std::vector<MemberInfo> Daemon::member_infos() const {
       mi.mature = it->second.mature || any_mature;
       mi.weight = it->second.weight;
       mi.preferred = it->second.preferred;
+      mi.quarantined = it->second.quarantined;
     }
     out.push_back(std::move(mi));
   }
@@ -539,26 +560,313 @@ void Daemon::acquire_group(const std::string& name) {
   const auto* group = config_.find_group(name);
   WAM_ASSERT(group != nullptr);
   if (ip_manager_.holds(name)) return;
-  ip_manager_.acquire(*group);
-  ++counters_.acquires;
-  emit(obs::EventType::kVipAcquired, {{"group", name}});
-  log_.info("acquired VIP group %s", name.c_str());
+  auto result = ip_manager_.acquire(*group);
+  if (result.ok()) {
+    pending_acquires_.erase(name);
+    ++counters_.acquires;
+    emit(obs::EventType::kVipAcquired, {{"group", name}});
+    log_.info("acquired VIP group %s", name.c_str());
+    return;
+  }
+  if (result.status == OsOpStatus::kConflict) {
+    // Duplicate-address detection fired: another live host still answers
+    // for the address. Don't fight at the ARP layer — the holder's claim
+    // surfaces through STATE_MSGs and ResolveConflicts() decides; retry in
+    // case the holder is mid-release.
+    ++counters_.arp_conflicts;
+    emit(obs::EventType::kArpConflict,
+         {{"group", name}, {"detail", result.detail}});
+    log_.warn("acquire of %s hit a duplicate address (%s): deferring to "
+              "conflict resolution",
+              name.c_str(), result.detail.c_str());
+  } else {
+    ++counters_.acquire_failures;
+    log_.warn("acquire of %s failed: %s", name.c_str(), result.detail.c_str());
+  }
+  schedule_acquire_retry(name, result);
 }
 
 void Daemon::release_group(const std::string& name) {
   const auto* group = config_.find_group(name);
   WAM_ASSERT(group != nullptr);
-  if (!ip_manager_.holds(name)) return;
-  ip_manager_.release(*group);
+  if (!ip_manager_.holds(name)) {
+    auto it = pending_releases_.find(name);
+    if (it != pending_releases_.end()) {
+      it->second.timer.cancel();
+      pending_releases_.erase(it);
+    }
+    return;
+  }
+  auto result = ip_manager_.release(*group);
+  if (!result.ok()) {
+    // A release that fails leaves us still answering for the address, so —
+    // unlike acquire — we never give up: retry with the same capped backoff
+    // until the unbind sticks.
+    log_.warn("release of %s failed: %s", name.c_str(), result.detail.c_str());
+    schedule_release_retry(name);
+    return;
+  }
+  auto it = pending_releases_.find(name);
+  if (it != pending_releases_.end()) {
+    it->second.timer.cancel();
+    pending_releases_.erase(it);
+  }
   ++counters_.releases;
   emit(obs::EventType::kVipReleased, {{"group", name}});
   log_.info("released VIP group %s", name.c_str());
 }
 
-void Daemon::release_everything() {
+void Daemon::release_everything(const char* cause) {
+  emit(obs::EventType::kPanicRelease,
+       {{"cause", cause}, {"held", std::to_string(owned().size())}});
   for (const auto& g : config_.vip_groups) {
     release_group(g.name);
   }
+}
+
+// -------------------------- fallible enforcement: retry / fence / NOTIFY ----
+
+sim::Duration Daemon::backoff_delay(int failed_attempts) {
+  auto delay = config_.acquire_backoff;
+  for (int i = 1; i < failed_attempts && delay < config_.acquire_backoff_max;
+       ++i) {
+    delay += delay;
+  }
+  delay = std::min(delay, config_.acquire_backoff_max);
+  if (config_.backoff_jitter > 0.0) {
+    double factor = 1.0 - config_.backoff_jitter +
+                    2.0 * config_.backoff_jitter * rng_.uniform();
+    delay = sim::Duration(static_cast<sim::Duration::rep>(
+        static_cast<double>(delay.count()) * factor));
+  }
+  return delay;
+}
+
+void Daemon::cancel_pending_acquires() {
+  for (auto& [name, p] : pending_acquires_) p.timer.cancel();
+  pending_acquires_.clear();
+}
+
+void Daemon::schedule_acquire_retry(const std::string& name,
+                                    const OsOpResult& result) {
+  auto& p = pending_acquires_[name];
+  ++p.attempts;
+  if (p.attempts >= config_.acquire_retry_limit) {
+    fence_group(name, result.detail);
+    return;
+  }
+  auto delay = backoff_delay(p.attempts);
+  ++counters_.acquire_retries;
+  p.timer.cancel();
+  p.timer =
+      sched_.schedule(delay, [this, name] { acquire_retry_tick(name); });
+  log_.info("retrying acquire of %s in %.1fms (attempt %d/%d)", name.c_str(),
+            sim::to_millis(delay), p.attempts, config_.acquire_retry_limit);
+}
+
+void Daemon::acquire_retry_tick(const std::string& name) {
+  if (!running_) return;
+  if (ip_manager_.holds(name)) {
+    pending_acquires_.erase(name);
+    return;
+  }
+  if (!client_.connected() || state_ == WamState::kIdle) {
+    pending_acquires_.erase(name);
+    return;
+  }
+  auto owner = table_.owner(name);
+  if (!owner || !(*owner == client_.self())) {
+    // Reassigned (or the view changed) while we were backing off.
+    pending_acquires_.erase(name);
+    return;
+  }
+  acquire_group(name);
+}
+
+void Daemon::schedule_release_retry(const std::string& name) {
+  if (!running_) return;
+  auto& p = pending_releases_[name];
+  ++p.attempts;
+  ++counters_.release_retries;
+  auto delay = backoff_delay(p.attempts);
+  p.timer.cancel();
+  p.timer =
+      sched_.schedule(delay, [this, name] { release_retry_tick(name); });
+}
+
+void Daemon::release_retry_tick(const std::string& name) {
+  if (!running_) return;
+  if (!ip_manager_.holds(name)) {
+    pending_releases_.erase(name);
+    return;
+  }
+  if (client_.connected() && state_ != WamState::kIdle) {
+    auto owner = table_.owner(name);
+    if (owner && *owner == client_.self()) {
+      // The cluster re-assigned the group back to us mid-retry: the failed
+      // release is moot, we are supposed to hold it after all.
+      pending_releases_.erase(name);
+      return;
+    }
+  }
+  release_group(name);
+}
+
+void Daemon::fence_group(const std::string& name, const std::string& reason) {
+  pending_acquires_.erase(name);
+  const auto* group = config_.find_group(name);
+  WAM_ASSERT(group != nullptr);
+  // Drop whatever partial state the failed acquires left behind. (Sim
+  // acquisition is all-or-nothing; real platforms may partially bind.)
+  if (ip_manager_.holds(name)) {
+    release_group(name);
+  } else {
+    ip_manager_.release(*group);
+  }
+  bool fresh = quarantined_.insert(name).second;
+  if (fresh) {
+    ++counters_.groups_fenced;
+    emit(obs::EventType::kGroupFenced,
+         {{"group", name},
+          {"reason", reason},
+          {"cooldown_ms",
+           std::to_string(sim::to_millis(config_.quarantine_cooldown))}});
+    log_.warn("self-fencing %s: retry budget exhausted (%s); broadcasting "
+              "NOTIFY",
+              name.c_str(), reason.c_str());
+    // Tell the peers on the agreed stream: they drop our claim and re-run a
+    // targeted Reallocate_IPs() excluding us, so coverage migrates now
+    // instead of waiting for client-visible death (§4.2 fast path). Our own
+    // copy self-delivers, which clears the table entry and folds the
+    // quarantine into info_ exactly like at every peer.
+    if (client_.connected() && state_ != WamState::kIdle) {
+      send_notify(name, true, reason);
+    }
+  }
+  arm_cooldown(name);
+}
+
+void Daemon::send_notify(const std::string& group, bool fenced,
+                         const std::string& reason) {
+  NotifyMsg m;
+  m.view = view_tag_;
+  m.group = group;
+  m.fenced = fenced;
+  m.cooldown_ms =
+      static_cast<std::uint32_t>(sim::to_millis(config_.quarantine_cooldown));
+  m.reason = reason;
+  client_.multicast(config_.group, encode_notify(m));
+  ++counters_.notifies_sent;
+}
+
+void Daemon::handle_notify(const gcs::MemberId& sender, const NotifyMsg& m) {
+  if (state_ == WamState::kIdle) return;
+  if (m.view != view_tag_) {
+    ++counters_.stale_msgs_ignored;
+    return;
+  }
+  ++counters_.notifies_received;
+  if (config_.find_group(m.group) == nullptr) {
+    log_.warn("NOTIFY for unknown VIP group '%s' from %s", m.group.c_str(),
+              sender.to_string().c_str());
+    return;
+  }
+  auto& peer = info_[sender];
+  if (m.fenced) {
+    peer.quarantined.insert(m.group);
+    log_.info("%s fenced %s (%s): reallocating around it",
+              sender.to_string().c_str(), m.group.c_str(), m.reason.c_str());
+    // The fenced member holds the allocation but cannot enforce it: drop
+    // its claim and re-run the deterministic reallocation without it.
+    auto owner = table_.owner(m.group);
+    if (owner && *owner == sender) table_.clear_owner(m.group);
+    if (state_ == WamState::kRun) reallocate_holes("notify");
+  } else {
+    peer.quarantined.erase(m.group);
+    log_.info("%s cleared its quarantine of %s", sender.to_string().c_str(),
+              m.group.c_str());
+  }
+}
+
+void Daemon::reallocate_holes(const char* mode) {
+  auto assignments =
+      reallocate_ips(config_.group_names(), table_, member_infos());
+  if (assignments.empty()) return;
+  if (config_.representative_driven) {
+    // §4.2 variant: only the representative decides; everyone else waits
+    // for its ALLOC_MSG.
+    if (!is_representative()) return;
+    VipTable proposed = table_;
+    for (const auto& [group, owner] : assignments) {
+      proposed.set_owner(group, owner);
+    }
+    BalanceMsg m;
+    m.view = view_tag_;
+    for (const auto& [group, owner] : proposed.owners()) {
+      m.allocation.emplace_back(
+          group, std::make_pair(owner.daemon.value(), owner.client));
+    }
+    client_.multicast(config_.group, encode_alloc(m));
+    ++counters_.reallocations;
+    emit(obs::EventType::kReallocation,
+         {{"groups", std::to_string(m.allocation.size())}, {"mode", mode}});
+    return;
+  }
+  for (const auto& [group, owner] : assignments) {
+    table_.set_owner(group, owner);
+    if (client_.connected() && owner == client_.self()) {
+      acquire_group(group);
+    }
+  }
+  ++counters_.reallocations;
+  emit(obs::EventType::kReallocation,
+       {{"holes", std::to_string(assignments.size())}, {"mode", mode}});
+}
+
+void Daemon::arm_cooldown(const std::string& name) {
+  auto it = cooldown_timers_.find(name);
+  if (it != cooldown_timers_.end()) it->second.cancel();
+  cooldown_timers_[name] = sched_.schedule(
+      config_.quarantine_cooldown, [this, name] { cooldown_tick(name); });
+}
+
+void Daemon::cooldown_tick(const std::string& name) {
+  cooldown_timers_.erase(name);
+  if (!running_ || quarantined_.count(name) == 0) return;
+  if (!client_.connected() || state_ != WamState::kRun) {
+    arm_cooldown(name);
+    return;
+  }
+  const auto* group = config_.find_group(name);
+  WAM_ASSERT(group != nullptr);
+  auto owner = table_.owner(name);
+  bool ours_or_hole = !owner || *owner == client_.self();
+  // Probe the enforcement layer: a real acquire when the group is ours to
+  // take (hole, or still nominally ours), a side-effect-free announce when
+  // a peer covers it — binding behind the peer's back would split traffic.
+  auto result = ours_or_hole ? ip_manager_.acquire(*group)
+                             : ip_manager_.announce(*group);
+  if (result.status == OsOpStatus::kFailed) {
+    // Fault persists: stay fenced, silently re-arm the cooldown.
+    arm_cooldown(name);
+    return;
+  }
+  quarantined_.erase(name);
+  ++counters_.groups_unfenced;
+  emit(obs::EventType::kGroupUnfenced, {{"group", name}});
+  log_.info("quarantine of %s cleared: enforcement layer healthy again",
+            name.c_str());
+  bool claimed = false;
+  if (ours_or_hole && result.ok() && ip_manager_.holds(name)) {
+    table_.set_owner(name, client_.self());
+    ++counters_.acquires;
+    emit(obs::EventType::kVipAcquired, {{"group", name}});
+    claimed = true;
+  }
+  send_notify(name, false, "cooldown probe succeeded");
+  // A claim must reach the peers' tables: STATE_MSGs fold via claim() in
+  // any state, exactly like the maturity bootstrap's announcement.
+  if (claimed) send_state_msg();
 }
 
 void Daemon::set_preferences(std::vector<std::string> preferred) {

@@ -49,6 +49,7 @@
 #include "gcs/client.hpp"
 #include "obs/observability.hpp"
 #include "sim/log.hpp"
+#include "sim/random.hpp"
 #include "wackamole/balance.hpp"
 #include "wackamole/config.hpp"
 #include "wackamole/ip_manager.hpp"
@@ -79,6 +80,14 @@ struct WamCounters {
   obs::Counter maturity_timeouts;
   obs::Counter reconnect_attempts;
   obs::Counter disconnects;
+  obs::Counter acquire_failures;   // OS-op acquire attempts that failed
+  obs::Counter acquire_retries;    // backoff retries scheduled
+  obs::Counter release_retries;    // failed releases re-scheduled
+  obs::Counter arp_conflicts;      // duplicate-address probes that fired
+  obs::Counter groups_fenced;      // retry budget exhausted -> NOTIFY fence
+  obs::Counter groups_unfenced;    // cooldown probe succeeded -> NOTIFY clear
+  obs::Counter notifies_sent;
+  obs::Counter notifies_received;
 
   /// Back every field with a registry cell named "<scope>/<field>".
   void bind(obs::MetricRegistry& registry, const std::string& scope);
@@ -103,6 +112,14 @@ struct WamCounters {
     fn("maturity_timeouts", self.maturity_timeouts);
     fn("reconnect_attempts", self.reconnect_attempts);
     fn("disconnects", self.disconnects);
+    fn("acquire_failures", self.acquire_failures);
+    fn("acquire_retries", self.acquire_retries);
+    fn("release_retries", self.release_retries);
+    fn("arp_conflicts", self.arp_conflicts);
+    fn("groups_fenced", self.groups_fenced);
+    fn("groups_unfenced", self.groups_unfenced);
+    fn("notifies_sent", self.notifies_sent);
+    fn("notifies_received", self.notifies_received);
   }
 };
 
@@ -144,6 +161,12 @@ class Daemon {
     return view_;
   }
   [[nodiscard]] std::vector<std::string> owned() const;
+  /// Groups this daemon has self-fenced (NOTIFY protocol): their OS-level
+  /// acquisition kept failing and a peer is expected to cover them. Sorted.
+  [[nodiscard]] std::vector<std::string> quarantined_groups() const;
+  [[nodiscard]] bool quarantined(const std::string& group) const {
+    return quarantined_.count(group) > 0;
+  }
   [[nodiscard]] const WamCounters& counters() const { return counters_; }
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] bool is_representative() const;
@@ -164,11 +187,30 @@ class Daemon {
   void on_disconnect();
   void handle_state_msg(const gcs::MemberId& sender, const StateMsg& m);
   void handle_balance_msg(const BalanceMsg& m);
+  void handle_notify(const gcs::MemberId& sender, const NotifyMsg& m);
   void finish_gather();
   void send_state_msg();
+  void send_notify(const std::string& group, bool fenced,
+                   const std::string& reason);
   void acquire_group(const std::string& name);
   void release_group(const std::string& name);
-  void release_everything();
+  void release_everything(const char* cause);
+  // ---- Fallible enforcement: retry / backoff / self-fence ----
+  /// Delay before the n-th retry (n = failed attempts so far): exponential
+  /// from Config::acquire_backoff, capped, with multiplicative jitter.
+  [[nodiscard]] sim::Duration backoff_delay(int failed_attempts);
+  void schedule_acquire_retry(const std::string& name,
+                              const OsOpResult& result);
+  void acquire_retry_tick(const std::string& name);
+  void schedule_release_retry(const std::string& name);
+  void release_retry_tick(const std::string& name);
+  void fence_group(const std::string& name, const std::string& reason);
+  void arm_cooldown(const std::string& name);
+  void cooldown_tick(const std::string& name);
+  /// Run Reallocate_IPs() over the current holes and act on the result
+  /// (deterministically everywhere, or via ALLOC from the representative).
+  void reallocate_holes(const char* mode);
+  void cancel_pending_acquires();
   [[nodiscard]] std::vector<MemberInfo> member_infos() const;
   void arm_balance_timer();
   void balance_tick();
@@ -206,8 +248,20 @@ class Daemon {
     bool mature = false;
     int weight = 1;
     std::set<std::string> preferred;
+    std::set<std::string> quarantined;  // learned via NOTIFY / STATE_MSG
   };
   std::map<gcs::MemberId, PeerInfo> info_;
+
+  /// Per-group OS-op retry state (acquire and release paths).
+  struct PendingOp {
+    int attempts = 0;  // failed attempts so far
+    sim::TimerHandle timer;
+  };
+  std::map<std::string, PendingOp> pending_acquires_;
+  std::map<std::string, PendingOp> pending_releases_;
+  std::set<std::string> quarantined_;  // groups we self-fenced
+  std::map<std::string, sim::TimerHandle> cooldown_timers_;
+  sim::Rng rng_;  // backoff jitter (seeded from the GCS daemon identity)
 
   sim::TimerHandle balance_timer_;
   sim::TimerHandle maturity_timer_;

@@ -2,6 +2,18 @@
 
 namespace wam::wackamole {
 
+const char* os_op_status_name(OsOpStatus s) {
+  switch (s) {
+    case OsOpStatus::kOk:
+      return "ok";
+    case OsOpStatus::kFailed:
+      return "failed";
+    case OsOpStatus::kConflict:
+      return "conflict";
+  }
+  return "?";
+}
+
 void SimIpManager::set_router(int ifindex, net::Ipv4Address router_ip) {
   routers_[ifindex] = router_ip;
 }
@@ -42,25 +54,44 @@ std::vector<net::Ipv4Address> SimIpManager::notify_targets() const {
   return out;
 }
 
-void SimIpManager::acquire(const VipGroup& group) {
+OsOpResult SimIpManager::acquire(const VipGroup& group) {
+  // Duplicate-address detection: probe every address before binding any.
+  // A live holder elsewhere in our network component means binding would
+  // split client traffic between two MACs; report kConflict and let the
+  // protocol's ResolveConflicts() ordering decide who backs off.
+  if (held_.count(group.name) == 0) {
+    for (const auto& [ip, ifindex] : group.addresses) {
+      if (host_.probe_address(ifindex, ip)) {
+        if (obs_ != nullptr) {
+          obs_->emit(host_.scheduler().now(), obs::EventType::kArpConflict,
+                     obs_scope_,
+                     {{"group", group.name}, {"address", ip.to_string()}});
+        }
+        return OsOpResult::conflict("address " + ip.to_string() +
+                                    " already in use");
+      }
+    }
+  }
   for (const auto& [ip, ifindex] : group.addresses) {
     host_.add_alias(ifindex, ip);
   }
   held_.insert(group.name);
   update_held_gauge();
   announce(group);
+  return OsOpResult::success();
 }
 
-void SimIpManager::release(const VipGroup& group) {
+OsOpResult SimIpManager::release(const VipGroup& group) {
   for (const auto& [ip, ifindex] : group.addresses) {
     host_.remove_alias(ifindex, ip);
   }
   held_.erase(group.name);
   update_held_gauge();
+  return OsOpResult::success();
 }
 
-void SimIpManager::announce(const VipGroup& group) {
-  if (held_.count(group.name) == 0) return;
+OsOpResult SimIpManager::announce(const VipGroup& group) {
+  if (held_.count(group.name) == 0) return OsOpResult::success();
   expire_notify_targets();
   if (obs_ != nullptr) {
     obs_->emit(host_.scheduler().now(), obs::EventType::kArpAnnounce,
@@ -79,30 +110,116 @@ void SimIpManager::announce(const VipGroup& group) {
       host_.send_spoofed_reply(ifindex, ip, router->second);
     }
     // Router application: notify every host known to have resolved us.
+    // Spoofing a target does NOT refresh its TTL clock — only an explicit
+    // add_notify_target() re-registration does.
     for (const auto& [target, seen] : notify_targets_) {
       if (host_.network(ifindex).contains(target)) {
         host_.send_spoofed_reply(ifindex, ip, target);
       }
     }
   }
+  return OsOpResult::success();
 }
 
 bool SimIpManager::holds(const std::string& group) const {
   return held_.count(group) > 0;
 }
 
-void RecordingIpManager::acquire(const VipGroup& group) {
-  ops_.push_back("acquire " + group.name);
-  held_.insert(group.name);
+void FaultyIpManager::set_sticky_group(const std::string& group, bool on) {
+  if (on) {
+    sticky_groups_.insert(group);
+  } else {
+    sticky_groups_.erase(group);
+  }
 }
 
-void RecordingIpManager::release(const VipGroup& group) {
-  ops_.push_back("release " + group.name);
-  held_.erase(group.name);
+void FaultyIpManager::heal() {
+  acquire_fail_p_ = 0.0;
+  release_fail_p_ = 0.0;
+  announce_fail_p_ = 0.0;
+  sticky_all_ = false;
+  arp_lose_ = false;
+  sticky_groups_.clear();
+  fail_after_ = 0;
 }
 
-void RecordingIpManager::announce(const VipGroup& group) {
-  ops_.push_back("announce " + group.name);
+bool FaultyIpManager::any_fault_armed() const {
+  return acquire_fail_p_ > 0.0 || release_fail_p_ > 0.0 ||
+         announce_fail_p_ > 0.0 || sticky_all_ || arp_lose_ ||
+         !sticky_groups_.empty() || fail_after_ != 0;
+}
+
+OsOpResult FaultyIpManager::injected(const char* op, const std::string& group,
+                                     const char* why) {
+  ++failures_injected_;
+  return OsOpResult::failed(std::string("injected ") + why + ": " + op + " " +
+                            group);
+}
+
+OsOpResult FaultyIpManager::acquire(const VipGroup& group) {
+  if (sticky(group.name)) return injected("acquire", group.name, "sticky");
+  if (fail_after_ != 0 && --fail_after_ == 0) {
+    return injected("acquire", group.name, "scheduled fault");
+  }
+  if (acquire_fail_p_ > 0.0 && rng_.chance(acquire_fail_p_)) {
+    return injected("acquire", group.name, "random fault");
+  }
+  return inner_.acquire(group);
+}
+
+OsOpResult FaultyIpManager::release(const VipGroup& group) {
+  if (release_fail_p_ > 0.0 && rng_.chance(release_fail_p_)) {
+    return injected("release", group.name, "random fault");
+  }
+  return inner_.release(group);
+}
+
+OsOpResult FaultyIpManager::announce(const VipGroup& group) {
+  // Sticky state fails announce too: the daemon leans on this to probe
+  // enforcement health at quarantine cooldown without binding anything.
+  if (sticky(group.name)) return injected("announce", group.name, "sticky");
+  if (announce_fail_p_ > 0.0 && rng_.chance(announce_fail_p_)) {
+    return injected("announce", group.name, "random fault");
+  }
+  if (arp_lose_) {
+    // The syscall "succeeds"; the gratuitous ARPs just never hit the wire.
+    ++failures_injected_;
+    return OsOpResult::success();
+  }
+  return inner_.announce(group);
+}
+
+OsOpResult RecordingIpManager::next_result() {
+  if (scripted_.empty()) return OsOpResult::success();
+  auto r = std::move(scripted_.front());
+  scripted_.pop_front();
+  return r;
+}
+
+OsOpResult RecordingIpManager::acquire(const VipGroup& group) {
+  auto r = next_result();
+  ops_.push_back("acquire " + group.name +
+                 (r.ok() ? "" : std::string(" [") +
+                                    os_op_status_name(r.status) + "]"));
+  if (r.ok()) held_.insert(group.name);
+  return r;
+}
+
+OsOpResult RecordingIpManager::release(const VipGroup& group) {
+  auto r = next_result();
+  ops_.push_back("release " + group.name +
+                 (r.ok() ? "" : std::string(" [") +
+                                    os_op_status_name(r.status) + "]"));
+  if (r.ok()) held_.erase(group.name);
+  return r;
+}
+
+OsOpResult RecordingIpManager::announce(const VipGroup& group) {
+  auto r = next_result();
+  ops_.push_back("announce " + group.name +
+                 (r.ok() ? "" : std::string(" [") +
+                                    os_op_status_name(r.status) + "]"));
+  return r;
 }
 
 }  // namespace wam::wackamole

@@ -6,7 +6,7 @@ namespace wam::wackamole {
 // from the sentinel; this pin breaks the build if an enumerator is ever
 // appended after kAfterLast_ or the codes stop being contiguous from 1.
 static_assert(kWamMsgTypeFirst == 1, "wackamole wire codes start at 1");
-static_assert(kWamMsgTypeLast == static_cast<std::uint8_t>(WamMsgType::kAlloc),
+static_assert(kWamMsgTypeLast == static_cast<std::uint8_t>(WamMsgType::kNotify),
               "kAfterLast_ must stay the final WamMsgType enumerator");
 
 namespace {
@@ -67,6 +67,7 @@ util::Bytes encode_state(const StateMsg& m) {
   w.u32(m.weight);
   put_names(w, m.owned);
   put_names(w, m.preferred);
+  put_names(w, m.quarantined);
   return w.take();
 }
 
@@ -79,6 +80,7 @@ StateMsg decode_state(const util::Bytes& buf) {
   m.weight = r.u32();
   m.owned = get_names(r);
   m.preferred = get_names(r);
+  m.quarantined = get_names(r);
   r.expect_end();
   return m;
 }
@@ -146,6 +148,30 @@ ArpShareMsg decode_arp_share(const util::Bytes& buf) {
   auto n = get_count(r, 4);
   m.ips.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.ips.push_back(r.u32());
+  r.expect_end();
+  return m;
+}
+
+util::Bytes encode_notify(const NotifyMsg& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kNotify));
+  put_tag(w, m.view);
+  w.str(m.group);
+  w.boolean(m.fenced);
+  w.u32(m.cooldown_ms);
+  w.str(m.reason);
+  return w.take();
+}
+
+NotifyMsg decode_notify(const util::Bytes& buf) {
+  util::ByteReader r(buf);
+  check_type(r, WamMsgType::kNotify);
+  NotifyMsg m;
+  m.view = get_tag(r);
+  m.group = r.str();
+  m.fenced = r.boolean();
+  m.cooldown_ms = r.u32();
+  m.reason = r.str();
   r.expect_end();
   return m;
 }

@@ -40,6 +40,12 @@ enum class WamMsgType : std::uint8_t {
   /// representative at the end of GATHER and imposed on the other daemons.
   /// Same body as BALANCE_MSG.
   kAlloc = 4,
+  /// NOTIFY: "I hold the allocation for <group> but cannot enforce it" —
+  /// sent when a daemon exhausts its OS-op retry budget and self-fences, or
+  /// (fenced = false) when its quarantine cooldown clears. Peers treat a
+  /// fence as a targeted trigger to re-run Reallocate_IPs() excluding the
+  /// fenced member for that group.
+  kNotify = 5,
   /// Sentinel: one past the last valid wire code. Keep it the final
   /// enumerator — peek_type() derives its validity range from it, so a new
   /// message type added above extends the range automatically.
@@ -59,6 +65,9 @@ struct StateMsg {
   std::uint32_t weight = 1;            // capacity weight for balancing
   std::vector<std::string> owned;      // VIP groups currently covered
   std::vector<std::string> preferred;  // startup preferences (§3.4)
+  /// Groups the sender has self-fenced (NOTIFY protocol): carried in
+  /// STATE_MSG so quarantine survives view changes.
+  std::vector<std::string> quarantined;
 };
 
 /// BALANCE_MSG: the representative's full re-allocation decision.
@@ -75,10 +84,22 @@ struct ArpShareMsg {
   std::vector<std::uint32_t> ips;
 };
 
+/// NOTIFY: self-fence (fenced = true) or quarantine-clear (fenced = false)
+/// for one VIP group. `cooldown_ms` advertises how long the sender will sit
+/// quarantined before probing again; `reason` is the OS-op failure detail.
+struct NotifyMsg {
+  ViewTag view;
+  std::string group;
+  bool fenced = true;
+  std::uint32_t cooldown_ms = 0;
+  std::string reason;
+};
+
 [[nodiscard]] util::Bytes encode_state(const StateMsg& m);
 [[nodiscard]] util::Bytes encode_balance(const BalanceMsg& m);
 [[nodiscard]] util::Bytes encode_alloc(const BalanceMsg& m);
 [[nodiscard]] util::Bytes encode_arp_share(const ArpShareMsg& m);
+[[nodiscard]] util::Bytes encode_notify(const NotifyMsg& m);
 
 /// Peek the type byte; throws util::DecodeError on empty/unknown input.
 [[nodiscard]] WamMsgType peek_type(const util::Bytes& buf);
@@ -86,5 +107,6 @@ struct ArpShareMsg {
 [[nodiscard]] BalanceMsg decode_balance(const util::Bytes& buf);
 [[nodiscard]] BalanceMsg decode_alloc(const util::Bytes& buf);
 [[nodiscard]] ArpShareMsg decode_arp_share(const util::Bytes& buf);
+[[nodiscard]] NotifyMsg decode_notify(const util::Bytes& buf);
 
 }  // namespace wam::wackamole

@@ -62,6 +62,18 @@ TEST(ChaosCampaign, PinnedRegressionSeedsStayClean) {
   }
 }
 
+TEST(ChaosCampaign, OsFaultReplayIsByteIdentical) {
+  CampaignOptions opt;
+  opt.generator.os_faults = true;
+  opt.shrink = false;
+  auto a = run_seed(11, Profile::kCluster, opt);
+  auto b = run_seed(11, Profile::kCluster, opt);
+  ASSERT_FALSE(a.timeline_json.empty());
+  EXPECT_EQ(a.timeline_json, b.timeline_json);
+  EXPECT_EQ(a.dsl, b.dsl);
+  EXPECT_TRUE(a.passed()) << to_string(a.violations.front());
+}
+
 // --------------------------------------------------- schedule generation ----
 
 TEST(ChaosSchedule, GenerationIsDeterministic) {
@@ -107,6 +119,50 @@ TEST(ChaosSchedule, DslRoundTripsThroughScenarioParser) {
   auto run_skew = parsed.run_until > s.horizon ? parsed.run_until - s.horizon
                                                : s.horizon - parsed.run_until;
   EXPECT_LE(run_skew, sim::milliseconds(1));
+}
+
+// Enforcement-layer faults are opt-in: with the default generator options
+// no os-fault verb may appear, so every pinned seed above keeps replaying
+// byte-identically.
+TEST(ChaosSchedule, OsFaultsAreOptIn) {
+  GeneratorOptions opt;
+  sim::Rng rng(42);
+  auto s = generate_cluster_schedule(rng, opt);
+  EXPECT_FALSE(s.os_faults);
+  for (const auto& a : s.actions) {
+    EXPECT_NE(a.kind, FaultKind::kOsFail);
+    EXPECT_NE(a.kind, FaultKind::kOsFailSticky);
+    EXPECT_NE(a.kind, FaultKind::kArpLose);
+    EXPECT_NE(a.kind, FaultKind::kOsHeal);
+  }
+}
+
+TEST(ChaosSchedule, OsFaultGenerationIsDeterministicAndRoundTrips) {
+  GeneratorOptions opt;
+  opt.os_faults = true;
+  sim::Rng r1(42), r2(42);
+  auto a = generate_cluster_schedule(r1, opt);
+  auto b = generate_cluster_schedule(r2, opt);
+  EXPECT_EQ(to_dsl(a), to_dsl(b));
+  EXPECT_TRUE(a.os_faults);
+  bool any_os = false;
+  for (const auto& x : a.actions) {
+    any_os |= x.kind == FaultKind::kOsFail ||
+              x.kind == FaultKind::kOsFailSticky ||
+              x.kind == FaultKind::kArpLose || x.kind == FaultKind::kOsHeal;
+  }
+  EXPECT_TRUE(any_os) << to_dsl(a);
+
+  auto parsed = apps::parse_scenario(to_dsl(a));
+  ASSERT_EQ(parsed.actions.size(), a.actions.size());
+  for (std::size_t i = 0; i < a.actions.size(); ++i) {
+    EXPECT_EQ(parsed.actions[i].verb, fault_kind_verb(a.actions[i].kind))
+        << "action " << i;
+    EXPECT_EQ(parsed.actions[i].servers, a.actions[i].servers)
+        << "action " << i;
+    EXPECT_DOUBLE_EQ(parsed.actions[i].value, a.actions[i].value)
+        << "action " << i;
+  }
 }
 
 // ---------------------------------------------------------- fault model ----
@@ -162,6 +218,33 @@ TEST(ChaosModel, TransientsMarkCheckpointsUnsound) {
   EXPECT_TRUE(m.transient_active());
   m.apply(act(FaultKind::kLoss, {}, {}, 0.0));
   EXPECT_FALSE(m.transient_active());
+}
+
+TEST(ChaosModel, OsFaultKnobsTrackArmAndHeal) {
+  ClusterFaultModel m(3);
+  EXPECT_FALSE(m.os_prob(0));
+  m.apply(act(FaultKind::kOsFail, {0}, {}, 0.3));
+  EXPECT_TRUE(m.os_prob(0));
+  // Probabilistic OS faults are transient: the generator heals them before
+  // quiescence, so checkpoints with one active are unsound.
+  EXPECT_TRUE(m.transient_active());
+  m.apply(act(FaultKind::kOsFail, {0}, {}, 0.0));  // value 0 heals
+  EXPECT_FALSE(m.os_prob(0));
+  EXPECT_FALSE(m.transient_active());
+
+  // Sticky and arp-lose faults persist through quiescence — the oracle
+  // reasons about them instead of skipping the checkpoint.
+  m.apply(act(FaultKind::kOsFailSticky, {1}));
+  EXPECT_TRUE(m.os_sticky(1));
+  EXPECT_FALSE(m.transient_active());
+  m.apply(act(FaultKind::kArpLose, {2}));
+  EXPECT_TRUE(m.arp_lose(2));
+  EXPECT_FALSE(m.transient_active());
+
+  m.apply(act(FaultKind::kOsHeal, {1}));
+  EXPECT_FALSE(m.os_sticky(1));
+  m.apply(act(FaultKind::kOsHeal, {2}));
+  EXPECT_FALSE(m.arp_lose(2));
 }
 
 // Mirrors the executor's defensive no-ops: the shrinker may hand the model
@@ -252,6 +335,49 @@ TEST(ChaosOracle, DetectsAWithdrawnParticipant) {
     EXPECT_TRUE(v.persisted);
   }
   EXPECT_TRUE(not_run);
+}
+
+TEST(ChaosOracle, PairFilterReportsOnlyViolationsSpanningBothCheckpoints) {
+  auto uncovered = [](const char* detail) {
+    Violation v;
+    v.kind = Violation::Kind::kUncovered;
+    v.detail = detail;
+    return v;
+  };
+  PairPersistenceFilter f;
+  std::vector<Violation> out;
+
+  // Pair 1: a hole at post-quiesce that healed by the guard — dropped.
+  f.apply(false, {uncovered("10.0.0.104 covered 0x in {s1,s2}")}, out);
+  f.apply(true, {}, out);
+  EXPECT_TRUE(out.empty());
+
+  // Pair 2: a hole that opens between the checkpoints — dropped too (the
+  // next pair catches it if it is real).
+  f.apply(false, {}, out);
+  f.apply(true, {uncovered("10.0.0.104 covered 0x in {s1,s2}")}, out);
+  EXPECT_TRUE(out.empty());
+
+  // Pair 3: present at both checkpoints — reported once, at the guard.
+  f.apply(false, {uncovered("10.0.0.104 covered 0x in {s1,s2}")}, out);
+  f.apply(true, {uncovered("10.0.0.104 covered 0x in {s1,s2}")}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, Violation::Kind::kUncovered);
+  out.clear();
+
+  // Pair state resets between pairs: the same condition a whole phase
+  // later must persist across ITS OWN pair to count.
+  f.apply(false, {}, out);
+  f.apply(true, {uncovered("10.0.0.104 covered 0x in {s1,s2}")}, out);
+  EXPECT_TRUE(out.empty());
+
+  // Property 2 is never deferred: a stuck daemon reports immediately.
+  Violation stuck;
+  stuck.kind = Violation::Kind::kNotRun;
+  stuck.detail = "server2 state=GATHER for 12s";
+  f.apply(false, {stuck}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, Violation::Kind::kNotRun);
 }
 
 TEST(ChaosOracle, SkipsCheckpointsWithActiveTransients) {

@@ -182,6 +182,64 @@ TEST(Balance, DeterministicAcrossCalls) {
             balance_ips(all, table, members));
 }
 
+// Regression (chaos seed 9): a fenced member that owns nothing is the only
+// under-target candidate, and the group evicted from an over-target member
+// is exactly the one it is quarantined for. The old placement force-assigned
+// it anyway — the fenced owner cannot bind, its re-fence is silent, and the
+// address stays dark. Balance must overload a healthy member instead.
+TEST(Balance, OverloadsHealthyMemberBeforeQuarantinedOne) {
+  VipTable table;
+  auto all = groups(7);
+  table.set_owner(all[0], member(1));
+  table.set_owner(all[1], member(1));
+  table.set_owner(all[2], member(2));
+  table.set_owner(all[6], member(2));
+  table.set_owner(all[3], member(4));
+  table.set_owner(all[4], member(4));
+  table.set_owner(all[5], member(5));
+  auto members = std::vector<MemberInfo>{info(1), info(2), info(3), info(4),
+                                         info(5)};
+  members[2].quarantined = {all[3], all[4]};  // member 3 owns nothing
+  auto allocation = balance_ips(all, table, members);
+  ASSERT_EQ(allocation.size(), all.size());
+  EXPECT_NE(allocation[all[3]], member(3));
+  EXPECT_NE(allocation[all[4]], member(3));
+}
+
+// A quarantine for any group marks the whole member suspect: new groups it
+// has not (yet) fenced still go to quarantine-free members first, or every
+// balance round feeds the sick member a fresh group to burn a retry budget
+// on and rip another transient coverage hole.
+TEST(Balance, SuspectMemberGetsNoFreshGroupsWhileHealthyMembersExist) {
+  VipTable table;
+  auto all = groups(6);
+  table.set_owner(all[0], member(1));
+  table.set_owner(all[1], member(1));
+  table.set_owner(all[2], member(2));
+  table.set_owner(all[3], member(2));
+  auto members = std::vector<MemberInfo>{info(1), info(2), info(3)};
+  members[2].quarantined = {all[4]};  // fenced for one group, owns nothing
+  auto allocation = balance_ips(all, table, members);
+  ASSERT_EQ(allocation.size(), all.size());
+  for (const auto& [g, m] : allocation) {
+    EXPECT_NE(m, member(3)) << g << " assigned to the suspect member";
+  }
+  auto assignments = reallocate_ips(all, table, members);
+  for (const auto& [g, m] : assignments) {
+    EXPECT_NE(m, member(3)) << g << " reallocated to the suspect member";
+  }
+}
+
+TEST(Balance, ForcedCoverageWhenEveryMemberIsFenced) {
+  VipTable table;
+  auto all = groups(2);
+  auto members = std::vector<MemberInfo>{info(1), info(2)};
+  members[0].quarantined = {all[0]};
+  members[1].quarantined = {all[0]};
+  auto allocation = balance_ips(all, table, members);
+  ASSERT_EQ(allocation.size(), all.size());  // nothing left permanently dark
+}
+
 TEST(LoadImbalance, MeasuresSpread) {
   VipTable table;
   auto all = groups(5);

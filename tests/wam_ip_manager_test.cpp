@@ -146,5 +146,132 @@ TEST_F(IpManagerTest, MultiAddressGroupBindsEverything) {
   EXPECT_FALSE(multi->owns_ip(net::Ipv4Address(192, 168, 1, 1)));
 }
 
+// Satellite regression pin: spoofing a notify target from announce() must
+// NOT refresh its TTL clock — only an explicit add_notify_target() does.
+// Otherwise the periodic re-announce would keep every stale target alive
+// forever and the §5.2 garbage collection could never drop anything.
+TEST_F(IpManagerTest, AnnounceDoesNotRefreshNotifyTtl) {
+  SimIpManager mgr(*server);
+  mgr.set_notify_target_ttl(sim::seconds(10.0));
+  mgr.acquire(group);
+  mgr.add_notify_target(net::Ipv4Address(10, 0, 0, 7));
+  sched.run_for(sim::seconds(8.0));
+  mgr.announce(group);  // spoofs the target...
+  // ...after the 5 ms ARP-resolution retry inside send_spoofed_reply.
+  sched.run_for(sim::milliseconds(10));
+  ASSERT_TRUE(peer->arp_cache()
+                  .lookup(net::Ipv4Address(10, 0, 0, 100), sched.now())
+                  .has_value());
+  sched.run_for(sim::seconds(4.0));  // ...but at 12 s of age it still dies
+  mgr.announce(group);
+  EXPECT_TRUE(mgr.notify_targets().empty());
+}
+
+TEST_F(IpManagerTest, AcquireDetectsDuplicateAddress) {
+  SimIpManager first(*peer);
+  ASSERT_TRUE(first.acquire(group).ok());
+
+  SimIpManager mgr(*server);
+  auto r = mgr.acquire(group);
+  EXPECT_EQ(r.status, OsOpStatus::kConflict);
+  EXPECT_FALSE(mgr.holds("web"));
+  EXPECT_FALSE(server->owns_ip(net::Ipv4Address(10, 0, 0, 100)));
+
+  // Once the rightful holder releases, acquisition goes through.
+  first.release(group);
+  EXPECT_TRUE(mgr.acquire(group).ok());
+  EXPECT_TRUE(server->owns_ip(net::Ipv4Address(10, 0, 0, 100)));
+}
+
+TEST_F(IpManagerTest, ConflictProbeIgnoresDownedHolders) {
+  SimIpManager first(*peer);
+  ASSERT_TRUE(first.acquire(group).ok());
+  peer->set_interface_up(0, false);  // dead holders can't answer probes
+
+  SimIpManager mgr(*server);
+  EXPECT_TRUE(mgr.acquire(group).ok());
+}
+
+TEST_F(IpManagerTest, FaultyDefaultsArePassThrough) {
+  SimIpManager inner(*server);
+  FaultyIpManager mgr(inner, 42);
+  EXPECT_TRUE(mgr.acquire(group).ok());
+  EXPECT_TRUE(mgr.holds("web"));
+  EXPECT_TRUE(mgr.announce(group).ok());
+  EXPECT_TRUE(mgr.release(group).ok());
+  EXPECT_EQ(mgr.failures_injected(), 0u);
+}
+
+TEST_F(IpManagerTest, FaultyStickyFailsAcquireAndAnnounceUntilHealed) {
+  SimIpManager inner(*server);
+  FaultyIpManager mgr(inner, 42);
+  mgr.set_sticky_group("web", true);
+  EXPECT_EQ(mgr.acquire(group).status, OsOpStatus::kFailed);
+  EXPECT_FALSE(mgr.holds("web"));
+  // Sticky state fails the side-effect-free health probe too.
+  EXPECT_EQ(mgr.announce(group).status, OsOpStatus::kFailed);
+  EXPECT_EQ(mgr.failures_injected(), 2u);
+  mgr.heal();
+  EXPECT_TRUE(mgr.acquire(group).ok());
+  EXPECT_TRUE(mgr.holds("web"));
+}
+
+TEST_F(IpManagerTest, FaultyProbabilityOneAlwaysFails) {
+  SimIpManager inner(*server);
+  FaultyIpManager mgr(inner, 42);
+  mgr.set_acquire_fail_probability(1.0);
+  EXPECT_EQ(mgr.acquire(group).status, OsOpStatus::kFailed);
+  mgr.set_release_fail_probability(1.0);
+  EXPECT_EQ(mgr.release(group).status, OsOpStatus::kFailed);
+  mgr.heal();
+  EXPECT_TRUE(mgr.acquire(group).ok());
+  EXPECT_TRUE(mgr.release(group).ok());
+}
+
+TEST_F(IpManagerTest, FaultyScheduledFaultFiresOnce) {
+  RecordingIpManager inner;
+  FaultyIpManager mgr(inner, 42);
+  mgr.fail_acquires_after(2);
+  EXPECT_TRUE(mgr.acquire(group).ok());                       // 1st passes
+  EXPECT_EQ(mgr.acquire(group).status, OsOpStatus::kFailed);  // 2nd fails
+  EXPECT_TRUE(mgr.acquire(group).ok());                       // disarmed
+  // The injected failure never reached the inner manager.
+  EXPECT_EQ(inner.ops(),
+            (std::vector<std::string>{"acquire web", "acquire web"}));
+}
+
+TEST_F(IpManagerTest, ArpLoseSwallowsAnnouncesSilently) {
+  SimIpManager inner(*server);
+  FaultyIpManager mgr(inner, 42);
+  ASSERT_TRUE(mgr.acquire(group).ok());
+  sched.run_all();
+  mgr.set_arp_lose(true);
+  peer->arp_cache().put(net::Ipv4Address(10, 0, 0, 100),
+                        net::MacAddress::from_index(999), sched.now());
+  EXPECT_TRUE(mgr.announce(group).ok());  // "succeeds"...
+  sched.run_all();
+  // ...but the poisoned cache was never repaired: nothing hit the wire.
+  EXPECT_EQ(*peer->arp_cache().lookup(net::Ipv4Address(10, 0, 0, 100),
+                                      sched.now()),
+            net::MacAddress::from_index(999));
+  EXPECT_EQ(mgr.failures_injected(), 1u);
+}
+
+TEST_F(IpManagerTest, RecordingManagerScriptedResults) {
+  RecordingIpManager mgr;
+  mgr.push_result(OsOpResult::failed("ebusy"));
+  mgr.push_result(OsOpResult::conflict("dup"));
+  EXPECT_EQ(mgr.acquire(group).status, OsOpStatus::kFailed);
+  EXPECT_FALSE(mgr.holds("web"));
+  EXPECT_EQ(mgr.acquire(group).status, OsOpStatus::kConflict);
+  EXPECT_FALSE(mgr.holds("web"));
+  EXPECT_TRUE(mgr.acquire(group).ok());  // queue drained: success again
+  EXPECT_TRUE(mgr.holds("web"));
+  EXPECT_EQ(mgr.ops(),
+            (std::vector<std::string>{"acquire web [failed]",
+                                      "acquire web [conflict]",
+                                      "acquire web"}));
+}
+
 }  // namespace
 }  // namespace wam::wackamole

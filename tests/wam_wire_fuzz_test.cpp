@@ -27,6 +27,14 @@ std::vector<Codec> codecs() {
   state.mature = true;
   state.owned = {"vip0", "vip1"};
   state.preferred = {"vip1"};
+  state.quarantined = {"vip0"};
+
+  NotifyMsg notify;
+  notify.view = ViewTag{5, 0x0a000003, 4};
+  notify.group = "vip0";
+  notify.fenced = true;
+  notify.cooldown_ms = 30000;
+  notify.reason = "injected failure: acquire vip0";
 
   BalanceMsg balance;
   balance.view = ViewTag{4, 0x0a000002, 2};
@@ -44,6 +52,8 @@ std::vector<Codec> codecs() {
        [](const util::Bytes& b) { (void)decode_alloc(b); }},
       {"arp_share", encode_arp_share(arp),
        [](const util::Bytes& b) { (void)decode_arp_share(b); }},
+      {"notify", encode_notify(notify),
+       [](const util::Bytes& b) { (void)decode_notify(b); }},
   };
 }
 
@@ -96,6 +106,15 @@ TEST(WamWireFuzz, OversizedCountsAreRejected) {
     w.u64(1);
     w.u32(0x10000000);
     EXPECT_THROW((void)decode_balance(w.take()), util::DecodeError);
+  }
+  {
+    util::ByteWriter w;  // NOTIFY claiming a 268MB group name
+    w.u8(static_cast<std::uint8_t>(WamMsgType::kNotify));
+    w.u64(1);  // view tag
+    w.u32(0x0a000001);
+    w.u64(1);
+    w.u32(0x10000000);  // group-name length with an empty remainder
+    EXPECT_THROW((void)decode_notify(w.take()), util::DecodeError);
   }
 }
 

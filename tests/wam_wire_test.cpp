@@ -11,11 +11,13 @@ TEST(WamWire, StateRoundTrip) {
   m.mature = true;
   m.owned = {"a", "b"};
   m.preferred = {"b"};
+  m.quarantined = {"a"};
   auto out = decode_state(encode_state(m));
   EXPECT_EQ(out.view, m.view);
   EXPECT_TRUE(out.mature);
   EXPECT_EQ(out.owned, m.owned);
   EXPECT_EQ(out.preferred, m.preferred);
+  EXPECT_EQ(out.quarantined, m.quarantined);
 }
 
 TEST(WamWire, StateEmptyLists) {
@@ -45,10 +47,32 @@ TEST(WamWire, ArpShareRoundTrip) {
   EXPECT_EQ(out.ips, m.ips);
 }
 
+TEST(WamWire, NotifyRoundTrip) {
+  NotifyMsg m;
+  m.view = ViewTag{11, 0x0a000003, 6};
+  m.group = "vip4";
+  m.fenced = true;
+  m.cooldown_ms = 30000;
+  m.reason = "injected sticky: acquire vip4";
+  auto out = decode_notify(encode_notify(m));
+  EXPECT_EQ(out.view, m.view);
+  EXPECT_EQ(out.group, m.group);
+  EXPECT_TRUE(out.fenced);
+  EXPECT_EQ(out.cooldown_ms, 30000u);
+  EXPECT_EQ(out.reason, m.reason);
+
+  m.fenced = false;  // the quarantine-clear direction
+  m.reason.clear();
+  out = decode_notify(encode_notify(m));
+  EXPECT_FALSE(out.fenced);
+  EXPECT_TRUE(out.reason.empty());
+}
+
 TEST(WamWire, PeekTypeDispatch) {
   EXPECT_EQ(peek_type(encode_state(StateMsg{})), WamMsgType::kState);
   EXPECT_EQ(peek_type(encode_balance(BalanceMsg{})), WamMsgType::kBalance);
   EXPECT_EQ(peek_type(encode_arp_share(ArpShareMsg{})), WamMsgType::kArpShare);
+  EXPECT_EQ(peek_type(encode_notify(NotifyMsg{})), WamMsgType::kNotify);
 }
 
 TEST(WamWire, PeekRejectsGarbage) {

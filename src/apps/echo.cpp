@@ -6,7 +6,7 @@ void EchoServer::start() {
   if (running_) return;
   running_ = host_.open_udp(
       port_, [this](const net::Host::UdpContext& ctx,
-                    const util::Bytes& request) {
+                    const util::SharedBytes& request) {
         ++served_;
         // Reply format: length-prefixed hostname, then the request payload
         // echoed back (lets clients correlate replies with requests).

@@ -15,7 +15,7 @@ void ProbeClient::start() {
   if (running_) return;
   running_ = host_.open_udp(
       local_port_,
-      [this](const net::Host::UdpContext&, const util::Bytes& payload) {
+      [this](const net::Host::UdpContext&, const util::SharedBytes& payload) {
         std::string hostname;
         try {
           util::ByteReader r(payload);

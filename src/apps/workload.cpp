@@ -20,7 +20,7 @@ void Workload::start() {
     stream.next_target = static_cast<std::size_t>(i) %
                          options_.targets.size();
     host_.open_udp(stream.port, [this](const net::Host::UdpContext&,
-                                       const util::Bytes& payload) {
+                                       const util::SharedBytes& payload) {
       // Echo replies carry (hostname, original payload); our payload is
       // the request id.
       std::uint64_t id = 0;

@@ -8,7 +8,7 @@ FakeResponder::FakeResponder(net::Host& host, std::uint16_t port)
 void FakeResponder::start() {
   if (running_) return;
   running_ = host_.open_udp(
-      port_, [this](const net::Host::UdpContext& ctx, const util::Bytes& p) {
+      port_, [this](const net::Host::UdpContext& ctx, const util::SharedBytes& p) {
         host_.send_udp_from(ctx.dst_ip, ctx.src_ip, ctx.src_port,
                             ctx.dst_port, p);
       });
@@ -29,7 +29,7 @@ void FakeBackup::start() {
   if (running_) return;
   running_ = true;
   host_.open_udp(config_.port, [this](const net::Host::UdpContext&,
-                                      const util::Bytes&) {
+                                      const util::SharedBytes&) {
     reply_seen_ = true;
   });
   probe_tick();

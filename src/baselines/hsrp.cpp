@@ -24,7 +24,7 @@ void HsrpRouter::start() {
   running_ = true;
   host_.open_udp(config_.port,
                  [this](const net::Host::UdpContext& ctx,
-                        const util::Bytes& payload) { on_packet(ctx, payload); });
+                        const util::SharedBytes& payload) { on_packet(ctx, payload); });
   state_ = HsrpState::kListen;
   arm_active_timer();
   arm_standby_timer();
@@ -126,7 +126,7 @@ void HsrpRouter::resign_active() {
 }
 
 void HsrpRouter::on_packet(const net::Host::UdpContext&,
-                           const util::Bytes& payload) {
+                           const util::SharedBytes& payload) {
   if (!running_) return;
   util::ByteReader r(payload);
   Hello hello{};

@@ -50,7 +50,7 @@ class HsrpRouter {
   };
 
   void hello_tick();
-  void on_packet(const net::Host::UdpContext& ctx, const util::Bytes& payload);
+  void on_packet(const net::Host::UdpContext& ctx, const util::SharedBytes& payload);
   void arm_active_timer();
   void arm_standby_timer();
   void active_timeout();

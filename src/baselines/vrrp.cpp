@@ -30,7 +30,7 @@ void VrrpRouter::start() {
   running_ = true;
   host_.open_udp(config_.port,
                  [this](const net::Host::UdpContext& ctx,
-                        const util::Bytes& payload) { on_packet(ctx, payload); });
+                        const util::SharedBytes& payload) { on_packet(ctx, payload); });
   if (config_.priority == 255) {
     become_master();
   } else {
@@ -101,7 +101,7 @@ void VrrpRouter::master_down() {
 }
 
 void VrrpRouter::on_packet(const net::Host::UdpContext&,
-                           const util::Bytes& payload) {
+                           const util::SharedBytes& payload) {
   if (!running_) return;
   util::ByteReader r(payload);
   std::uint8_t vrid, priority;

@@ -51,7 +51,7 @@ class VrrpRouter {
   void become_master();
   void become_backup();
   void send_advertisement();
-  void on_packet(const net::Host::UdpContext& ctx, const util::Bytes& payload);
+  void on_packet(const net::Host::UdpContext& ctx, const util::SharedBytes& payload);
   void arm_master_down_timer();
   void master_down();
 

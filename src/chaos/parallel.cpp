@@ -1,0 +1,16 @@
+#include "chaos/parallel.hpp"
+
+#include "util/parallel.hpp"
+
+namespace wam::chaos {
+
+std::vector<CampaignResult> ParallelRunner::run(
+    const std::vector<SeedJob>& work) const {
+  std::vector<CampaignResult> results(work.size());
+  util::parallel_for(work.size(), jobs_, [&](std::size_t i) {
+    results[i] = run_seed(work[i].seed, work[i].profile, work[i].options);
+  });
+  return results;
+}
+
+}  // namespace wam::chaos

@@ -1,0 +1,43 @@
+// Parallel seed fan-out for chaos campaigns.
+//
+// Each (seed, profile) job builds its own Scheduler + Fabric universe
+// inside run_seed(), so jobs share no mutable state and can execute on
+// worker threads concurrently. ParallelRunner fans a job list out over a
+// bounded thread pool (util::parallel_for) and returns the results in
+// job-list order, so downstream reporting is byte-identical to running
+// the same list sequentially — only the wall clock changes. This is the
+// property the `chaos_campaign --jobs N` CLI and the multi-seed benches
+// rely on, and tests/chaos_parallel_test.cpp pins it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+
+namespace wam::chaos {
+
+/// One unit of campaign work: a seed judged under a profile.
+struct SeedJob {
+  std::uint64_t seed = 0;
+  Profile profile = Profile::kCluster;
+  CampaignOptions options;
+};
+
+class ParallelRunner {
+ public:
+  /// jobs <= 1 runs sequentially on the caller's thread (no pool).
+  explicit ParallelRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Execute every job and return results[i] == run_seed(work[i]...).
+  /// Results are ordered by input index regardless of completion order.
+  [[nodiscard]] std::vector<CampaignResult> run(
+      const std::vector<SeedJob>& work) const;
+
+ private:
+  int jobs_;
+};
+
+}  // namespace wam::chaos

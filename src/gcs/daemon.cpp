@@ -69,7 +69,7 @@ void Daemon::start() {
   running_ = true;
   bool bound = host_.open_udp(
       config_.port, [this](const net::Host::UdpContext& ctx,
-                           const util::Bytes& payload) { on_udp(ctx, payload); });
+                           const util::SharedBytes& payload) { on_udp(ctx, payload); });
   WAM_ASSERT(bound);
   if (!config_.multicast_group.is_any()) {
     host_.join_multicast(ifindex_, config_.multicast_group);
@@ -148,7 +148,7 @@ void Daemon::unicast(DaemonId to, const Message& msg) {
 }
 
 void Daemon::on_udp(const net::Host::UdpContext& ctx,
-                    const util::Bytes& payload) {
+                    const util::SharedBytes& payload) {
   if (!running_) return;
   Message msg;
   try {

@@ -134,7 +134,7 @@ class Daemon {
   };
 
   // ---- I/O ----
-  void on_udp(const net::Host::UdpContext& ctx, const util::Bytes& payload);
+  void on_udp(const net::Host::UdpContext& ctx, const util::SharedBytes& payload);
   void broadcast(const Message& msg);
   void unicast(DaemonId to, const Message& msg);
 

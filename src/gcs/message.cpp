@@ -74,7 +74,7 @@ DataMessage get_data(util::ByteReader& r) {
   if (kind > 2) throw util::DecodeError("bad DataKind");
   d.kind = static_cast<DataKind>(kind);
   d.group = r.str();
-  d.payload = r.bytes();
+  d.payload = r.shared_bytes();  // zero-copy slice of the wire buffer
   auto nclock = r.u32();
   d.vclock.reserve(nclock);
   for (std::uint32_t i = 0; i < nclock; ++i) {
@@ -209,7 +209,7 @@ util::Bytes encode(const Message& msg) {
   return w.take();
 }
 
-Message decode(const util::Bytes& buf) {
+Message decode(const util::SharedBytes& buf) {
   util::ByteReader r(buf);
   auto type = r.u8();
   switch (static_cast<MsgType>(type)) {

@@ -16,6 +16,7 @@
 
 #include "gcs/types.hpp"
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace wam::gcs {
 
@@ -49,7 +50,7 @@ struct DataMessage {
   ServiceType service = ServiceType::kAgreed;
   DataKind kind = DataKind::kClientPayload;
   std::string group;
-  util::Bytes payload;
+  util::SharedBytes payload;  // COW: shared with the wire buffer on decode
   /// kCausal only: (daemon, last stream seq dispatched from that daemon)
   /// at send time — the happened-before dependencies.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> vclock;
@@ -132,8 +133,10 @@ using Message = std::variant<Heartbeat, Discovery, Propose, Accept, Install,
                              Forward, DataMessage, Nack, Token>;
 
 [[nodiscard]] util::Bytes encode(const Message& msg);
-/// Throws util::DecodeError on malformed input.
-[[nodiscard]] Message decode(const util::Bytes& buf);
+/// Throws util::DecodeError on malformed input. Data payloads come back
+/// as zero-copy slices of `buf`'s refcounted storage (plain Bytes inputs
+/// are wrapped — moved, not copied, when passed as an rvalue).
+[[nodiscard]] Message decode(const util::SharedBytes& buf);
 
 [[nodiscard]] const char* msg_type_name(const Message& msg);
 

@@ -15,6 +15,7 @@
 
 #include "net/address.hpp"
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace wam::gcs {
 
@@ -111,11 +112,13 @@ struct GroupView {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Message delivered to a client.
+/// Message delivered to a client. The payload shares the originating wire
+/// buffer (copy-on-write); consumers that need a private mutable copy call
+/// payload.to_bytes().
 struct GroupMessage {
   std::string group;
   MemberId sender;
-  util::Bytes payload;
+  util::SharedBytes payload;
 };
 
 }  // namespace wam::gcs

@@ -86,9 +86,10 @@ bool Fabric::address_in_use(NicId asking, Ipv4Address ip) const {
     const auto& other = nic(other_id);
     if (!other.up || other.component != asker.component) continue;
     // A probe is a round trip: the who-has must reach the holder and the
-    // is-at must make it back.
-    if (blocked_.count({asking, other_id}) > 0 ||
-        blocked_.count({other_id, asking}) > 0) {
+    // is-at must make it back. (Empty-set guard: asymmetric links are a
+    // chaos-only feature, so the common case skips both tree lookups.)
+    if (!blocked_.empty() && (blocked_.count({asking, other_id}) > 0 ||
+                              blocked_.count({other_id, asking}) > 0)) {
       continue;
     }
     if (other.probe && other.probe(ip)) return true;
@@ -257,7 +258,7 @@ void Fabric::send(NicId from, Frame frame) {
         ++counters_.dropped_partition;
         continue;
       }
-      if (blocked_.count({from, id}) > 0) {
+      if (!blocked_.empty() && blocked_.count({from, id}) > 0) {
         ++counters_.dropped_directional;
         continue;
       }
@@ -277,7 +278,7 @@ void Fabric::send(NicId from, Frame frame) {
       ++counters_.dropped_partition;
       return;
     }
-    if (blocked_.count({from, id}) > 0) {
+    if (!blocked_.empty() && blocked_.count({from, id}) > 0) {
       ++counters_.dropped_directional;
       return;
     }

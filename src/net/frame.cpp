@@ -18,7 +18,7 @@ util::Bytes ArpPacket::encode() const {
   return w.take();
 }
 
-ArpPacket ArpPacket::decode(const util::Bytes& buf) {
+ArpPacket ArpPacket::decode(util::ByteView buf) {
   util::ByteReader r(buf);
   ArpPacket p;
   auto op = r.u16();
@@ -57,14 +57,14 @@ util::Bytes Ipv4Packet::encode() const {
   return w.take();
 }
 
-Ipv4Packet Ipv4Packet::decode(const util::Bytes& buf) {
+Ipv4Packet Ipv4Packet::decode(const util::SharedBytes& buf) {
   util::ByteReader r(buf);
   Ipv4Packet p;
   p.src = Ipv4Address(r.u32());
   p.dst = Ipv4Address(r.u32());
   p.ttl = r.u8();
   p.protocol = r.u8();
-  p.payload = r.bytes();
+  p.payload = r.shared_bytes();  // zero-copy slice of the frame buffer
   r.expect_end();
   return p;
 }
@@ -77,12 +77,12 @@ util::Bytes UdpDatagram::encode() const {
   return w.take();
 }
 
-UdpDatagram UdpDatagram::decode(const util::Bytes& buf) {
+UdpDatagram UdpDatagram::decode(const util::SharedBytes& buf) {
   util::ByteReader r(buf);
   UdpDatagram d;
   d.src_port = r.u16();
   d.dst_port = r.u16();
-  d.payload = r.bytes();
+  d.payload = r.shared_bytes();  // zero-copy slice of the packet buffer
   r.expect_end();
   return d;
 }

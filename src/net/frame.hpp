@@ -4,6 +4,12 @@
 // simulation exercises real encode/decode paths: ARP packets and
 // UDP-over-IPv4 datagrams round-trip through the endian-safe ByteWriter /
 // ByteReader, and a corrupted or truncated payload surfaces as DecodeError.
+//
+// Payloads are util::SharedBytes: immutable, refcounted, copy-on-write.
+// Copying a Frame — which the fabric does once per receiver on broadcast
+// and multicast — bumps a reference count instead of deep-copying the
+// bytes, and the IPv4/UDP decoders return their nested payloads as
+// zero-copy slices of the enclosing frame's buffer.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,7 @@
 
 #include "net/address.hpp"
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace wam::net {
 
@@ -24,7 +31,7 @@ struct Frame {
   MacAddress src;
   MacAddress dst;
   EtherType type = EtherType::kIpv4;
-  util::Bytes payload;
+  util::SharedBytes payload;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -43,7 +50,7 @@ struct ArpPacket {
   [[nodiscard]] bool is_gratuitous() const { return sender_ip == target_ip; }
 
   [[nodiscard]] util::Bytes encode() const;
-  static ArpPacket decode(const util::Bytes& buf);
+  static ArpPacket decode(util::ByteView buf);
 
   [[nodiscard]] std::string describe() const;
 };
@@ -56,20 +63,22 @@ struct Ipv4Packet {
   Ipv4Address dst;
   std::uint8_t ttl = 64;
   std::uint8_t protocol = kProtoUdp;
-  util::Bytes payload;
+  util::SharedBytes payload;
 
   [[nodiscard]] util::Bytes encode() const;
-  static Ipv4Packet decode(const util::Bytes& buf);
+  /// The decoded payload is a zero-copy slice of `buf`'s storage.
+  static Ipv4Packet decode(const util::SharedBytes& buf);
 };
 
 /// UDP datagram carried inside an Ipv4Packet payload.
 struct UdpDatagram {
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
-  util::Bytes payload;
+  util::SharedBytes payload;
 
   [[nodiscard]] util::Bytes encode() const;
-  static UdpDatagram decode(const util::Bytes& buf);
+  /// The decoded payload is a zero-copy slice of `buf`'s storage.
+  static UdpDatagram decode(const util::SharedBytes& buf);
 };
 
 }  // namespace wam::net

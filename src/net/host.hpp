@@ -56,8 +56,13 @@ class Host {
     std::uint16_t dst_port = 0;
     int ifindex = 0;
   };
+  /// UDP receive callback. The payload is a zero-copy view into the
+  /// received frame's refcounted buffer; handlers that keep it only for
+  /// the duration of the call (the normal case) never pay a copy. Legacy
+  /// lambdas taking `const util::Bytes&` still bind — SharedBytes detaches
+  /// (deep-copies) into the temporary at each invocation.
   using UdpHandler =
-      std::function<void(const UdpContext&, const util::Bytes& payload)>;
+      std::function<void(const UdpContext&, const util::SharedBytes& payload)>;
 
   Host(sim::Scheduler& sched, Fabric& fabric, std::string name,
        sim::Log* log = nullptr);

@@ -47,23 +47,31 @@ std::vector<LogRecord> Log::find(const std::string& prefix,
 
 std::size_t Log::count(const std::string& prefix,
                        const std::string& needle) const {
-  return find(prefix, needle).size();
+  // Counted in place: find() would materialize (and copy) every matching
+  // record just to take .size().
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.component.rfind(prefix, 0) != 0) continue;
+    if (!needle.empty() && r.message.find(needle) == std::string::npos) continue;
+    ++n;
+  }
+  return n;
 }
 
 void Logger::vwrite(LogLevel level, const char* fmt, std::va_list ap) const {
-  if (!log_) return;
+  if (!log_ || !log_->would_log(level)) return;  // skip formatting entirely
   char buf[512];
   std::vsnprintf(buf, sizeof(buf), fmt, ap);
   log_->write(level, component_, buf);
 }
 
-#define WAM_LOG_IMPL(method, level)                \
+#define WAM_LOG_IMPL(method, level)                 \
   void Logger::method(const char* fmt, ...) const { \
-    if (!log_) return;                             \
-    std::va_list ap;                               \
-    va_start(ap, fmt);                             \
-    vwrite(level, fmt, ap);                        \
-    va_end(ap);                                    \
+    if (!log_ || !log_->would_log(level)) return;   \
+    std::va_list ap;                                \
+    va_start(ap, fmt);                              \
+    vwrite(level, fmt, ap);                         \
+    va_end(ap);                                     \
   }
 
 WAM_LOG_IMPL(trace, LogLevel::kTrace)

@@ -41,6 +41,12 @@ class Log {
 
   void set_echo(bool on) { echo_ = on; }
   void set_min_level(LogLevel level) { min_level_ = level; }
+  [[nodiscard]] LogLevel min_level() const { return min_level_; }
+  /// Threshold check, exposed so Logger can skip vsnprintf formatting for
+  /// records that would be discarded anyway (hot in Trace-heavy runs).
+  [[nodiscard]] bool would_log(LogLevel level) const {
+    return level >= min_level_;
+  }
 
   void write(LogLevel level, std::string component, std::string message);
 

@@ -1,56 +1,19 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
-#include "util/assert.hpp"
-
 namespace wam::sim {
 
-void TimerHandle::cancel() {
-  if (state_) state_->cancelled = true;
-}
-
-bool TimerHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
-}
-
-TimerHandle Scheduler::schedule(Duration delay, std::function<void()> fn) {
-  if (delay < kZero) delay = kZero;
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-TimerHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
-  WAM_EXPECTS(fn != nullptr);
-  if (when < now_) when = now_;
-  auto state = std::make_shared<TimerHandle::State>();
-  queue_.push(Event{when, next_seq_++, std::move(fn), state});
-  return TimerHandle(state);
-}
-
-bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.state->cancelled) continue;
-    WAM_ASSERT(ev.when >= now_);
-    now_ = ev.when;
-    ev.state->fired = true;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
-}
-
 void Scheduler::run_until(TimePoint deadline) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip over cancelled events without advancing time.
-    if (queue_.top().state->cancelled) {
-      queue_.pop();
+    if (!entry_live(heap_.front())) {
+      pop_entry();
       continue;
     }
-    if (queue_.top().when > deadline) break;
+    if (heap_.front().when > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;
@@ -59,6 +22,12 @@ void Scheduler::run_until(TimePoint deadline) {
 void Scheduler::run_all() {
   while (step()) {
   }
+}
+
+void Scheduler::compact() {
+  auto stale = [this](const Entry& e) { return !entry_live(e); };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), stale), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 std::string format_duration(Duration d) {

@@ -1,6 +1,11 @@
 #include "util/bytes.hpp"
 
+#include "util/shared_bytes.hpp"
+
 namespace wam::util {
+
+ByteReader::ByteReader(const SharedBytes& buf)
+    : buf_(buf.span()), backing_(&buf) {}
 
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
@@ -96,6 +101,20 @@ Bytes ByteReader::raw(std::size_t n) {
   need(n);
   Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+SharedBytes ByteReader::shared_bytes() {
+  auto n = u32();
+  return shared_raw(n);
+}
+
+SharedBytes ByteReader::shared_raw(std::size_t n) {
+  need(n);
+  SharedBytes out = backing_ != nullptr
+                        ? backing_->slice(pos_, n)
+                        : SharedBytes::copy_of(buf_.subspan(pos_, n));
   pos_ += n;
   return out;
 }

@@ -18,6 +18,11 @@
 namespace wam::util {
 
 using Bytes = std::vector<std::uint8_t>;
+/// Borrowed read-only view; Bytes and SharedBytes both convert to it, so
+/// decoders taking ByteView accept either without copying.
+using ByteView = std::span<const std::uint8_t>;
+
+class SharedBytes;  // util/shared_bytes.hpp
 
 /// Thrown by ByteReader when the input is shorter than the decode requires.
 class DecodeError : public std::runtime_error {
@@ -56,6 +61,9 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
   explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+  /// Reader over refcounted storage: shared_bytes()/shared_raw() become
+  /// zero-copy slices. `buf` must outlive the reader.
+  explicit ByteReader(const SharedBytes& buf);
 
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint16_t u16();
@@ -67,6 +75,12 @@ class ByteReader {
   [[nodiscard]] std::string str();
   /// Read exactly n raw bytes (no length prefix).
   [[nodiscard]] Bytes raw(std::size_t n);
+  /// Length-prefixed (u32) byte string as a SharedBytes: a zero-copy
+  /// slice when the reader is backed by shared storage, a fresh copy
+  /// otherwise.
+  [[nodiscard]] SharedBytes shared_bytes();
+  /// Exactly n raw bytes as a SharedBytes (zero-copy when backed).
+  [[nodiscard]] SharedBytes shared_raw(std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
   [[nodiscard]] bool at_end() const { return remaining() == 0; }
@@ -78,6 +92,7 @@ class ByteReader {
 
   std::span<const std::uint8_t> buf_;
   std::size_t pos_ = 0;
+  const SharedBytes* backing_ = nullptr;  // set by the SharedBytes ctor
 };
 
 }  // namespace wam::util

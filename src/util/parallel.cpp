@@ -1,0 +1,56 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wam::util {
+
+int default_jobs(int max_jobs) {
+  auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  if (max_jobs < 1) max_jobs = 1;
+  return hw < max_jobs ? hw : max_jobs;
+}
+
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs < 1) jobs = 1;
+  if (static_cast<std::size_t>(jobs) > count) {
+    jobs = static_cast<int>(count);
+  }
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      // Claimed indices past a failure still run: simpler than draining,
+      // and fn is required to be independent per index anyway.
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(jobs) - 1);
+  for (int t = 1; t < jobs; ++t) threads.emplace_back(worker);
+  worker();  // the caller participates instead of idling at the join
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wam::util

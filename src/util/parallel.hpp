@@ -1,0 +1,32 @@
+// Bounded fork-join parallelism for embarrassingly parallel index spaces.
+//
+// parallel_for(count, jobs, fn) invokes fn(i) exactly once for every
+// i in [0, count), spreading the calls over up to `jobs` worker threads.
+// Indices are claimed from a shared atomic counter, so uneven per-index
+// cost load-balances naturally. The call returns only after every index
+// has completed (fork-join barrier); the first exception thrown by any
+// fn(i) is rethrown on the caller's thread after the join.
+//
+// Determinism contract: fn(i) must not touch shared mutable state (each
+// index writes only its own slot of a pre-sized results vector, say).
+// Under that contract the observable outcome is identical for any job
+// count, including jobs == 1, which runs inline on the caller's thread
+// with no pool at all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace wam::util {
+
+/// A sensible default worker count: hardware_concurrency clamped to
+/// [1, max_jobs]. Returns 1 when the runtime reports no parallelism.
+[[nodiscard]] int default_jobs(int max_jobs = 16);
+
+/// Run fn(i) for every i in [0, count) on up to `jobs` threads and wait
+/// for all of them. jobs <= 1 (or count <= 1) degenerates to a plain
+/// sequential loop on the calling thread.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace wam::util

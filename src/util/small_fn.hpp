@@ -1,0 +1,134 @@
+// Small move-only callable with inline storage.
+//
+// The discrete-event scheduler stores one callback per event; with
+// std::function each capture larger than the library's tiny SBO buffer
+// (16 bytes on libstdc++) heap-allocates, and protocol code schedules an
+// event for every heartbeat, timeout and frame delivery. SmallFn keeps
+// captures up to kInlineCapacity bytes inside the object — sized so a
+// fabric delivery closure (this + NicId + Frame with a shared payload)
+// fits — and only falls back to the heap beyond that. Move-only, void()
+// signature: exactly what an event queue needs, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wam::util {
+
+class SmallFn {
+ public:
+  /// Chosen so `[this, nic, frame]` delivery closures stay inline; see
+  /// static_assert in net/fabric.cpp.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(std::move(other)); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* from, void* to);  // move-construct + destroy from
+    void (*destroy)(void* storage);
+    /// Relocation is a plain byte copy (trivially-copyable inline capture,
+    /// or the heap pointer itself): move_from() memcpys instead of making
+    /// the indirect relocate call. This is the scheduler's slot-recycling
+    /// fast path — most event captures are a few pointers.
+    std::size_t trivial_size;  // 0 when relocate must be called
+    /// The destructor is a no-op (trivially-destructible inline capture):
+    /// reset() skips the indirect destroy call.
+    bool trivial_destroy;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* from, void* to) {
+        auto* f = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      std::is_trivially_copyable_v<Fn> ? sizeof(Fn) : 0,
+      std::is_trivially_destructible_v<Fn>,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* from, void* to) {
+        auto* p = std::launder(reinterpret_cast<Fn**>(from));
+        ::new (to) Fn*(*p);
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+      sizeof(Fn*),  // relocating heap storage just moves the pointer
+      false,        // destroy must run: it deletes the heap object
+  };
+
+  void move_from(SmallFn&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      if (ops_->trivial_size != 0) {
+        std::memcpy(storage_, other.storage_, ops_->trivial_size);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wam::util

@@ -10,7 +10,7 @@ void ControlServer::start() {
   if (running_) return;
   running_ = host_.open_udp(
       port_, [this](const net::Host::UdpContext& ctx,
-                    const util::Bytes& payload) {
+                    const util::SharedBytes& payload) {
         ++served_;
         std::string command(payload.begin(), payload.end());
         auto reply = control_.execute(command);
@@ -30,7 +30,7 @@ ControlClient::ControlClient(net::Host& host, std::uint16_t local_port)
     : host_(host), local_port_(local_port) {
   host_.open_udp(local_port_,
                  [this](const net::Host::UdpContext&,
-                        const util::Bytes& payload) {
+                        const util::SharedBytes& payload) {
                    if (!pending_) return;
                    auto cb = std::move(pending_);
                    pending_ = nullptr;

@@ -15,7 +15,7 @@ UdpServiceCheck::UdpServiceCheck(net::Host& host, net::Ipv4Address service_ip,
       probe_port_(probe_port) {
   host_.open_udp(
       probe_port_,
-      [this](const net::Host::UdpContext&, const util::Bytes& reply) {
+      [this](const net::Host::UdpContext&, const util::SharedBytes& reply) {
         // Echo-style services return the request payload (possibly behind
         // a header, e.g. EchoServer's hostname prefix), so the current
         // round's tag must appear as the reply's suffix. A reply from an

@@ -71,7 +71,7 @@ util::Bytes encode_state(const StateMsg& m) {
   return w.take();
 }
 
-StateMsg decode_state(const util::Bytes& buf) {
+StateMsg decode_state(util::ByteView buf) {
   util::ByteReader r(buf);
   check_type(r, WamMsgType::kState);
   StateMsg m;
@@ -99,7 +99,7 @@ util::Bytes encode_allocation_body(const BalanceMsg& m, WamMsgType type) {
   return w.take();
 }
 
-BalanceMsg decode_allocation_body(const util::Bytes& buf, WamMsgType type) {
+BalanceMsg decode_allocation_body(util::ByteView buf, WamMsgType type) {
   util::ByteReader r(buf);
   check_type(r, type);
   BalanceMsg m;
@@ -125,11 +125,11 @@ util::Bytes encode_alloc(const BalanceMsg& m) {
   return encode_allocation_body(m, WamMsgType::kAlloc);
 }
 
-BalanceMsg decode_balance(const util::Bytes& buf) {
+BalanceMsg decode_balance(util::ByteView buf) {
   return decode_allocation_body(buf, WamMsgType::kBalance);
 }
 
-BalanceMsg decode_alloc(const util::Bytes& buf) {
+BalanceMsg decode_alloc(util::ByteView buf) {
   return decode_allocation_body(buf, WamMsgType::kAlloc);
 }
 
@@ -141,7 +141,7 @@ util::Bytes encode_arp_share(const ArpShareMsg& m) {
   return w.take();
 }
 
-ArpShareMsg decode_arp_share(const util::Bytes& buf) {
+ArpShareMsg decode_arp_share(util::ByteView buf) {
   util::ByteReader r(buf);
   check_type(r, WamMsgType::kArpShare);
   ArpShareMsg m;
@@ -163,7 +163,7 @@ util::Bytes encode_notify(const NotifyMsg& m) {
   return w.take();
 }
 
-NotifyMsg decode_notify(const util::Bytes& buf) {
+NotifyMsg decode_notify(util::ByteView buf) {
   util::ByteReader r(buf);
   check_type(r, WamMsgType::kNotify);
   NotifyMsg m;
@@ -176,7 +176,7 @@ NotifyMsg decode_notify(const util::Bytes& buf) {
   return m;
 }
 
-WamMsgType peek_type(const util::Bytes& buf) {
+WamMsgType peek_type(util::ByteView buf) {
   util::ByteReader r(buf);
   auto t = r.u8();
   if (t < kWamMsgTypeFirst || t > kWamMsgTypeLast) {

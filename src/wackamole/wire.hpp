@@ -102,11 +102,11 @@ struct NotifyMsg {
 [[nodiscard]] util::Bytes encode_notify(const NotifyMsg& m);
 
 /// Peek the type byte; throws util::DecodeError on empty/unknown input.
-[[nodiscard]] WamMsgType peek_type(const util::Bytes& buf);
-[[nodiscard]] StateMsg decode_state(const util::Bytes& buf);
-[[nodiscard]] BalanceMsg decode_balance(const util::Bytes& buf);
-[[nodiscard]] BalanceMsg decode_alloc(const util::Bytes& buf);
-[[nodiscard]] ArpShareMsg decode_arp_share(const util::Bytes& buf);
-[[nodiscard]] NotifyMsg decode_notify(const util::Bytes& buf);
+[[nodiscard]] WamMsgType peek_type(util::ByteView buf);
+[[nodiscard]] StateMsg decode_state(util::ByteView buf);
+[[nodiscard]] BalanceMsg decode_balance(util::ByteView buf);
+[[nodiscard]] BalanceMsg decode_alloc(util::ByteView buf);
+[[nodiscard]] ArpShareMsg decode_arp_share(util::ByteView buf);
+[[nodiscard]] NotifyMsg decode_notify(util::ByteView buf);
 
 }  // namespace wam::wackamole

@@ -1,0 +1,78 @@
+// Pins the ParallelRunner determinism contract: fanning pinned seeds out
+// over worker threads yields results byte-identical to a sequential run —
+// same verdicts, same schedules, same timeline artifacts, in seed order.
+// Each seed builds its own Scheduler/Fabric universe, so the only thing
+// threads share is the results vector (one slot per job).
+#include "chaos/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wam::chaos {
+namespace {
+
+// Small schedules keep the test fast; determinism does not depend on size.
+CampaignOptions small_options() {
+  CampaignOptions opt;
+  opt.generator.rounds = 2;
+  opt.generator.num_servers = 3;
+  opt.generator.num_vips = 3;
+  opt.shrink = false;
+  return opt;
+}
+
+std::vector<SeedJob> pinned_jobs() {
+  std::vector<SeedJob> work;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    work.push_back({seed, Profile::kCluster, small_options()});
+    work.push_back({seed, Profile::kRouter, small_options()});
+  }
+  return work;
+}
+
+TEST(ParallelRunner, FourJobsMatchSequentialByteForByte) {
+  auto work = pinned_jobs();
+  auto sequential = ParallelRunner(1).run(work);
+  auto parallel = ParallelRunner(4).run(work);
+
+  ASSERT_EQ(sequential.size(), work.size());
+  ASSERT_EQ(parallel.size(), work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(parallel[i].seed, sequential[i].seed);
+    EXPECT_EQ(parallel[i].profile, sequential[i].profile);
+    EXPECT_EQ(parallel[i].passed(), sequential[i].passed());
+    EXPECT_EQ(parallel[i].violations.size(), sequential[i].violations.size());
+    // The replay artifacts are the strong check: the DSL rendering and the
+    // observability timeline are full transcripts of the simulated run.
+    EXPECT_EQ(parallel[i].dsl, sequential[i].dsl);
+    EXPECT_EQ(parallel[i].timeline_json, sequential[i].timeline_json);
+  }
+}
+
+TEST(ParallelRunner, MoreJobsThanWorkIsFine) {
+  std::vector<SeedJob> work{{7, Profile::kCluster, small_options()}};
+  auto results = ParallelRunner(8).run(work);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].seed, 7u);
+}
+
+TEST(ParallelRunner, EmptyWorkReturnsEmpty) {
+  EXPECT_TRUE(ParallelRunner(4).run({}).empty());
+}
+
+TEST(ParallelRunner, RepeatedParallelRunsAreStable) {
+  std::vector<SeedJob> work{{3, Profile::kCluster, small_options()},
+                            {4, Profile::kRouter, small_options()}};
+  auto first = ParallelRunner(2).run(work);
+  auto second = ParallelRunner(2).run(work);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].timeline_json, second[i].timeline_json);
+    EXPECT_EQ(first[i].dsl, second[i].dsl);
+  }
+}
+
+}  // namespace
+}  // namespace wam::chaos

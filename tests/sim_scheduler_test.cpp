@@ -114,6 +114,117 @@ TEST(Scheduler, NullCallbackViolatesContract) {
   EXPECT_THROW(s.schedule(kZero, nullptr), util::ContractViolation);
 }
 
+// Regression pin for the slab/lazy-deletion rewrite: cancelling timers
+// interleaved with live ones must not disturb the execution order of the
+// survivors, and cancelled entries must never fire even when their heap
+// entries are still buried under live ones.
+TEST(Scheduler, CancelledTimersAreSkippedWithoutReordering) {
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<TimerHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(
+        s.schedule(milliseconds(i + 1), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 20; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}));
+}
+
+// Zero-delay events scheduled at the same instant — including from inside
+// a running event — fire in insertion order, exactly as before the slab
+// rewrite. This is the ordering the whole deterministic-replay story
+// (chaos timelines, FrameTrace goldens) leans on.
+TEST(Scheduler, ZeroDelayTiesKeepInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(kZero, [&] {
+    order.push_back(0);
+    s.schedule(kZero, [&] { order.push_back(2); });
+    s.schedule(kZero, [&] { order.push_back(3); });
+  });
+  s.schedule(kZero, [&] { order.push_back(1); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// pending_events() reports live events only: cancelled timers drop out
+// immediately even though their heap entries are lazily deleted.
+TEST(Scheduler, PendingEventsCountsLiveOnly) {
+  Scheduler s;
+  auto a = s.schedule(milliseconds(1), [] {});
+  auto b = s.schedule(milliseconds(2), [] {});
+  auto c = s.schedule(milliseconds(3), [] {});
+  EXPECT_EQ(s.pending_events(), 3u);
+  b.cancel();
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.step();
+  EXPECT_EQ(s.pending_events(), 1u);
+  a.cancel();  // already fired: no-op
+  c.cancel();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+// A handle whose slot has been recycled by a later event must see the
+// generation mismatch: it reports not-pending and its cancel() must not
+// kill the new tenant.
+TEST(Scheduler, StaleHandleDoesNotCancelRecycledSlot) {
+  Scheduler s;
+  auto stale = s.schedule(milliseconds(1), [] {});
+  s.run_all();  // fires; slot goes back on the free list
+  int fired = 0;
+  auto fresh = s.schedule(milliseconds(1), [&] { ++fired; });
+  EXPECT_FALSE(stale.pending());
+  stale.cancel();  // generation mismatch: must be a no-op
+  EXPECT_TRUE(fresh.pending());
+  s.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+// Steady-state timer churn (schedule + cancel + reschedule) reuses slab
+// slots instead of growing the slab: the fast path the benches measure.
+TEST(Scheduler, SlabSlotsAreReusedUnderChurn) {
+  Scheduler s;
+  for (int round = 0; round < 100; ++round) {
+    auto h = s.schedule(milliseconds(10), [] {});
+    h.cancel();
+    s.schedule(milliseconds(1), [] {});
+    s.run_for(milliseconds(1));
+  }
+  // Each round holds at most 2 slots at once; reuse keeps the slab tiny.
+  EXPECT_LE(s.slab_size(), 4u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// An event that cancels its own handle mid-execution (the timer has
+// already been popped) must not corrupt the slab.
+TEST(Scheduler, CancelOwnHandleDuringExecutionIsSafe) {
+  Scheduler s;
+  TimerHandle h;
+  int fired = 0;
+  h = s.schedule(milliseconds(1), [&] {
+    ++fired;
+    h.cancel();  // no-op: the event is already executing
+  });
+  s.schedule(milliseconds(2), [&] { ++fired; });
+  s.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+// An event may cancel a sibling that is already in the heap for the same
+// instant; the sibling must not fire.
+TEST(Scheduler, EventCancelsSameTickSibling) {
+  Scheduler s;
+  int fired = 0;
+  TimerHandle victim;
+  s.schedule(milliseconds(1), [&] { victim.cancel(); });
+  victim = s.schedule(milliseconds(1), [&] { ++fired; });
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
 TEST(TimeFormat, Durations) {
   EXPECT_EQ(format_duration(seconds(2.5)), "2.500s");
   EXPECT_EQ(format_duration(milliseconds(12)), "12.000ms");

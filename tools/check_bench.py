@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage:
+    check_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
+
+For every benchmark present in both files, computes
+current_time / baseline_time (real_time, same time_unit required) and
+exits non-zero if any ratio exceeds the threshold. Benchmarks that only
+exist on one side are reported but never fatal, so adding or retiring a
+benchmark does not break CI.
+
+Baselines are machine-dependent: the checked-in baseline is only meant to
+catch order-of-magnitude regressions (hence the generous default
+threshold), not single-digit-percent noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail when current/baseline exceeds this (default 2.0)")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    missing = sorted(set(base) - set(curr))
+    added = sorted(set(curr) - set(base))
+    for name in missing:
+        print(f"NOTE  {name}: in baseline only (skipped)")
+    for name in added:
+        print(f"NOTE  {name}: new benchmark, no baseline")
+
+    failures = []
+    for name in sorted(set(base) & set(curr)):
+        b, c = base[name], curr[name]
+        if b.get("time_unit") != c.get("time_unit"):
+            print(f"SKIP  {name}: time_unit mismatch "
+                  f"({b.get('time_unit')} vs {c.get('time_unit')})")
+            continue
+        bt, ct = b.get("real_time"), c.get("real_time")
+        if not bt or bt <= 0 or ct is None:
+            print(f"SKIP  {name}: unusable real_time")
+            continue
+        ratio = ct / bt
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(f"{status:<5} {name}: {bt:.1f} -> {ct:.1f} {b['time_unit']} "
+              f"({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.1f}x:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nall {len(set(base) & set(curr))} shared benchmark(s) within "
+          f"{args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

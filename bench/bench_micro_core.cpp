@@ -9,10 +9,12 @@
 // binary; tools/check_bench.py compares such files across commits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "sim/scheduler.hpp"
 #include "util/shared_bytes.hpp"
 #include "wackamole/balance.hpp"
+#include "wackamole/balance_legacy.hpp"
+#include "wackamole/group_ids.hpp"
 #include "wackamole/wire.hpp"
 
 using namespace wam;
@@ -109,6 +113,24 @@ struct Frame {
   util::Bytes payload;
 };
 
+/// Pre-fast-path STATE_MSG encoder: the wire v1 layout exactly as
+/// encode_state() emitted it before the exact-capacity reserve, growing
+/// the writer's buffer through vector reallocation as names append.
+util::Bytes encode_state(const wam::wackamole::StateMsg& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(wam::wackamole::WamMsgType::kState));
+  w.u64(m.view.epoch);
+  w.u32(m.view.coordinator);
+  w.u64(m.view.group_seq);
+  w.boolean(m.mature);
+  w.u32(m.weight);
+  for (const auto* names : {&m.owned, &m.preferred, &m.quarantined}) {
+    w.u32(static_cast<std::uint32_t>(names->size()));
+    for (const auto& n : *names) w.str(n);
+  }
+  return w.take();
+}
+
 }  // namespace legacy
 
 namespace {
@@ -137,32 +159,89 @@ std::vector<wackamole::MemberInfo> make_members(int m) {
   return out;
 }
 
+// ---- Placement: the fast path vs the reference O(V*M) formulation ----
+//
+// The fast benchmarks measure the allocation procedures exactly as the
+// daemon runs them: GroupSet and MemberStates are built once when the
+// configuration / membership changes, and each round calls the dense
+// *_fast procedure. The *Legacy twins run the verbatim pre-fast-path
+// implementations (balance_legacy.cpp) on the same inputs; the
+// equivalence suite proves both sides return identical decisions, so the
+// ratio is a pure speed comparison.
+
 void BM_ReallocateIps(benchmark::State& state) {
   auto groups = make_groups(static_cast<int>(state.range(0)));
   auto members = make_members(static_cast<int>(state.range(1)));
+  wackamole::GroupSet set(groups);
+  auto states = wackamole::to_member_states(set, members);
   wackamole::VipTable table;  // everything uncovered
   for (auto _ : state) {
-    auto a = wackamole::reallocate_ips(groups, table, members);
+    auto a = wackamole::reallocate_ips_fast(set, table, states);
     benchmark::DoNotOptimize(a);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(groups.size()));
 }
-BENCHMARK(BM_ReallocateIps)->Args({10, 4})->Args({100, 12})->Args({1000, 32});
+BENCHMARK(BM_ReallocateIps)
+    ->Args({10, 4})
+    ->Args({100, 12})
+    ->Args({1000, 32})
+    ->Args({4096, 64});
+
+void BM_ReallocateIpsLegacy(benchmark::State& state) {
+  auto groups = make_groups(static_cast<int>(state.range(0)));
+  auto members = make_members(static_cast<int>(state.range(1)));
+  wackamole::VipTable table;  // everything uncovered
+  for (auto _ : state) {
+    auto a = wackamole::legacy_reallocate_ips(groups, table, members);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_ReallocateIpsLegacy)
+    ->Args({10, 4})
+    ->Args({100, 12})
+    ->Args({1000, 32})
+    ->Args({4096, 64});
 
 void BM_BalanceIps(benchmark::State& state) {
+  auto groups = make_groups(static_cast<int>(state.range(0)));
+  auto members = make_members(static_cast<int>(state.range(1)));
+  wackamole::GroupSet set(groups);
+  auto states = wackamole::to_member_states(set, members);
+  wackamole::VipTable table;
+  for (const auto& g : groups) table.set_owner(g, members[0].id);
+  for (auto _ : state) {
+    auto a = wackamole::balance_ips_fast(set, table, states);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_BalanceIps)
+    ->Args({10, 4})
+    ->Args({100, 12})
+    ->Args({1000, 32})
+    ->Args({4096, 64});
+
+void BM_BalanceIpsLegacy(benchmark::State& state) {
   auto groups = make_groups(static_cast<int>(state.range(0)));
   auto members = make_members(static_cast<int>(state.range(1)));
   wackamole::VipTable table;
   for (const auto& g : groups) table.set_owner(g, members[0].id);
   for (auto _ : state) {
-    auto a = wackamole::balance_ips(groups, table, members);
+    auto a = wackamole::legacy_balance_ips(groups, table, members);
     benchmark::DoNotOptimize(a);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(groups.size()));
 }
-BENCHMARK(BM_BalanceIps)->Args({10, 4})->Args({100, 12})->Args({1000, 32});
+BENCHMARK(BM_BalanceIpsLegacy)
+    ->Args({10, 4})
+    ->Args({100, 12})
+    ->Args({1000, 32})
+    ->Args({4096, 64});
 
 void BM_ResolveConflictClaims(benchmark::State& state) {
   auto groups = make_groups(64);
@@ -177,6 +256,131 @@ void BM_ResolveConflictClaims(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128);
 }
 BENCHMARK(BM_ResolveConflictClaims);
+
+// ---- STATE_MSG build + encode: wire v2 vs the pre-fast-path v1 path ----
+//
+// Measures what a daemon pays per STATE_MSG send, replicating each
+// generation's send_state_msg() exactly (minus the ip_manager holds()
+// probe, which both generations pay identically). The v1 path collected
+// owned names as strings and std::sort'ed them, copied the preference
+// strings, walked the quarantine set into a string vector, and ran the
+// no-reserve v1 encoder. The v2 path emits owned ids in (pre-sorted)
+// position order, copies GroupId vectors, interns the quarantine names,
+// and runs the compact v2 encoder, whose name table is built with O(1)
+// stamp checks per id. Names are long with a shared prefix, as real
+// deployment names ("wackamole-cluster-vip-...") are — which is exactly
+// what makes the legacy sort and copies expensive.
+
+std::vector<std::string> make_wire_names(int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back("wackamole-production-virtual-address-" +
+                  std::to_string(100000 + i));
+  }
+  return out;
+}
+
+// The daemon's per-send state: every VIP owned, every 4th preferred,
+// every 16th quarantined (overlapping lists, the name table dedupes).
+struct WireFixture {
+  explicit WireFixture(int n) {
+    auto names = make_wire_names(n);
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(names[static_cast<std::size_t>(i)]);
+      owned_ids.push_back(
+          wackamole::intern_group(names[static_cast<std::size_t>(i)]));
+      if (i % 4 == 0) {
+        preferred.push_back(owned.back());
+        preferred_ids.push_back(owned_ids.back());
+      }
+      if (i % 16 == 0) quarantined_set.insert(owned.back());
+    }
+  }
+  std::vector<std::string> owned, preferred;
+  std::set<std::string> quarantined_set;  // Daemon::quarantined_ replica
+  std::vector<wackamole::GroupId> owned_ids, preferred_ids;
+};
+
+void BM_StateEncode(benchmark::State& state) {
+  WireFixture fx(static_cast<int>(state.range(0)));
+  const wackamole::ViewTag tag{42, 0x0a000001, 7};
+  for (auto _ : state) {
+    wackamole::StateMsgV2 m;
+    m.view = tag;
+    m.mature = true;
+    m.weight = 1;
+    m.owned = fx.owned_ids;  // position order is already name order
+    m.preferred = fx.preferred_ids;
+    m.quarantined.reserve(fx.quarantined_set.size());
+    for (const auto& name : fx.quarantined_set) {
+      m.quarantined.push_back(wackamole::intern_group(name));
+    }
+    auto bytes = wackamole::encode_state_v2(m);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateEncode)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_StateEncodeLegacy(benchmark::State& state) {
+  WireFixture fx(static_cast<int>(state.range(0)));
+  const wackamole::ViewTag tag{42, 0x0a000001, 7};
+  for (auto _ : state) {
+    wackamole::StateMsg m;
+    m.view = tag;
+    m.mature = true;
+    m.weight = 1;
+    m.owned = fx.owned;  // Daemon::owned(): collect + sort
+    std::sort(m.owned.begin(), m.owned.end());
+    m.preferred = fx.preferred;
+    m.quarantined = std::vector<std::string>(fx.quarantined_set.begin(),
+                                             fx.quarantined_set.end());
+    auto bytes = legacy::encode_state(m);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateEncodeLegacy)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Informative decode-side twin: v2 decoding interns each table name once
+// and reads varint indices; v1 decoding re-allocates every string.
+void BM_StateDecode(benchmark::State& state) {
+  WireFixture fx(static_cast<int>(state.range(0)));
+  wackamole::StateMsgV2 m;
+  m.view = wackamole::ViewTag{42, 0x0a000001, 7};
+  m.mature = true;
+  m.owned = fx.owned_ids;
+  m.preferred = fx.preferred_ids;
+  for (const auto& name : fx.quarantined_set) {
+    m.quarantined.push_back(wackamole::intern_group(name));
+  }
+  auto bytes = wackamole::encode_state_v2(m);
+  for (auto _ : state) {
+    auto decoded = wackamole::decode_state_v2(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateDecode)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_StateDecodeLegacy(benchmark::State& state) {
+  WireFixture fx(static_cast<int>(state.range(0)));
+  wackamole::StateMsg m;
+  m.view = wackamole::ViewTag{42, 0x0a000001, 7};
+  m.mature = true;
+  m.owned = fx.owned;
+  m.preferred = fx.preferred;
+  m.quarantined = std::vector<std::string>(fx.quarantined_set.begin(),
+                                           fx.quarantined_set.end());
+  auto bytes = wackamole::encode_state(m);
+  for (auto _ : state) {
+    auto decoded = wackamole::decode_state(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateDecodeLegacy)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_StateMsgCodec(benchmark::State& state) {
   wackamole::StateMsg m;

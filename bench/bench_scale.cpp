@@ -2,52 +2,114 @@
 // size, beyond the paper's 12-server ceiling.
 //
 // Reports, per configuration: the fail-over interruption (should stay flat
-// — timeout-dominated, Figure 5's message), the wall-clock-free virtual
-// time to initially converge, and the number of GCS messages the
-// reconfiguration cost (sequenced data + views installed).
+// — timeout-dominated, Figure 5's message), the number of GCS messages the
+// reconfiguration cost (sequenced data + views installed), and the
+// wall-clock time the whole simulated scenario took — the row the
+// protocol fast path exists for, dominated by placement + wire codec work
+// once the sweep reaches 64 servers x 4096 VIPs.
+//
+// With --json FILE, also writes the wall-clock rows as google-benchmark
+// style JSON (name BM_ScaleFailover/<servers>/<vips>, real_time in ms) so
+// tools/check_bench.py can gate regressions against
+// bench/BENCH_scale.baseline.json.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
 using namespace wam;
 
-int main() {
+namespace {
+
+struct Row {
+  int servers;
+  int vips;
+  double wall_ms;
+};
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scale: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"BM_ScaleFailover/%d/%d\", "
+                 "\"run_type\": \"iteration\", \"iterations\": 1, "
+                 "\"real_time\": %.3f, \"cpu_time\": %.3f, "
+                 "\"time_unit\": \"ms\"}%s\n",
+                 rows[i].servers, rows[i].vips, rows[i].wall_ms,
+                 rows[i].wall_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   bench::print_header(
       "Scale sweep: servers x VIPs vs interruption and protocol cost",
       "interruption stays timeout-dominated (flat); protocol cost grows "
       "with cluster size");
 
-  std::printf("\n  %-9s %-7s %-16s %-18s %-16s\n", "servers", "vips",
-              "interruption (s)", "msgs sequenced", "views installed");
-  for (int servers : {4, 8, 16, 24, 32}) {
-    for (int vips : {10, 50}) {
-      apps::ClusterOptions opt;
-      opt.num_servers = servers;
-      opt.num_vips = vips;
-      opt.gcs = gcs::Config::spread_tuned();
-      apps::ClusterScenario s(opt);
-      s.start();
-      if (!s.run_until_stable(sim::seconds(60.0))) {
-        std::printf("  %-9d %-7d DID NOT CONVERGE\n", servers, vips);
-        continue;
-      }
-      s.wam(0).trigger_balance();
-      s.run(sim::seconds(1.0));
-      s.start_probe(0);
-      s.run(sim::seconds(1.0));
-      int victim = s.owner_of(0);
-      s.disconnect_server(victim);
-      s.run(sim::seconds(10.0));
-      auto gaps = s.probe().interruptions();
-      double interruption =
-          gaps.empty() ? -1.0 : sim::to_seconds(gaps.front().length());
-
-      std::uint64_t sequenced = s.obs.registry.sum("gcs/*/data_sequenced");
-      std::uint64_t views = s.obs.registry.sum("gcs/*/views_installed");
-      std::printf("  %-9d %-7d %-16.2f %-18llu %-16llu\n", servers, vips,
-                  interruption, static_cast<unsigned long long>(sequenced),
-                  static_cast<unsigned long long>(views));
+  std::vector<Row> rows;
+  std::printf("\n  %-9s %-7s %-16s %-18s %-16s %-12s\n", "servers", "vips",
+              "interruption (s)", "msgs sequenced", "views installed",
+              "wall (ms)");
+  auto sweep = [&](int servers, int vips) {
+    apps::ClusterOptions opt;
+    opt.num_servers = servers;
+    opt.num_vips = vips;
+    opt.gcs = gcs::Config::spread_tuned();
+    auto wall_start = std::chrono::steady_clock::now();
+    apps::ClusterScenario s(opt);
+    s.start();
+    if (!s.run_until_stable(sim::seconds(120.0))) {
+      std::printf("  %-9d %-7d DID NOT CONVERGE\n", servers, vips);
+      return;
     }
+    s.wam(0).trigger_balance();
+    s.run(sim::seconds(1.0));
+    s.start_probe(0);
+    s.run(sim::seconds(1.0));
+    int victim = s.owner_of(0);
+    s.disconnect_server(victim);
+    s.run(sim::seconds(10.0));
+    auto wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+    auto gaps = s.probe().interruptions();
+    double interruption =
+        gaps.empty() ? -1.0 : sim::to_seconds(gaps.front().length());
+
+    std::uint64_t sequenced = s.obs.registry.sum("gcs/*/data_sequenced");
+    std::uint64_t views = s.obs.registry.sum("gcs/*/views_installed");
+    std::printf("  %-9d %-7d %-16.2f %-18llu %-16llu %-12.1f\n", servers,
+                vips, interruption, static_cast<unsigned long long>(sequenced),
+                static_cast<unsigned long long>(views), wall_ms);
+    rows.push_back(Row{servers, vips, wall_ms});
+  };
+
+  for (int servers : {4, 8, 16, 24, 32}) {
+    for (int vips : {10, 50}) sweep(servers, vips);
   }
+  // The production-scale regime of the protocol fast path: one cluster
+  // size, VIP counts swept past the placement and wire hot paths.
+  for (int vips : {256, 1024, 4096}) sweep(64, vips);
+
+  if (json_path != nullptr) write_json(json_path, rows);
   return 0;
 }

@@ -7,13 +7,25 @@
 namespace wam::apps {
 
 namespace {
-constexpr int kVipBase = 100;  // VIPs are 10.0.0.(100+k)
+constexpr int kVipBase = 100;  // narrow mode: VIPs are 10.0.0.(100+k)
+// Wide mode (num_vips > 100): the cluster segment becomes 10.0.0.0/16 and
+// VIPs live at 10.0.(16 + k/256).(k % 256), clear of the server block
+// (10.0.0.x) and the infrastructure block (10.0.255.x). Narrow-mode
+// layouts are bit-for-bit what they always were, so pinned chaos seeds
+// keep replaying byte-identically.
+constexpr int kWideVipSubnetBase = 16;
 }
 
 ClusterScenario::ClusterScenario(ClusterOptions options)
     : fabric(sched, &log, options.seed), options_(std::move(options)) {
   WAM_EXPECTS(options_.num_servers >= 1);
-  WAM_EXPECTS(options_.num_vips >= 1 && options_.num_vips <= 100);
+  WAM_EXPECTS(options_.num_vips >= 1 && options_.num_vips <= 4096);
+  const bool wide = options_.num_vips > 100;
+  const int prefix = wide ? 16 : 24;
+  const auto router_ip = wide ? net::Ipv4Address(10, 0, 255, 254)
+                              : net::Ipv4Address(10, 0, 0, 254);
+  const auto client_ip = wide ? net::Ipv4Address(10, 0, 255, 253)
+                              : net::Ipv4Address(10, 0, 0, 253);
 
   cluster_seg_ = fabric.add_segment();
   fabric.bind_observability(obs, "net");
@@ -21,14 +33,13 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
   // The shared VIP set (one single-address group per VIP: web-cluster mode).
   std::vector<net::Ipv4Address> vips;
   for (int k = 0; k < options_.num_vips; ++k) {
-    vips.push_back(net::Ipv4Address(10, 0, 0,
-                                    static_cast<std::uint8_t>(kVipBase + k)));
+    vips.push_back(vip_address(k));
   }
 
   if (options_.with_router) {
     external_seg_ = fabric.add_segment();
     router_ = std::make_unique<net::Router>(sched, fabric, "router", &log);
-    router_->attach_network(cluster_seg_, net::Ipv4Address(10, 0, 0, 254), 24);
+    router_->attach_network(cluster_seg_, router_ip, prefix);
     router_->attach_network(external_seg_, net::Ipv4Address(172, 16, 0, 1),
                             24);
     client_ = std::make_unique<net::Host>(sched, fabric, "client", &log);
@@ -36,7 +47,7 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
     client_->set_default_gateway(net::Ipv4Address(172, 16, 0, 1));
   } else {
     client_ = std::make_unique<net::Host>(sched, fabric, "client", &log);
-    client_->add_interface(cluster_seg_, net::Ipv4Address(10, 0, 0, 253), 24);
+    client_->add_interface(cluster_seg_, client_ip, prefix);
   }
 
   for (int i = 0; i < options_.num_servers; ++i) {
@@ -44,16 +55,16 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
         sched, fabric, "server" + std::to_string(i + 1), &log);
     host->add_interface(
         cluster_seg_,
-        net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)), 24);
+        net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)), prefix);
     if (options_.with_router) {
-      host->set_default_gateway(net::Ipv4Address(10, 0, 0, 254));
+      host->set_default_gateway(router_ip);
     }
 
     auto gcsd = std::make_unique<gcs::Daemon>(*host, options_.gcs, &log);
 
     auto ipmgr = std::make_unique<wackamole::SimIpManager>(*host);
     if (options_.with_router) {
-      ipmgr->set_router(0, net::Ipv4Address(10, 0, 0, 254));
+      ipmgr->set_router(0, router_ip);
     }
     // Every daemon talks through the fault decorator; at default knobs it
     // is a pure pass-through consuming no randomness, so pre-existing
@@ -229,8 +240,17 @@ void ClusterScenario::heal_os(int i) {
 
 net::Ipv4Address ClusterScenario::vip(int index) const {
   WAM_EXPECTS(index >= 0 && index < options_.num_vips);
-  return net::Ipv4Address(10, 0, 0,
-                          static_cast<std::uint8_t>(kVipBase + index));
+  return vip_address(index);
+}
+
+net::Ipv4Address ClusterScenario::vip_address(int index) const {
+  if (options_.num_vips <= 100) {
+    return net::Ipv4Address(10, 0, 0,
+                            static_cast<std::uint8_t>(kVipBase + index));
+  }
+  return net::Ipv4Address(
+      10, 0, static_cast<std::uint8_t>(kWideVipSubnetBase + index / 256),
+      static_cast<std::uint8_t>(index % 256));
 }
 
 int ClusterScenario::coverage_count(net::Ipv4Address ip,

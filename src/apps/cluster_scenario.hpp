@@ -90,6 +90,10 @@ class ClusterScenario {
 
   // ---- queries ----
   [[nodiscard]] net::Ipv4Address vip(int index) const;
+  /// Address layout behind vip(): 10.0.0.(100+k) up to 100 VIPs (the
+  /// historical layout pinned by chaos replay seeds); a /16 block at
+  /// 10.0.16+.x beyond that (scale benches).
+  [[nodiscard]] net::Ipv4Address vip_address(int index) const;
   /// How many of the given servers hold `ip` on an up interface.
   [[nodiscard]] int coverage_count(net::Ipv4Address ip,
                                    const std::vector<int>& servers) const;

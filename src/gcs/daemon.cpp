@@ -756,11 +756,13 @@ void Daemon::on_discovery(const Discovery& d) {
     enter_discovery("peer in discovery");
     // Fall through with the freshly reset discovery state.
   } else if (state_ == State::kAwaitInstall) {
+    // proposed_members_ is sorted (discovery_deadline sorts it before
+    // proposing), as are d.known and p.members below — senders emit them
+    // from a std::set / post-sort, so membership checks binary-search.
     bool cascades = !accepted_proposal_ ||
                     d.epoch >= accepted_proposal_->epoch ||
-                    std::find(proposed_members_.begin(),
-                              proposed_members_.end(),
-                              d.sender) == proposed_members_.end();
+                    !std::binary_search(proposed_members_.begin(),
+                                        proposed_members_.end(), d.sender);
     if (!cascades) return;  // stale flood from before the proposal
     enter_discovery("cascading view change");
   }
@@ -775,7 +777,7 @@ void Daemon::on_discovery(const Discovery& d) {
     if (known_.insert(k).second) changed = true;
   }
   bool they_know_us =
-      std::find(d.known.begin(), d.known.end(), id_) != d.known.end();
+      std::binary_search(d.known.begin(), d.known.end(), id_);
   if (changed || !they_know_us) {
     discovery_broadcast();
   }
@@ -832,7 +834,7 @@ Accept Daemon::make_own_accept(const ViewId& proposal) const {
 
 void Daemon::on_propose(const Propose& p) {
   bool includes_us =
-      std::find(p.members.begin(), p.members.end(), id_) != p.members.end();
+      std::binary_search(p.members.begin(), p.members.end(), id_);
   if (!includes_us) {
     // They formed a view without us; our flood will trigger another change.
     enter_discovery("proposed view excludes us");

@@ -30,6 +30,14 @@ void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 
 void ByteWriter::boolean(bool v) { u8(v ? 1 : 0); }
 
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
 void ByteWriter::bytes(std::span<const std::uint8_t> v) {
   u32(static_cast<std::uint32_t>(v.size()));
   raw(v);
@@ -37,6 +45,11 @@ void ByteWriter::bytes(std::span<const std::uint8_t> v) {
 
 void ByteWriter::str(std::string_view v) {
   u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::vstr(std::string_view v) {
+  varint(v.size());
   buf_.insert(buf_.end(), v.begin(), v.end());
 }
 
@@ -83,6 +96,20 @@ std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
 
 bool ByteReader::boolean() { return u8() != 0; }
 
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    auto b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      // The final byte of a 10-byte varint may only carry bit 0 (2^63).
+      if (shift == 63 && b > 1) break;
+      return v;
+    }
+  }
+  throw DecodeError("overlong varint");
+}
+
 Bytes ByteReader::bytes() {
   auto n = u32();
   return raw(n);
@@ -91,6 +118,18 @@ Bytes ByteReader::bytes() {
 std::string ByteReader::str() {
   auto n = u32();
   need(n);
+  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+std::string ByteReader::vstr() {
+  auto n = varint();
+  if (n > remaining()) {
+    throw DecodeError("truncated buffer: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+  }
   std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;

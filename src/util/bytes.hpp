@@ -30,10 +30,25 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Bytes an unsigned LEB128 varint of `v` occupies (1..10).
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Append-only big-endian encoder.
 class ByteWriter {
  public:
   ByteWriter() = default;
+  /// Pre-size the buffer: encoders that can compute their exact body size
+  /// up front avoid every intermediate reallocation.
+  explicit ByteWriter(std::size_t capacity) { buf_.reserve(capacity); }
+
+  void reserve(std::size_t capacity) { buf_.reserve(capacity); }
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -41,10 +56,14 @@ class ByteWriter {
   void u64(std::uint64_t v);
   void i64(std::int64_t v);
   void boolean(bool v);
+  /// Unsigned LEB128 varint: 7 value bits per byte, high bit = "more".
+  void varint(std::uint64_t v);
   /// Length-prefixed (u32) byte string.
   void bytes(std::span<const std::uint8_t> v);
   /// Length-prefixed (u32) UTF-8 string.
   void str(std::string_view v);
+  /// Length-prefixed (varint) UTF-8 string — the compact-wire form.
+  void vstr(std::string_view v);
   /// Raw bytes, no length prefix (for fixed-size fields such as MACs).
   void raw(std::span<const std::uint8_t> v);
 
@@ -71,8 +90,12 @@ class ByteReader {
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] std::int64_t i64();
   [[nodiscard]] bool boolean();
+  /// Unsigned LEB128 varint; throws DecodeError past 10 bytes (overlong).
+  [[nodiscard]] std::uint64_t varint();
   [[nodiscard]] Bytes bytes();
   [[nodiscard]] std::string str();
+  /// Length-prefixed (varint) UTF-8 string — the compact-wire form.
+  [[nodiscard]] std::string vstr();
   /// Read exactly n raw bytes (no length prefix).
   [[nodiscard]] Bytes raw(std::size_t n);
   /// Length-prefixed (u32) byte string as a SharedBytes: a zero-copy

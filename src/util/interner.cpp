@@ -1,0 +1,48 @@
+#include "util/interner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace wam::util {
+
+Interner::~Interner() {
+  for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+}
+
+std::uint32_t Interner::intern(std::string_view s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Re-check: another thread may have interned `s` between the locks.
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const auto id = size_.load(std::memory_order_relaxed);
+  const auto loc = locate(id);
+  auto* base = chunks_[loc.chunk].load(std::memory_order_relaxed);
+  if (base == nullptr) {
+    base = new std::string[capacity_of(loc.chunk)];
+    // Publish the chunk before the size that makes its slots reachable.
+    chunks_[loc.chunk].store(base, std::memory_order_release);
+  }
+  base[loc.offset] = std::string(s);
+  index_.emplace(std::string_view(base[loc.offset]), id);
+  size_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+std::optional<std::uint32_t> Interner::find(std::string_view s) const {
+  std::shared_lock lock(mu_);
+  auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Interner::throw_unknown(std::uint32_t id) {
+  throw std::out_of_range("Interner::name_of: unknown id " +
+                          std::to_string(id));
+}
+
+}  // namespace wam::util

@@ -1,0 +1,87 @@
+// String interning: a bidirectional map from strings to dense u32 ids.
+//
+// Interning turns repeated string keys into array indexes: equality becomes
+// an integer compare, hash-map keys become trivially hashable u32s, and the
+// string bytes are stored exactly once per process. Ids are assigned in
+// first-intern order and are therefore NOT portable across processes or
+// runs — anything that must be deterministic (wire formats, sorted output,
+// allocation decisions) must order by the underlying names, never by id.
+//
+// Thread-safe: chaos::ParallelRunner executes whole simulations on worker
+// threads, all sharing one process-wide table (wackamole/group_ids.hpp).
+// name_of() — the hot id->name call the wire encoders make once per table
+// entry — is LOCK-FREE: names live in exponentially-growing chunks whose
+// elements never move, a chunk pointer is published before the size
+// counter's release store, and readers only index below the acquired size.
+// intern()/find() take a shared lock for the hash lookup; intern takes the
+// exclusive lock only after a shared-locked miss. Returned references stay
+// valid for the life of the process.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace wam::util {
+
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+  ~Interner();
+
+  /// Id of `s`, inserting it on first sight. O(1) amortized.
+  std::uint32_t intern(std::string_view s);
+  /// Id of `s` if already interned.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::string_view s) const;
+  /// The string behind `id`; throws std::out_of_range on an unknown id.
+  /// The reference is stable for the life of the process. Lock-free.
+  [[nodiscard]] const std::string& name_of(std::uint32_t id) const {
+    if (id >= size_.load(std::memory_order_acquire)) {
+      throw_unknown(id);
+    }
+    const auto loc = locate(id);
+    return chunks_[loc.chunk].load(std::memory_order_acquire)[loc.offset];
+  }
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Chunk k holds (1024 << k) slots starting at id ((2^k)-1)*1024; 22
+  // chunks cover the whole u32 id space. Chunks are allocated on demand
+  // and never moved or freed before destruction, which is what keeps
+  // name references stable and the read path lock-free.
+  static constexpr std::uint32_t kChunk0Bits = 10;
+  static constexpr std::size_t kMaxChunks = 22;
+
+  struct Loc {
+    std::size_t chunk;
+    std::size_t offset;
+  };
+  static constexpr Loc locate(std::uint32_t id) {
+    const std::uint32_t q = (id >> kChunk0Bits) + 1;
+    const auto k = static_cast<std::uint32_t>(std::bit_width(q) - 1);
+    const std::uint32_t start = ((1u << k) - 1u) << kChunk0Bits;
+    return {k, id - start};
+  }
+  static constexpr std::size_t capacity_of(std::size_t chunk) {
+    return static_cast<std::size_t>(1) << (kChunk0Bits + chunk);
+  }
+  [[noreturn]] static void throw_unknown(std::uint32_t id);
+
+  mutable std::shared_mutex mu_;
+  std::array<std::atomic<std::string*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> size_{0};
+  // Keys view into chunk entries, so each string is stored once.
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace wam::util

@@ -1,200 +1,431 @@
 #include "wackamole/balance.hpp"
 
 #include <algorithm>
+#include <queue>
 
 #include "util/assert.hpp"
 
 namespace wam::wackamole {
 
-namespace {
+GroupSet::GroupSet(const std::vector<std::string>& group_names)
+    : names(group_names) {
+  std::sort(names.begin(), names.end());
+  ids.reserve(names.size());
+  canonical.reserve(names.size());
+  pos_.reserve(names.size());
+  for (std::uint32_t p = 0; p < names.size(); ++p) {
+    ids.push_back(intern_group(names[p]));
+    canonical.push_back(p > 0 && names[p] == names[p - 1] ? canonical[p - 1]
+                                                         : p);
+    pos_.emplace(ids[p], p);  // first occurrence wins => canonical position
+  }
+}
 
-std::vector<const MemberInfo*> mature_members(
-    const std::vector<MemberInfo>& members) {
-  std::vector<const MemberInfo*> out;
+std::optional<std::uint32_t> GroupSet::position_of(GroupId id) const {
+  auto it = pos_.find(id);
+  if (it == pos_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MemberState> to_member_states(
+    const GroupSet& groups, const std::vector<MemberInfo>& members) {
+  std::vector<MemberState> out;
+  out.reserve(members.size());
+  auto positions_of = [&](const std::set<std::string>& names) {
+    // std::set iterates sorted and groups.names is sorted, so the output
+    // positions come out sorted too — binary-search-ready.
+    std::vector<std::uint32_t> positions;
+    for (const auto& name : names) {
+      auto it = std::lower_bound(groups.names.begin(), groups.names.end(),
+                                 name);
+      if (it != groups.names.end() && *it == name) {
+        positions.push_back(
+            static_cast<std::uint32_t>(it - groups.names.begin()));
+      }
+    }
+    return positions;
+  };
   for (const auto& m : members) {
-    if (m.mature) out.push_back(&m);
+    MemberState s;
+    s.id = m.id;
+    s.mature = m.mature;
+    s.weight = m.weight;
+    s.preferred = positions_of(m.preferred);
+    s.quarantined = positions_of(m.quarantined);
+    s.quarantined_any = !m.quarantined.empty();
+    out.push_back(std::move(s));
   }
   return out;
 }
 
+namespace {
+
+/// Lazy-deletion min-heap entry: the member's load at push time. An entry
+/// whose load no longer matches the live load array is stale and gets
+/// discarded on pop; after every load increment a fresh entry is pushed,
+/// so each heap-eligible member always has exactly one accurate entry.
+struct HeapEntry {
+  std::size_t load;
+  std::uint32_t idx;  // index into the members vector
+};
+
+bool contains_pos(const std::vector<std::uint32_t>& sorted_positions,
+                  std::uint32_t p) {
+  return std::binary_search(sorted_positions.begin(), sorted_positions.end(),
+                            p);
+}
+
 }  // namespace
+
+Placement reallocate_ips_fast(const GroupSet& groups, const VipTable& table,
+                              const std::vector<MemberState>& members) {
+  Placement out;
+  std::vector<std::uint32_t> mature;
+  for (std::uint32_t i = 0; i < members.size(); ++i) {
+    if (members[i].mature) mature.push_back(i);
+  }
+  if (mature.empty()) return out;
+
+  const auto v_count = static_cast<std::uint32_t>(groups.size());
+
+  // Per-group preferred-member lists at canonical positions, membership
+  // order preserved so a strict-better scan keeps the earlier member.
+  std::vector<std::vector<std::uint32_t>> prefers(v_count);
+  for (auto mi : mature) {
+    for (auto p : members[mi].preferred) prefers[p].push_back(mi);
+  }
+
+  std::vector<std::size_t> load(members.size(), 0);
+  for (auto mi : mature) load[mi] = table.load_of(members[mi].id);
+
+  // Holes in name order: positions are name-sorted, so an ascending scan
+  // reproduces the reference's sorted uncovered() sequence.
+  std::vector<std::uint32_t> holes;
+  for (std::uint32_t p = 0; p < v_count; ++p) {
+    if (!table.owner(groups.ids[p])) holes.push_back(p);
+  }
+  out.reserve(holes.size());
+
+  // Weight-normalized load comparison by cross-multiplication (exact
+  // integers): a carries less relative load than b iff la/wa < lb/wb.
+  auto better = [&](std::uint32_t a, std::uint32_t b) {
+    auto la = static_cast<long>(load[a]) * members[b].weight;
+    auto lb = static_cast<long>(load[b]) * members[a].weight;
+    return la < lb;
+  };
+
+  // The strictness-2 candidate pool: quarantine-free mature members, in a
+  // min-heap keyed (weight-normalized load, membership order). The ratio
+  // ordering is only a strict weak ordering for positive weights, so a
+  // degenerate config with a non-positive weight falls back to linear
+  // scans (pick_linear) and stays decision-identical anyway.
+  std::vector<std::uint32_t> qfree;
+  bool heap_ok = true;
+  for (auto mi : mature) {
+    if (!members[mi].quarantined_any) qfree.push_back(mi);
+    if (members[mi].weight <= 0) heap_ok = false;
+  }
+  auto heap_worse = [&](const HeapEntry& a, const HeapEntry& b) {
+    auto la = static_cast<long>(a.load) * members[b.idx].weight;
+    auto lb = static_cast<long>(b.load) * members[a.idx].weight;
+    if (la != lb) return la > lb;
+    return a.idx > b.idx;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heap_worse)>
+      heap(heap_worse);
+  if (heap_ok) {
+    for (auto mi : qfree) heap.push({load[mi], mi});
+  }
+
+  // Reference pick(): full (preference, normalized load, order) scan over
+  // one strictness tier. Tiers 1 and 0 are only reachable when zero
+  // quarantine-free members exist, so linear cost there is irrelevant.
+  auto pick_linear = [&](std::uint32_t cp, int strictness) -> std::int64_t {
+    std::int64_t best = -1;
+    for (auto mi : mature) {
+      if (strictness >= 2 && members[mi].quarantined_any) continue;
+      if (strictness >= 1 && contains_pos(members[mi].quarantined, cp)) {
+        continue;
+      }
+      if (best < 0) {
+        best = mi;
+        continue;
+      }
+      bool pa = contains_pos(members[mi].preferred, cp);
+      bool pb =
+          contains_pos(members[static_cast<std::uint32_t>(best)].preferred,
+                       cp);
+      if (pa != pb) {
+        if (pa) best = mi;
+        continue;
+      }
+      if (better(mi, static_cast<std::uint32_t>(best))) best = mi;
+    }
+    return best;
+  };
+
+  for (auto p : holes) {
+    auto cp = groups.canonical[p];
+    std::int64_t winner = -1;
+    if (heap_ok) {
+      // Preference dominates the score, so a quarantine-free preferring
+      // member beats the heap top regardless of load.
+      for (auto mi : prefers[cp]) {
+        if (members[mi].quarantined_any) continue;
+        if (winner < 0 || better(mi, static_cast<std::uint32_t>(winner))) {
+          winner = mi;
+        }
+      }
+      if (winner < 0) {
+        while (!heap.empty() && heap.top().load != load[heap.top().idx]) {
+          heap.pop();
+        }
+        if (!heap.empty()) winner = heap.top().idx;
+      }
+    } else {
+      winner = pick_linear(cp, 2);
+    }
+    if (winner < 0) winner = pick_linear(cp, 1);
+    if (winner < 0) winner = pick_linear(cp, 0);  // forced coverage
+    WAM_ASSERT(winner >= 0);
+    auto w = static_cast<std::uint32_t>(winner);
+    out.emplace_back(p, w);
+    ++load[w];
+    if (heap_ok && !members[w].quarantined_any) heap.push({load[w], w});
+  }
+  return out;
+}
+
+Placement balance_ips_fast(const GroupSet& groups, const VipTable& table,
+                           const std::vector<MemberState>& members) {
+  Placement out;
+  std::vector<std::uint32_t> mature;
+  for (std::uint32_t i = 0; i < members.size(); ++i) {
+    if (members[i].mature) mature.push_back(i);
+  }
+  if (mature.empty()) return out;
+
+  const auto v_count = static_cast<std::uint32_t>(groups.size());
+
+  std::vector<std::vector<std::uint32_t>> prefers(v_count);
+  for (auto mi : mature) {
+    for (auto p : members[mi].preferred) prefers[p].push_back(mi);
+  }
+
+  // Largest-remainder targets — arithmetic identical to the reference,
+  // including the equal-shares fallback when the advertised mature
+  // weights sum to zero or less.
+  long total_weight = 0;
+  for (auto mi : mature) total_weight += members[mi].weight;
+  const bool equal_shares = total_weight <= 0;
+  if (equal_shares) total_weight = static_cast<long>(mature.size());
+  std::vector<std::size_t> target(members.size(), 0);
+  std::vector<std::pair<long, std::size_t>> remainders;  // (-rem, index)
+  remainders.reserve(mature.size());
+  std::size_t assigned_total = 0;
+  for (std::size_t i = 0; i < mature.size(); ++i) {
+    long num = static_cast<long>(v_count) *
+               (equal_shares ? 1 : members[mature[i]].weight);
+    auto base = static_cast<std::size_t>(num / total_weight);
+    target[mature[i]] = base;
+    assigned_total += base;
+    remainders.emplace_back(-(num % total_weight), i);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t k = 0; assigned_total < v_count; ++k) {
+    ++target[mature[remainders[k % remainders.size()].second]];
+    ++assigned_total;
+  }
+
+  // Current holdings. The owner keeps a group only if it is mature and
+  // not quarantined for it; everything else is homeless.
+  std::unordered_map<gcs::MemberId, std::uint32_t, MemberIdHash> index_of;
+  index_of.reserve(mature.size());
+  for (auto mi : mature) index_of.emplace(members[mi].id, mi);
+
+  std::vector<std::size_t> load(members.size(), 0);
+  std::vector<std::vector<std::uint32_t>> held(members.size());
+  std::vector<std::uint32_t> homeless;
+  std::vector<std::int64_t> alloc(v_count, -1);
+  for (std::uint32_t p = 0; p < v_count; ++p) {
+    auto owner = table.owner(groups.ids[p]);
+    std::int64_t omi = -1;
+    if (owner) {
+      auto it = index_of.find(*owner);
+      if (it != index_of.end()) omi = it->second;
+    }
+    if (omi >= 0 &&
+        !contains_pos(members[static_cast<std::uint32_t>(omi)].quarantined,
+                      groups.canonical[p])) {
+      held[static_cast<std::uint32_t>(omi)].push_back(p);
+    } else {
+      homeless.push_back(p);
+    }
+  }
+
+  // Eviction from over-target members. Keep rank: own-preferred (0) <
+  // neutral (1) < other-preferred (2); within a rank evict in reverse name
+  // order — position order IS name order, so sorting (rank, position)
+  // pairs reproduces the reference's string sort exactly.
+  for (auto mi : mature) {
+    auto& hg = held[mi];
+    std::vector<std::pair<int, std::uint32_t>> ranked;
+    ranked.reserve(hg.size());
+    for (auto p : hg) {
+      auto cp = groups.canonical[p];
+      int rank = 1;
+      if (contains_pos(members[mi].preferred, cp)) {
+        rank = 0;
+      } else {
+        for (auto om : prefers[cp]) {
+          if (om != mi) {
+            rank = 2;
+            break;
+          }
+        }
+      }
+      ranked.emplace_back(rank, p);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    hg.clear();
+    for (const auto& [rank, p] : ranked) hg.push_back(p);
+    while (hg.size() > target[mi]) {
+      homeless.push_back(hg.back());
+      hg.pop_back();
+    }
+    for (auto p : hg) alloc[p] = mi;
+    load[mi] = hg.size();
+  }
+
+  // Homeless placement key is (not-preferred, raw load, membership order)
+  // — no weight normalization here, matching the reference. Two lazy
+  // heaps over quarantine-free members: `under` restricted to below-target
+  // loads, `all` unrestricted. A fresh under-entry at/over target is
+  // discarded for good: loads only grow during placement.
+  std::vector<std::uint32_t> qfree;
+  for (auto mi : mature) {
+    if (!members[mi].quarantined_any) qfree.push_back(mi);
+  }
+  auto heap_worse = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.load != b.load) return a.load > b.load;
+    return a.idx > b.idx;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heap_worse)>
+      under(heap_worse);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heap_worse)>
+      all(heap_worse);
+  for (auto mi : qfree) {
+    if (load[mi] < target[mi]) under.push({load[mi], mi});
+    all.push({load[mi], mi});
+  }
+  auto top_of = [&](auto& heap, bool respect_target) -> std::int64_t {
+    while (!heap.empty()) {
+      auto e = heap.top();
+      if (e.load != load[e.idx] ||
+          (respect_target && e.load >= target[e.idx])) {
+        heap.pop();
+        continue;
+      }
+      return e.idx;
+    }
+    return -1;
+  };
+
+  // Reference place(): full scan of one (respect_target, strictness)
+  // tier. Strictness 1/0 only run when zero quarantine-free members
+  // exist, so the linear cost never shows on the fast path.
+  auto place_linear = [&](std::uint32_t cp, bool respect_target,
+                          int strictness) -> std::int64_t {
+    std::int64_t best = -1;
+    for (auto mi : mature) {
+      if (respect_target && load[mi] >= target[mi]) continue;
+      if (strictness >= 2 && members[mi].quarantined_any) continue;
+      if (strictness >= 1 && contains_pos(members[mi].quarantined, cp)) {
+        continue;
+      }
+      if (best < 0) {
+        best = mi;
+        continue;
+      }
+      auto b = static_cast<std::uint32_t>(best);
+      auto ka = std::make_pair(!contains_pos(members[mi].preferred, cp),
+                               load[mi]);
+      auto kb =
+          std::make_pair(!contains_pos(members[b].preferred, cp), load[b]);
+      if (ka < kb) best = mi;
+    }
+    return best;
+  };
+
+  std::sort(homeless.begin(), homeless.end());
+  for (auto p : homeless) {
+    auto cp = groups.canonical[p];
+    // place(true, 2): under-target quarantine-free, preferring members
+    // first (preference dominates the key), then the under-heap top.
+    std::int64_t winner = -1;
+    for (auto mi : prefers[cp]) {
+      if (members[mi].quarantined_any || load[mi] >= target[mi]) continue;
+      if (winner < 0 || load[mi] < load[static_cast<std::uint32_t>(winner)]) {
+        winner = mi;
+      }
+    }
+    if (winner < 0) winner = top_of(under, true);
+    if (winner < 0) {
+      // place(false, 2): same pool, target constraint dropped.
+      for (auto mi : prefers[cp]) {
+        if (members[mi].quarantined_any) continue;
+        if (winner < 0 ||
+            load[mi] < load[static_cast<std::uint32_t>(winner)]) {
+          winner = mi;
+        }
+      }
+      if (winner < 0) winner = top_of(all, false);
+    }
+    if (winner < 0) winner = place_linear(cp, true, 1);
+    if (winner < 0) winner = place_linear(cp, false, 1);
+    // Forced coverage: every mature member is fenced for this group.
+    if (winner < 0) winner = place_linear(cp, false, 0);
+    WAM_ASSERT(winner >= 0);  // targets sum to n by construction
+    auto w = static_cast<std::uint32_t>(winner);
+    alloc[p] = w;
+    ++load[w];
+    if (!members[w].quarantined_any) {
+      if (load[w] < target[w]) under.push({load[w], w});
+      all.push({load[w], w});
+    }
+  }
+
+  out.reserve(v_count);
+  for (std::uint32_t p = 0; p < v_count; ++p) {
+    WAM_ASSERT(alloc[p] >= 0);
+    out.emplace_back(p, static_cast<std::uint32_t>(alloc[p]));
+  }
+  return out;
+}
 
 std::map<std::string, gcs::MemberId> reallocate_ips(
     const std::vector<std::string>& all_groups, const VipTable& table,
     const std::vector<MemberInfo>& members) {
-  std::map<std::string, gcs::MemberId> assignments;
-  auto mature = mature_members(members);
-  if (mature.empty()) return assignments;
-
-  // Working loads: current table plus assignments made in this pass.
-  std::map<gcs::MemberId, std::size_t> load;
-  for (const auto& m : mature) load[m->id] = table.load_of(m->id);
-
-  auto holes = table.uncovered(all_groups);
-  for (const auto& group : holes) {
-    // Score: (prefers the group, weight-normalized load, membership
-    // order). `mature` is already in membership order, so a strict '<'
-    // comparison keeps the earlier member on ties. Weight-normalized load
-    // comparison uses cross-multiplication to stay in exact integers.
-    auto better = [&](const MemberInfo* a, const MemberInfo* b) {
-      bool pa = a->preferred.count(group) > 0;
-      bool pb = b->preferred.count(group) > 0;
-      if (pa != pb) return pa;
-      auto la = static_cast<long>(load[a->id]) * b->weight;
-      auto lb = static_cast<long>(load[b->id]) * a->weight;
-      return la < lb;
-    };
-    // A quarantine for ANY group marks the member's enforcement layer
-    // suspect: each new assignment it fails burns a retry budget and rips
-    // another coverage hole, so quarantine-free members take new work
-    // first. Then members merely fenced for OTHER groups, and only when
-    // every mature member is fenced for this very group is it forced onto
-    // one anyway (someone must keep retrying rather than leave the address
-    // permanently dark).
-    auto pick = [&](int strictness) {
-      const MemberInfo* best = nullptr;
-      for (const auto* candidate : mature) {
-        if (strictness >= 2 && !candidate->quarantined.empty()) continue;
-        if (strictness >= 1 && candidate->quarantined.count(group) > 0) {
-          continue;
-        }
-        if (best == nullptr || better(candidate, best)) best = candidate;
-      }
-      return best;
-    };
-    const auto* best = pick(2);
-    if (best == nullptr) best = pick(1);
-    if (best == nullptr) best = pick(0);  // forced coverage
-    assignments.emplace(group, best->id);
-    ++load[best->id];
+  GroupSet groups(all_groups);
+  auto states = to_member_states(groups, members);
+  std::map<std::string, gcs::MemberId> out;
+  for (const auto& [p, mi] : reallocate_ips_fast(groups, table, states)) {
+    out.emplace(groups.names[p], members[mi].id);
   }
-  return assignments;
+  return out;
 }
 
 std::map<std::string, gcs::MemberId> balance_ips(
     const std::vector<std::string>& all_groups, const VipTable& table,
     const std::vector<MemberInfo>& members) {
-  std::map<std::string, gcs::MemberId> allocation;
-  auto mature = mature_members(members);
-  if (mature.empty()) return allocation;
-
-  // Target loads proportional to capacity weights: floor(n*w/W) each,
-  // the remainder distributed by largest fractional part (ties broken by
-  // membership order) — the classic largest-remainder method, fully
-  // deterministic.
-  std::size_t n = all_groups.size();
-  long total_weight = 0;
-  for (const auto* mi : mature) total_weight += mi->weight;
-  std::map<gcs::MemberId, std::size_t> target;
-  std::vector<std::pair<long, std::size_t>> remainders;  // (-rem, index)
-  std::size_t assigned_total = 0;
-  for (std::size_t i = 0; i < mature.size(); ++i) {
-    long num = static_cast<long>(n) * mature[i]->weight;
-    auto base = static_cast<std::size_t>(num / total_weight);
-    target[mature[i]->id] = base;
-    assigned_total += base;
-    remainders.emplace_back(-(num % total_weight), i);
+  GroupSet groups(all_groups);
+  auto states = to_member_states(groups, members);
+  std::map<std::string, gcs::MemberId> out;
+  for (const auto& [p, mi] : balance_ips_fast(groups, table, states)) {
+    out.emplace(groups.names[p], members[mi].id);
   }
-  std::sort(remainders.begin(), remainders.end());
-  for (std::size_t k = 0; assigned_total < n; ++k) {
-    ++target[mature[remainders[k % remainders.size()].second]->id];
-    ++assigned_total;
-  }
-
-  // Start from the current assignment, evicting from overloaded members.
-  // Non-preferred groups are evicted before preferred ones, in reverse
-  // name order, so the retained set is deterministic.
-  std::map<gcs::MemberId, std::size_t> load;
-  std::vector<std::string> homeless;
-  std::map<gcs::MemberId, std::vector<std::string>> held;
-  for (const auto& group : all_groups) {
-    auto owner = table.owner(group);
-    // The current owner keeps the group only if it is mature and not
-    // quarantined for it — a fenced holder cannot enforce the binding, so
-    // the group re-enters placement like any other homeless group.
-    bool owner_mature =
-        owner && std::any_of(mature.begin(), mature.end(),
-                             [&](const MemberInfo* mi) {
-                               return mi->id == *owner &&
-                                      mi->quarantined.count(group) == 0;
-                             });
-    if (owner_mature) {
-      held[*owner].push_back(group);
-    } else {
-      homeless.push_back(group);
-    }
-  }
-  // Eviction order when a member is over target: give up groups that some
-  // OTHER member prefers first, keep own preferred groups longest.
-  auto preferred_by_other = [&](const gcs::MemberId& holder,
-                                const std::string& group) {
-    for (const auto* mi : mature) {
-      if (mi->id == holder) continue;
-      if (mi->preferred.count(group) > 0) return true;
-    }
-    return false;
-  };
-  for (const auto* mi : mature) {
-    auto& groups = held[mi->id];
-    // Keep rank: own-preferred (0) < neutral (1) < other-preferred (2).
-    auto keep_rank = [&](const std::string& g) {
-      if (mi->preferred.count(g) > 0) return 0;
-      return preferred_by_other(mi->id, g) ? 2 : 1;
-    };
-    std::sort(groups.begin(), groups.end(),
-              [&](const std::string& a, const std::string& b) {
-                int ra = keep_rank(a);
-                int rb = keep_rank(b);
-                if (ra != rb) return ra < rb;
-                return a < b;
-              });
-    while (groups.size() > target[mi->id]) {
-      homeless.push_back(groups.back());
-      groups.pop_back();
-    }
-    for (const auto& g : groups) allocation.emplace(g, mi->id);
-    load[mi->id] = groups.size();
-  }
-
-  // Place the homeless groups: preference first, then most free capacity,
-  // then membership order.
-  std::sort(homeless.begin(), homeless.end());
-  for (const auto& group : homeless) {
-    auto key = [&](const MemberInfo* mi) {
-      return std::make_pair(mi->preferred.count(group) == 0, load[mi->id]);
-    };
-    auto place = [&](bool respect_target, int strictness) {
-      const MemberInfo* best = nullptr;
-      for (const auto* candidate : mature) {
-        if (respect_target && load[candidate->id] >= target[candidate->id]) {
-          continue;
-        }
-        if (strictness >= 2 && !candidate->quarantined.empty()) continue;
-        if (strictness >= 1 && candidate->quarantined.count(group) > 0) {
-          continue;
-        }
-        if (best == nullptr || key(candidate) < key(best)) best = candidate;
-      }
-      return best;
-    };
-    // A member quarantined for ANY group has a suspect enforcement layer:
-    // handing it fresh work guarantees another retry-budget burn and a
-    // transient coverage hole when it fences. An over-target healthy
-    // member is merely imbalanced, so overload one of those first — the
-    // suspect member only receives a group when no quarantine-free member
-    // exists at all.
-    const auto* best = place(true, 2);
-    if (best == nullptr) best = place(false, 2);
-    if (best == nullptr) best = place(true, 1);
-    if (best == nullptr) best = place(false, 1);
-    // Forced coverage: every mature member is fenced for this group.
-    if (best == nullptr) best = place(false, 0);
-    WAM_ASSERT(best != nullptr);  // targets sum to n by construction
-    allocation.emplace(group, best->id);
-    ++load[best->id];
-  }
-  WAM_ENSURES(allocation.size() == all_groups.size());
-  return allocation;
+  if (!out.empty()) WAM_ENSURES(out.size() == all_groups.size());
+  return out;
 }
 
 std::size_t load_imbalance(const VipTable& table,

@@ -6,14 +6,28 @@
 // current_table, the uniquely ordered member list with maturity and
 // preferences). Determinism is what makes the distributed decision safe:
 // every member computes the same answer from the same inputs (Lemma 1/2).
+//
+// Two API levels live here. The string-keyed reallocate_ips()/balance_ips()
+// keep the original signatures and are what tests and casual callers use.
+// Underneath they delegate to the *_fast() id-keyed procedures, which run
+// on dense position arrays over a GroupSet and replace the old O(V*M)
+// scan-every-member-per-group loops with a lazy-deletion min-heap:
+// O((V+M)*log M) placement plus O(P*log V) preference indexing. The fast
+// path reproduces the reference decisions byte-for-byte (see
+// balance_legacy.hpp and tests/wam_balance_equivalence_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "gcs/types.hpp"
+#include "wackamole/group_ids.hpp"
 #include "wackamole/vip_table.hpp"
 
 namespace wam::wackamole {
@@ -35,6 +49,64 @@ struct MemberInfo {
   /// alone: bindings that stuck before the fence stay put.
   std::set<std::string> quarantined;
 };
+
+/// The complete VIP set in dense, name-sorted positional form. Built once
+/// per configuration (the VIP list only changes on reconfig) and shared by
+/// every allocation round. Positions — not GroupIds — are the working
+/// currency of the fast path: position order IS name order, so iterating
+/// positions yields the same deterministic sequence the reference
+/// implementations got from sorting strings.
+struct GroupSet {
+  explicit GroupSet(const std::vector<std::string>& group_names);
+
+  std::vector<std::string> names;  ///< name-sorted (duplicates preserved)
+  std::vector<GroupId> ids;        ///< ids[pos] interned from names[pos]
+  /// canonical[pos] is the first position carrying the same name; equal to
+  /// pos whenever names are unique. Preference/quarantine position sets
+  /// store canonical positions only.
+  std::vector<std::uint32_t> canonical;
+
+  [[nodiscard]] std::size_t size() const { return names.size(); }
+  /// Position of an interned group id, or nullopt if not in this set.
+  [[nodiscard]] std::optional<std::uint32_t> position_of(GroupId id) const;
+
+ private:
+  std::unordered_map<GroupId, std::uint32_t> pos_;
+};
+
+/// MemberInfo translated onto a GroupSet: preference and quarantine sets
+/// become sorted canonical-position vectors, queried by binary search.
+struct MemberState {
+  gcs::MemberId id;
+  bool mature = false;
+  int weight = 1;
+  std::vector<std::uint32_t> preferred;    ///< canonical positions, sorted
+  std::vector<std::uint32_t> quarantined;  ///< canonical positions, sorted
+  /// Fenced for ANY group — including groups outside the set. This is the
+  /// strictness-2 "member is suspect" signal and must not be derived from
+  /// `quarantined` above, which only covers in-set groups.
+  bool quarantined_any = false;
+};
+
+/// Translate gathered MemberInfo onto `groups`. Preferences and
+/// quarantines naming groups outside the set are dropped (they can never
+/// be queried), except through MemberState::quarantined_any.
+std::vector<MemberState> to_member_states(
+    const GroupSet& groups, const std::vector<MemberInfo>& members);
+
+/// Fast-path result: (group position, index into the members vector)
+/// pairs in ascending position — i.e. group-name — order.
+using Placement = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Reallocate_IPs() on the dense representation: assignments for the
+/// previously-uncovered groups only; empty if no member is mature.
+Placement reallocate_ips_fast(const GroupSet& groups, const VipTable& table,
+                              const std::vector<MemberState>& members);
+
+/// Balance_IPs() on the dense representation: a complete allocation of
+/// every position; empty if no member is mature.
+Placement balance_ips_fast(const GroupSet& groups, const VipTable& table,
+                           const std::vector<MemberState>& members);
 
 /// Reallocate_IPs(): assign every uncovered group to exactly one mature
 /// member. Scoring favours (a) members that listed the group as preferred,

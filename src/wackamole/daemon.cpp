@@ -41,8 +41,17 @@ Daemon::Daemon(sim::Scheduler& sched, Config config, gcs::Daemon& gcs,
                   [this](const gcs::GroupView& v) { on_membership(v); },
                   [this](const gcs::GroupMessage& m) { on_message(m); },
                   [this] { on_disconnect(); }}),
+      groups_(config_.group_names()),
       rng_(gcs.id().value()) {
   config_.validate();
+  config_ids_.reserve(config_.vip_groups.size());
+  for (const auto& g : config_.vip_groups) {
+    config_ids_.push_back(intern_group(g.name));
+  }
+  preferred_ids_.reserve(config_.preferred.size());
+  for (const auto& name : config_.preferred) {
+    preferred_ids_.push_back(intern_group(name));
+  }
 }
 
 void Daemon::bind_observability(obs::Observability& obs, std::string scope) {
@@ -173,13 +182,22 @@ void Daemon::on_message(const gcs::GroupMessage& gm) {
   try {
     switch (type) {
       case WamMsgType::kState:
-        handle_state_msg(gm.sender, decode_state(gm.payload));
+        handle_state_msg(gm.sender, to_v2(decode_state(gm.payload)));
         break;
       case WamMsgType::kBalance:
-        handle_balance_msg(decode_balance(gm.payload));
+        handle_balance_msg(to_v2(decode_balance(gm.payload)));
         break;
       case WamMsgType::kAlloc:
-        handle_balance_msg(decode_alloc(gm.payload));
+        handle_balance_msg(to_v2(decode_alloc(gm.payload)));
+        break;
+      case WamMsgType::kStateV2:
+        handle_state_msg(gm.sender, decode_state_v2(gm.payload));
+        break;
+      case WamMsgType::kBalanceV2:
+        handle_balance_msg(decode_balance_v2(gm.payload));
+        break;
+      case WamMsgType::kAllocV2:
+        handle_balance_msg(decode_alloc_v2(gm.payload));
         break;
       case WamMsgType::kArpShare: {
         auto share = decode_arp_share(gm.payload);
@@ -236,18 +254,28 @@ void Daemon::reconnect_tick() {
 // --------------------------------------------------------- STATE_MSG ----
 
 void Daemon::send_state_msg() {
-  StateMsg m;
+  StateMsgV2 m;
   m.view = view_tag_;
   m.mature = mature_;
   m.weight = static_cast<std::uint32_t>(config_.weight);
-  m.owned = owned();
-  m.preferred = config_.preferred;
-  m.quarantined = quarantined_groups();
-  client_.multicast(config_.group, encode_state(m));
+  // Positions are name-sorted, so the owned list goes out in the same
+  // sorted order the string path produced.
+  for (std::uint32_t p = 0; p < groups_.size(); ++p) {
+    if (ip_manager_.holds(groups_.names[p])) m.owned.push_back(groups_.ids[p]);
+  }
+  m.preferred = preferred_ids_;
+  m.quarantined.reserve(quarantined_.size());
+  for (const auto& name : quarantined_) {
+    m.quarantined.push_back(intern_group(name));
+  }
+  client_.multicast(config_.group, config_.compact_wire
+                                       ? encode_state_v2(m)
+                                       : encode_state(to_v1(m)));
   ++counters_.state_msgs_sent;
 }
 
-void Daemon::handle_state_msg(const gcs::MemberId& sender, const StateMsg& m) {
+void Daemon::handle_state_msg(const gcs::MemberId& sender,
+                              const StateMsgV2& m) {
   if (state_ == WamState::kIdle) return;
   if (m.view != view_tag_) {
     // Algorithm 2 line 1: only STATE_MSGs generated in the current view
@@ -259,25 +287,30 @@ void Daemon::handle_state_msg(const gcs::MemberId& sender, const StateMsg& m) {
 
   auto& peer = info_[sender];
   peer.mature = m.mature;
-  peer.weight = m.weight == 0 ? 1 : static_cast<int>(m.weight);
-  peer.preferred = std::set<std::string>(m.preferred.begin(),
-                                         m.preferred.end());
-  peer.quarantined = std::set<std::string>(m.quarantined.begin(),
-                                           m.quarantined.end());
+  // Clamp to [1, INT_MAX]: a zero weight would starve the sender of every
+  // target share, and a u32 past INT_MAX would turn negative in the cast
+  // and poison the largest-remainder arithmetic for the whole fleet.
+  peer.weight = m.weight == 0 || m.weight > 0x7fffffffu
+                    ? 1
+                    : static_cast<int>(m.weight);
+  peer.preferred = std::set<GroupId>(m.preferred.begin(), m.preferred.end());
+  peer.quarantined =
+      std::set<GroupId>(m.quarantined.begin(), m.quarantined.end());
   if (m.mature && !mature_) become_mature("mature peer announced itself");
 
   // ResolveConflicts(): fold the sender's coverage into current_table,
   // dropping overlaps immediately (the earlier member in the membership
   // list releases — restoring network-level consistency ASAP).
-  for (const auto& name : m.owned) {
-    if (config_.find_group(name) == nullptr) {
+  for (auto id : m.owned) {
+    if (!groups_.position_of(id)) {
       log_.warn("peer %s claims unknown VIP group '%s'",
-                sender.to_string().c_str(), name.c_str());
+                sender.to_string().c_str(), group_name(id).c_str());
       continue;
     }
-    auto result = table_.claim(name, sender, *view_);
+    auto result = table_.claim(id, sender, *view_);
     if (result.dropped && client_.connected() &&
         *result.dropped == client_.self()) {
+      const auto& name = group_name(id);
       log_.info("conflict on %s: releasing (we precede %s in the view)",
                 name.c_str(), sender.to_string().c_str());
       release_group(name);
@@ -298,6 +331,48 @@ void Daemon::handle_state_msg(const gcs::MemberId& sender, const StateMsg& m) {
   }
 }
 
+std::size_t Daemon::multicast_allocation(const VipTable& table, bool alloc) {
+  BalanceMsgV2 m;
+  m.view = view_tag_;
+  // The wire order must be group-NAME order on every member (ids are
+  // process-local). All ids of a daemon-built table are configured groups,
+  // so ascending position is that order; entries claimed for unknown
+  // groups by a version-skewed peer (possible in a received table) force
+  // the slow name sort.
+  std::vector<std::pair<std::uint32_t, GroupId>> order;
+  order.reserve(table.size());
+  bool all_known = true;
+  for (const auto& [id, owner] : table.owner_ids()) {
+    auto pos = groups_.position_of(id);
+    if (!pos) {
+      all_known = false;
+      break;
+    }
+    order.emplace_back(*pos, id);
+  }
+  m.allocation.reserve(table.size());
+  if (all_known) {
+    std::sort(order.begin(), order.end());
+    for (const auto& [pos, id] : order) {
+      auto owner = *table.owner(id);
+      m.allocation.emplace_back(
+          id, std::make_pair(owner.daemon.value(), owner.client));
+    }
+  } else {
+    for (const auto& [name, owner] : table.owners()) {
+      m.allocation.emplace_back(
+          intern_group(name),
+          std::make_pair(owner.daemon.value(), owner.client));
+    }
+  }
+  client_.multicast(config_.group,
+                    config_.compact_wire
+                        ? (alloc ? encode_alloc_v2(m) : encode_balance_v2(m))
+                        : (alloc ? encode_alloc(to_v1(m))
+                                 : encode_balance(to_v1(m))));
+  return m.allocation.size();
+}
+
 void Daemon::finish_gather() {
   if (config_.representative_driven) {
     // §4.2 variant: only the representative decides; its ALLOC_MSG imposes
@@ -305,26 +380,19 @@ void Daemon::finish_gather() {
     enter_state(WamState::kRun);
     arm_balance_timer();
     if (is_representative()) {
-      auto assignments =
-          reallocate_ips(config_.group_names(), table_, member_infos());
+      auto states = member_states();
+      auto assignments = reallocate_ips_fast(groups_, table_, states);
       VipTable proposed = table_;
-      for (const auto& [group, owner] : assignments) {
-        proposed.set_owner(group, owner);
+      for (const auto& [pos, mi] : assignments) {
+        proposed.set_owner(groups_.ids[pos], states[mi].id);
       }
-      BalanceMsg m;
-      m.view = view_tag_;
-      for (const auto& [group, owner] : proposed.owners()) {
-        m.allocation.emplace_back(
-            group, std::make_pair(owner.daemon.value(), owner.client));
-      }
-      client_.multicast(config_.group, encode_alloc(m));
+      auto sent = multicast_allocation(proposed, /*alloc=*/true);
       ++counters_.reallocations;
       emit(obs::EventType::kReallocation,
-           {{"groups", std::to_string(m.allocation.size())},
-            {"mode", "representative"}});
+           {{"groups", std::to_string(sent)}, {"mode", "representative"}});
       log_.info("GATHER complete (representative): imposing allocation of "
                 "%zu groups",
-                m.allocation.size());
+                sent);
     } else {
       log_.info("GATHER complete: awaiting the representative's allocation");
     }
@@ -332,12 +400,12 @@ void Daemon::finish_gather() {
   }
   // Reallocate_IPs(): every member computes the same assignment from the
   // same table and the same uniquely ordered member list.
-  auto assignments =
-      reallocate_ips(config_.group_names(), table_, member_infos());
-  for (const auto& [group, owner] : assignments) {
-    table_.set_owner(group, owner);
-    if (client_.connected() && owner == client_.self()) {
-      acquire_group(group);
+  auto states = member_states();
+  auto assignments = reallocate_ips_fast(groups_, table_, states);
+  for (const auto& [pos, mi] : assignments) {
+    table_.set_owner(groups_.ids[pos], states[mi].id);
+    if (client_.connected() && states[mi].id == client_.self()) {
+      acquire_group(groups_.names[pos]);
     }
   }
   ++counters_.reallocations;
@@ -352,7 +420,7 @@ void Daemon::finish_gather() {
 
 // --------------------------------------------------------- BALANCE ----
 
-void Daemon::handle_balance_msg(const BalanceMsg& m) {
+void Daemon::handle_balance_msg(const BalanceMsgV2& m) {
   if (state_ != WamState::kRun || m.view != view_tag_) {
     // Algorithm 2 lines 10-11: BALANCE_MSGs are ignored during GATHER;
     // stale ones (older views) are ignored everywhere.
@@ -371,26 +439,27 @@ void Daemon::handle_balance_msg(const BalanceMsg& m) {
   // keep their present owner.
   if (!mature_) become_mature("balance implies a bootstrapped cluster");
   VipTable next = table_;
-  std::set<std::string> listed;
-  for (const auto& [group, owner] : m.allocation) {
-    next.set_owner(group, gcs::MemberId{net::Ipv4Address(owner.first),
-                                        owner.second, ""});
-    listed.insert(group);
+  std::vector<bool> listed(groups_.size(), false);
+  for (const auto& [id, owner] : m.allocation) {
+    next.set_owner(id, gcs::MemberId{net::Ipv4Address(owner.first),
+                                     owner.second, ""});
+    if (auto pos = groups_.position_of(id)) listed[*pos] = true;
   }
-  for (const auto& g : config_.vip_groups) {
-    if (listed.count(g.name) == 0) {
+  for (std::size_t i = 0; i < config_.vip_groups.size(); ++i) {
+    if (!listed[*groups_.position_of(config_ids_[i])]) {
       log_.warn("balance allocation omits group %s: keeping current owner",
-                g.name.c_str());
+                config_.vip_groups[i].name.c_str());
     }
   }
   if (client_.connected()) {
     auto me = client_.self();
-    for (const auto& g : config_.vip_groups) {
-      auto owner = next.owner(g.name);
+    for (std::size_t i = 0; i < config_.vip_groups.size(); ++i) {
+      const auto& name = config_.vip_groups[i].name;
+      auto owner = next.owner(config_ids_[i]);
       bool should_hold = owner && *owner == me;
-      bool holds = ip_manager_.holds(g.name);
-      if (should_hold && !holds) acquire_group(g.name);
-      if (!should_hold && holds) release_group(g.name);
+      bool holds = ip_manager_.holds(name);
+      if (should_hold && !holds) acquire_group(name);
+      if (!should_hold && holds) release_group(name);
     }
   }
   table_ = std::move(next);
@@ -411,25 +480,29 @@ void Daemon::balance_tick() {
 
 bool Daemon::run_balance() {
   if (state_ != WamState::kRun || !is_representative()) return false;
-  auto allocation =
-      balance_ips(config_.group_names(), table_, member_infos());
+  auto states = member_states();
+  auto allocation = balance_ips_fast(groups_, table_, states);
   if (allocation.empty()) return false;
   bool changed = false;
-  for (const auto& [group, owner] : allocation) {
-    auto current = table_.owner(group);
-    if (!current || !(*current == owner)) {
+  for (const auto& [pos, mi] : allocation) {
+    auto current = table_.owner(groups_.ids[pos]);
+    if (!current || !(*current == states[mi].id)) {
       changed = true;
       break;
     }
   }
   if (!changed) return false;
-  BalanceMsg m;
+  BalanceMsgV2 m;
   m.view = view_tag_;
-  for (const auto& [group, owner] : allocation) {
-    m.allocation.emplace_back(
-        group, std::make_pair(owner.daemon.value(), owner.client));
+  m.allocation.reserve(allocation.size());
+  for (const auto& [pos, mi] : allocation) {
+    m.allocation.emplace_back(groups_.ids[pos],
+                              std::make_pair(states[mi].id.daemon.value(),
+                                             states[mi].id.client));
   }
-  client_.multicast(config_.group, encode_balance(m));
+  client_.multicast(config_.group, config_.compact_wire
+                                       ? encode_balance_v2(m)
+                                       : encode_balance(to_v1(m)));
   ++counters_.balance_rounds;
   emit(obs::EventType::kBalanceRound,
        {{"groups", std::to_string(m.allocation.size())}});
@@ -472,11 +545,11 @@ void Daemon::maturity_tick() {
   become_mature("maturity timeout expired");
   if (state_ == WamState::kRun && client_.connected()) {
     // Nobody manages the addresses: start managing them (§3.4) and tell
-    // the others.
-    auto holes = table_.uncovered(config_.group_names());
-    for (const auto& group : holes) {
-      table_.set_owner(group, client_.self());
-      acquire_group(group);
+    // the others. Ascending position = sorted name order, as before.
+    for (std::uint32_t p = 0; p < groups_.size(); ++p) {
+      if (table_.owner(groups_.ids[p])) continue;
+      table_.set_owner(groups_.ids[p], client_.self());
+      acquire_group(groups_.names[p]);
     }
     send_state_msg();
   } else if (state_ == WamState::kGather) {
@@ -530,8 +603,8 @@ void Daemon::arp_share_tick() {
 
 // ------------------------------------------------------------ helpers ----
 
-std::vector<MemberInfo> Daemon::member_infos() const {
-  std::vector<MemberInfo> out;
+std::vector<MemberState> Daemon::member_states() const {
+  std::vector<MemberState> out;
   if (!view_) return out;
   // §3.4: an immature server that hears a mature server's STATE_MSG in
   // GATHER marks itself mature. Since every member of the view saw the
@@ -541,17 +614,30 @@ std::vector<MemberInfo> Daemon::member_infos() const {
   for (const auto& [member, peer] : info_) {
     if (peer.mature) any_mature = true;
   }
+  // Ids a peer quarantined may name groups outside our config (version
+  // skew); they drop out of the positional sets but still count for the
+  // member-is-suspect flag, exactly like the string path did.
+  auto positions_of = [&](const std::set<GroupId>& ids) {
+    std::vector<std::uint32_t> positions;
+    positions.reserve(ids.size());
+    for (auto id : ids) {
+      if (auto pos = groups_.position_of(id)) positions.push_back(*pos);
+    }
+    std::sort(positions.begin(), positions.end());
+    return positions;
+  };
   for (const auto& member : view_->members) {
-    MemberInfo mi;
-    mi.id = member;
+    MemberState ms;
+    ms.id = member;
     auto it = info_.find(member);
     if (it != info_.end()) {
-      mi.mature = it->second.mature || any_mature;
-      mi.weight = it->second.weight;
-      mi.preferred = it->second.preferred;
-      mi.quarantined = it->second.quarantined;
+      ms.mature = it->second.mature || any_mature;
+      ms.weight = it->second.weight;
+      ms.preferred = positions_of(it->second.preferred);
+      ms.quarantined = positions_of(it->second.quarantined);
+      ms.quarantined_any = !it->second.quarantined.empty();
     }
-    out.push_back(std::move(mi));
+    out.push_back(std::move(ms));
   }
   return out;
 }
@@ -771,51 +857,46 @@ void Daemon::handle_notify(const gcs::MemberId& sender, const NotifyMsg& m) {
               sender.to_string().c_str());
     return;
   }
+  auto id = *find_group_id(m.group);  // configured groups are pre-interned
   auto& peer = info_[sender];
   if (m.fenced) {
-    peer.quarantined.insert(m.group);
+    peer.quarantined.insert(id);
     log_.info("%s fenced %s (%s): reallocating around it",
               sender.to_string().c_str(), m.group.c_str(), m.reason.c_str());
     // The fenced member holds the allocation but cannot enforce it: drop
     // its claim and re-run the deterministic reallocation without it.
-    auto owner = table_.owner(m.group);
-    if (owner && *owner == sender) table_.clear_owner(m.group);
+    auto owner = table_.owner(id);
+    if (owner && *owner == sender) table_.clear_owner(id);
     if (state_ == WamState::kRun) reallocate_holes("notify");
   } else {
-    peer.quarantined.erase(m.group);
+    peer.quarantined.erase(id);
     log_.info("%s cleared its quarantine of %s", sender.to_string().c_str(),
               m.group.c_str());
   }
 }
 
 void Daemon::reallocate_holes(const char* mode) {
-  auto assignments =
-      reallocate_ips(config_.group_names(), table_, member_infos());
+  auto states = member_states();
+  auto assignments = reallocate_ips_fast(groups_, table_, states);
   if (assignments.empty()) return;
   if (config_.representative_driven) {
     // §4.2 variant: only the representative decides; everyone else waits
     // for its ALLOC_MSG.
     if (!is_representative()) return;
     VipTable proposed = table_;
-    for (const auto& [group, owner] : assignments) {
-      proposed.set_owner(group, owner);
+    for (const auto& [pos, mi] : assignments) {
+      proposed.set_owner(groups_.ids[pos], states[mi].id);
     }
-    BalanceMsg m;
-    m.view = view_tag_;
-    for (const auto& [group, owner] : proposed.owners()) {
-      m.allocation.emplace_back(
-          group, std::make_pair(owner.daemon.value(), owner.client));
-    }
-    client_.multicast(config_.group, encode_alloc(m));
+    auto sent = multicast_allocation(proposed, /*alloc=*/true);
     ++counters_.reallocations;
     emit(obs::EventType::kReallocation,
-         {{"groups", std::to_string(m.allocation.size())}, {"mode", mode}});
+         {{"groups", std::to_string(sent)}, {"mode", mode}});
     return;
   }
-  for (const auto& [group, owner] : assignments) {
-    table_.set_owner(group, owner);
-    if (client_.connected() && owner == client_.self()) {
-      acquire_group(group);
+  for (const auto& [pos, mi] : assignments) {
+    table_.set_owner(groups_.ids[pos], states[mi].id);
+    if (client_.connected() && states[mi].id == client_.self()) {
+      acquire_group(groups_.names[pos]);
     }
   }
   ++counters_.reallocations;
@@ -872,6 +953,11 @@ void Daemon::cooldown_tick(const std::string& name) {
 void Daemon::set_preferences(std::vector<std::string> preferred) {
   config_.preferred = std::move(preferred);
   config_.validate();
+  preferred_ids_.clear();
+  preferred_ids_.reserve(config_.preferred.size());
+  for (const auto& name : config_.preferred) {
+    preferred_ids_.push_back(intern_group(name));
+  }
 }
 
 }  // namespace wam::wackamole

@@ -185,11 +185,14 @@ class Daemon {
   void on_membership(const gcs::GroupView& gv);
   void on_message(const gcs::GroupMessage& gm);
   void on_disconnect();
-  void handle_state_msg(const gcs::MemberId& sender, const StateMsg& m);
-  void handle_balance_msg(const BalanceMsg& m);
+  void handle_state_msg(const gcs::MemberId& sender, const StateMsgV2& m);
+  void handle_balance_msg(const BalanceMsgV2& m);
   void handle_notify(const gcs::MemberId& sender, const NotifyMsg& m);
   void finish_gather();
   void send_state_msg();
+  /// Multicast `table` as a BALANCE (or ALLOC) message in group-name order,
+  /// honouring Config::compact_wire. Returns the number of entries sent.
+  std::size_t multicast_allocation(const VipTable& table, bool alloc);
   void send_notify(const std::string& group, bool fenced,
                    const std::string& reason);
   void acquire_group(const std::string& name);
@@ -211,7 +214,7 @@ class Daemon {
   /// (deterministically everywhere, or via ALLOC from the representative).
   void reallocate_holes(const char* mode);
   void cancel_pending_acquires();
-  [[nodiscard]] std::vector<MemberInfo> member_infos() const;
+  [[nodiscard]] std::vector<MemberState> member_states() const;
   void arm_balance_timer();
   void balance_tick();
   bool run_balance();
@@ -243,12 +246,19 @@ class Daemon {
   std::optional<gcs::GroupView> view_;
   ViewTag view_tag_;
   VipTable table_;
-  std::set<gcs::MemberId> received_;  // STATE_MSG senders this GATHER
+  /// The configured VIP set in dense positional form (built once — the
+  /// group list is fixed for the daemon's lifetime). All protocol-layer
+  /// work runs on interned ids/positions; names reappear only at the
+  /// ip_manager/log boundary.
+  GroupSet groups_;
+  std::vector<GroupId> config_ids_;     // vip_groups order
+  std::vector<GroupId> preferred_ids_;  // config_.preferred order
+  std::set<gcs::MemberId> received_;    // STATE_MSG senders this GATHER
   struct PeerInfo {
     bool mature = false;
     int weight = 1;
-    std::set<std::string> preferred;
-    std::set<std::string> quarantined;  // learned via NOTIFY / STATE_MSG
+    std::set<GroupId> preferred;
+    std::set<GroupId> quarantined;  // learned via NOTIFY / STATE_MSG
   };
   std::map<gcs::MemberId, PeerInfo> info_;
 

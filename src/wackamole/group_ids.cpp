@@ -1,0 +1,12 @@
+#include "wackamole/group_ids.hpp"
+
+namespace wam::wackamole {
+
+util::Interner& group_interner() {
+  // Function-local static: constructed on first use, never destroyed order
+  // problems — daemons and tables in static scope may outlive main().
+  static util::Interner* table = new util::Interner();
+  return *table;
+}
+
+}  // namespace wam::wackamole

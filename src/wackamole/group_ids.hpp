@@ -1,0 +1,47 @@
+// Process-wide VIP-group-name interning.
+//
+// The protocol layer identifies VIP groups by dense u32 GroupIds instead of
+// strings: VipTable keys its owner map by id, the allocation procedures run
+// on dense arrays, and the compact wire codecs decode names straight into
+// ids. String names survive only at the boundaries — config parsing,
+// logging/describe output, and the per-message name tables of the wire
+// format (ids are process-local and never leave the process).
+//
+// Ids are assigned in first-intern order, so they are NOT stable across
+// runs or processes: every deterministic decision (allocation order, wire
+// bytes, sorted output) orders by name, never by id. chaos::ParallelRunner
+// shares this table across simulation worker threads; util::Interner is
+// thread-safe and the id<->name mapping is append-only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/interner.hpp"
+
+namespace wam::wackamole {
+
+using GroupId = std::uint32_t;
+
+/// The process-wide table. Exposed for size diagnostics and tests.
+util::Interner& group_interner();
+
+/// Id of `name`, interning it on first sight.
+inline GroupId intern_group(std::string_view name) {
+  return group_interner().intern(name);
+}
+
+/// Id of `name` if some config/message has interned it already. A miss
+/// means no VipTable can possibly have an entry for it.
+inline std::optional<GroupId> find_group_id(std::string_view name) {
+  return group_interner().find(name);
+}
+
+/// The name behind `id` (stable reference, O(1)).
+inline const std::string& group_name(GroupId id) {
+  return group_interner().name_of(id);
+}
+
+}  // namespace wam::wackamole

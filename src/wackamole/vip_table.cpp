@@ -4,51 +4,103 @@
 
 namespace wam::wackamole {
 
+void VipTable::link(GroupId id, const gcs::MemberId& member) {
+  members_[member].insert(id);
+}
+
+void VipTable::unlink(GroupId id, const gcs::MemberId& member) {
+  auto it = members_.find(member);
+  if (it == members_.end()) return;
+  it->second.erase(id);
+  if (it->second.empty()) members_.erase(it);
+}
+
 std::optional<gcs::MemberId> VipTable::owner(const std::string& group) const {
-  auto it = owners_.find(group);
+  auto id = find_group_id(group);
+  if (!id) return std::nullopt;  // never interned => never owned anywhere
+  return owner(*id);
+}
+
+std::optional<gcs::MemberId> VipTable::owner(GroupId id) const {
+  auto it = owners_.find(id);
   if (it == owners_.end()) return std::nullopt;
   return it->second;
 }
 
 void VipTable::set_owner(const std::string& group,
                          const gcs::MemberId& member) {
-  owners_[group] = member;
+  set_owner(intern_group(group), member);
 }
 
-void VipTable::clear_owner(const std::string& group) { owners_.erase(group); }
+void VipTable::set_owner(GroupId id, const gcs::MemberId& member) {
+  auto [it, inserted] = owners_.try_emplace(id, member);
+  if (!inserted) {
+    if (it->second == member) {
+      it->second = member;  // refresh the informational name
+      return;
+    }
+    unlink(id, it->second);
+    it->second = member;
+  }
+  link(id, member);
+}
+
+void VipTable::clear_owner(const std::string& group) {
+  auto id = find_group_id(group);
+  if (id) clear_owner(*id);
+}
+
+void VipTable::clear_owner(GroupId id) {
+  auto it = owners_.find(id);
+  if (it == owners_.end()) return;
+  unlink(id, it->second);
+  owners_.erase(it);
+}
 
 std::size_t VipTable::load_of(const gcs::MemberId& member) const {
-  std::size_t n = 0;
-  for (const auto& [group, owner] : owners_) {
-    if (owner == member) ++n;
-  }
-  return n;
+  auto it = members_.find(member);
+  return it == members_.end() ? 0 : it->second.size();
 }
 
 std::vector<std::string> VipTable::owned_by(const gcs::MemberId& member) const {
   std::vector<std::string> out;
-  for (const auto& [group, owner] : owners_) {
-    if (owner == member) out.push_back(group);
-  }
-  return out;  // std::map iteration is already name-sorted
+  auto it = members_.find(member);
+  if (it == members_.end()) return out;
+  out.reserve(it->second.size());
+  for (GroupId id : it->second) out.push_back(group_name(id));
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<std::string> VipTable::uncovered(
     const std::vector<std::string>& all) const {
   std::vector<std::string> out;
   for (const auto& name : all) {
-    if (owners_.count(name) == 0) out.push_back(name);
+    auto id = find_group_id(name);
+    if (!id || owners_.count(*id) == 0) out.push_back(name);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<std::string, gcs::MemberId> VipTable::owners() const {
+  std::map<std::string, gcs::MemberId> out;
+  for (const auto& [id, member] : owners_) out.emplace(group_name(id), member);
   return out;
 }
 
 VipTable::ClaimResult VipTable::claim(const std::string& group,
                                       const gcs::MemberId& claimant,
                                       const gcs::GroupView& view) {
-  auto it = owners_.find(group);
+  return claim(intern_group(group), claimant, view);
+}
+
+VipTable::ClaimResult VipTable::claim(GroupId id, const gcs::MemberId& claimant,
+                                      const gcs::GroupView& view) {
+  auto it = owners_.find(id);
   if (it == owners_.end()) {
-    owners_.emplace(group, claimant);
+    owners_.emplace(id, claimant);
+    link(id, claimant);
     return {true, std::nullopt};
   }
   if (it->second == claimant) return {true, std::nullopt};
@@ -58,19 +110,41 @@ VipTable::ClaimResult VipTable::claim(const std::string& group,
   int claimant_rank = view.rank_of(claimant);
   if (claimant_rank > existing_rank) {
     auto dropped = it->second;
+    unlink(id, dropped);
     it->second = claimant;
+    link(id, claimant);
     return {true, dropped};
   }
   return {false, claimant};
 }
 
 std::string VipTable::describe() const {
-  std::string out;
-  for (const auto& [group, owner] : owners_) {
-    if (!out.empty()) out += ", ";
-    out += group + "->" + owner.to_string();
+  // Single pass over a name-sorted snapshot with the exact capacity
+  // reserved up front — no quadratic append-to-growing-temporary churn.
+  std::vector<std::pair<const std::string*, std::string>> entries;
+  entries.reserve(owners_.size());
+  for (const auto& [id, member] : owners_) {
+    entries.emplace_back(&group_name(id), member.to_string());
   }
-  return "{" + out + "}";
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  std::size_t total = 2;  // braces
+  for (const auto& [name, owner] : entries) {
+    total += name->size() + 2 + owner.size() + 2;  // "->" and ", "
+  }
+  std::string out;
+  out.reserve(total);
+  out += '{';
+  bool first = true;
+  for (const auto& [name, owner] : entries) {
+    if (!first) out += ", ";
+    first = false;
+    out += *name;
+    out += "->";
+    out += owner;
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace wam::wackamole

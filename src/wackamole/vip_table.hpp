@@ -1,36 +1,74 @@
 // The current_table of the Wackamole algorithm: which member covers which
 // VIP group, plus the conflict-resolution rule of ResolveConflicts().
+//
+// Indexed representation: the owner map is keyed by interned GroupId and a
+// member->owned-groups index is maintained incrementally on every
+// set_owner/clear_owner/claim, so load_of() is O(1) and owned_by() is
+// O(k log k) instead of the old full-map rescans. Everything that leaves
+// the table in bulk (owners(), owned_by(), uncovered(), describe()) is
+// sorted by group NAME — GroupIds are process-local first-use ids and must
+// never order deterministic output.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "gcs/types.hpp"
+#include "wackamole/group_ids.hpp"
 
 namespace wam::wackamole {
 
+/// Hash over the identity fields of MemberId (daemon ip, client id) — the
+/// informational name is ignored, matching operator==.
+struct MemberIdHash {
+  std::size_t operator()(const gcs::MemberId& m) const {
+    auto key = (static_cast<std::uint64_t>(m.daemon.value()) << 32) |
+               static_cast<std::uint64_t>(m.client);
+    return std::hash<std::uint64_t>()(key);
+  }
+};
+
 class VipTable {
  public:
-  void clear() { owners_.clear(); }
+  void clear() {
+    owners_.clear();
+    members_.clear();
+  }
 
+  // ---- Name-keyed API (config-parse / test boundary) ----
   [[nodiscard]] std::optional<gcs::MemberId> owner(
       const std::string& group) const;
   void set_owner(const std::string& group, const gcs::MemberId& member);
   void clear_owner(const std::string& group);
 
-  /// Number of groups owned by `member`.
+  // ---- Id-keyed API (the protocol fast path) ----
+  [[nodiscard]] std::optional<gcs::MemberId> owner(GroupId id) const;
+  void set_owner(GroupId id, const gcs::MemberId& member);
+  void clear_owner(GroupId id);
+  /// Raw owner map; iteration order is arbitrary — sort by name before
+  /// producing any deterministic output from it.
+  [[nodiscard]] const std::unordered_map<GroupId, gcs::MemberId>& owner_ids()
+      const {
+    return owners_;
+  }
+  [[nodiscard]] std::size_t size() const { return owners_.size(); }
+
+  /// Number of groups owned by `member` — O(1).
   [[nodiscard]] std::size_t load_of(const gcs::MemberId& member) const;
-  /// Groups owned by `member`, sorted by name.
+  /// Groups owned by `member`, sorted by name — O(k log k).
   [[nodiscard]] std::vector<std::string> owned_by(
       const gcs::MemberId& member) const;
   /// Groups in `all` with no owner, sorted.
   [[nodiscard]] std::vector<std::string> uncovered(
       const std::vector<std::string>& all) const;
-  [[nodiscard]] const std::map<std::string, gcs::MemberId>& owners() const {
-    return owners_;
-  }
+  /// Name-sorted snapshot of the full table (materialized per call; hot
+  /// paths should use owner_ids() or the id lookups instead).
+  [[nodiscard]] std::map<std::string, gcs::MemberId> owners() const;
 
   /// ResolveConflicts() for one claim: `claimant` reports covering `group`.
   /// If another member already claims it, the paper's deterministic rule
@@ -44,11 +82,19 @@ class VipTable {
   };
   ClaimResult claim(const std::string& group, const gcs::MemberId& claimant,
                     const gcs::GroupView& view);
+  ClaimResult claim(GroupId id, const gcs::MemberId& claimant,
+                    const gcs::GroupView& view);
 
   [[nodiscard]] std::string describe() const;
 
  private:
-  std::map<std::string, gcs::MemberId> owners_;
+  void link(GroupId id, const gcs::MemberId& member);
+  void unlink(GroupId id, const gcs::MemberId& member);
+
+  std::unordered_map<GroupId, gcs::MemberId> owners_;
+  /// member -> groups it owns; load_of() is the set size.
+  std::unordered_map<gcs::MemberId, std::unordered_set<GroupId>, MemberIdHash>
+      members_;
 };
 
 }  // namespace wam::wackamole

@@ -1,15 +1,21 @@
 #include "wackamole/wire.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 namespace wam::wackamole {
 
 // peek_type() trusts the [kWamMsgTypeFirst, kWamMsgTypeLast] range derived
 // from the sentinel; this pin breaks the build if an enumerator is ever
 // appended after kAfterLast_ or the codes stop being contiguous from 1.
 static_assert(kWamMsgTypeFirst == 1, "wackamole wire codes start at 1");
-static_assert(kWamMsgTypeLast == static_cast<std::uint8_t>(WamMsgType::kNotify),
+static_assert(kWamMsgTypeLast ==
+                  static_cast<std::uint8_t>(WamMsgType::kAllocV2),
               "kAfterLast_ must stay the final WamMsgType enumerator");
 
 namespace {
+
+constexpr std::size_t kTagSize = 8 + 4 + 8;  // epoch, coordinator, group_seq
 
 void put_tag(util::ByteWriter& w, const ViewTag& t) {
   w.u64(t.epoch);
@@ -25,6 +31,12 @@ ViewTag get_tag(util::ByteReader& r) {
   return t;
 }
 
+std::size_t names_size(const std::vector<std::string>& names) {
+  std::size_t total = 4;  // count
+  for (const auto& n : names) total += 4 + n.size();
+  return total;
+}
+
 void put_names(util::ByteWriter& w, const std::vector<std::string>& names) {
   w.u32(static_cast<std::uint32_t>(names.size()));
   for (const auto& n : names) w.str(n);
@@ -35,6 +47,15 @@ void put_names(util::ByteWriter& w, const std::vector<std::string>& names) {
 // into a giant allocation (each element is at least `min_entry` bytes).
 std::uint32_t get_count(util::ByteReader& r, std::size_t min_entry) {
   auto n = r.u32();
+  if (n > r.remaining() / min_entry) {
+    throw util::DecodeError("implausible element count " + std::to_string(n));
+  }
+  return n;
+}
+
+// Varint-count variant of the same guard for the v2 bodies.
+std::uint64_t get_vcount(util::ByteReader& r, std::size_t min_entry) {
+  auto n = r.varint();
   if (n > r.remaining() / min_entry) {
     throw util::DecodeError("implausible element count " + std::to_string(n));
   }
@@ -60,7 +81,8 @@ void check_type(util::ByteReader& r, WamMsgType expected) {
 }  // namespace
 
 util::Bytes encode_state(const StateMsg& m) {
-  util::ByteWriter w;
+  util::ByteWriter w(1 + kTagSize + 1 + 4 + names_size(m.owned) +
+                     names_size(m.preferred) + names_size(m.quarantined));
   w.u8(static_cast<std::uint8_t>(WamMsgType::kState));
   put_tag(w, m.view);
   w.boolean(m.mature);
@@ -87,7 +109,11 @@ StateMsg decode_state(util::ByteView buf) {
 
 namespace {
 util::Bytes encode_allocation_body(const BalanceMsg& m, WamMsgType type) {
-  util::ByteWriter w;
+  std::size_t size = 1 + kTagSize + 4;
+  for (const auto& [group, owner] : m.allocation) {
+    size += 4 + group.size() + 8;
+  }
+  util::ByteWriter w(size);
   w.u8(static_cast<std::uint8_t>(type));
   put_tag(w, m.view);
   w.u32(static_cast<std::uint32_t>(m.allocation.size()));
@@ -133,8 +159,283 @@ BalanceMsg decode_alloc(util::ByteView buf) {
   return decode_allocation_body(buf, WamMsgType::kAlloc);
 }
 
+// ---- Compact v2 bodies -------------------------------------------------
+//
+// STATE v2: [type][tag][mature][varint weight]
+//           [varint N][N x vstr name]    <- union table, first-appearance
+//           3 x ([varint count][count x varint table-index])
+//
+// BALANCE/ALLOC v2: [type][tag]
+//           [varint M][M x (u32 daemon, u32 client)]  <- owner table
+//           [varint V][V x (vstr name, varint owner-index)]
+//
+// GroupIds never reach the wire: they are first-intern order and differ
+// between processes. The name table lists each distinct name once, in
+// first appearance order over the message's lists — a pure function of
+// the message CONTENT (the daemon emits its lists in name/config order),
+// so the encoded bytes are identical on every member, which the
+// simulation's determinism checks require.
+
+namespace {
+
+/// Unique name table over any number of id lists, in first-appearance
+/// order, plus the varint index each id encodes as. Dedup is O(1) per
+/// entry via a generation-stamped scratch array indexed by GroupId (the
+/// process-wide id space is dense), so building the table costs no
+/// hashing and no sort.
+struct NameTable {
+  std::vector<const std::string*> names;
+
+  explicit NameTable(
+      std::initializer_list<const std::vector<GroupId>*> lists) {
+    thread_local std::vector<std::uint64_t> stamp;
+    thread_local std::vector<std::uint32_t> slot;
+    thread_local std::uint64_t generation = 0;
+    ++generation;
+    slot_ = &slot;
+    for (const auto* list : lists) {
+      for (auto id : *list) {
+        if (id >= stamp.size()) {
+          stamp.resize(id + 1, 0);
+          slot.resize(id + 1, 0);
+        }
+        if (stamp[id] != generation) {
+          stamp[id] = generation;
+          slot[id] = static_cast<std::uint32_t>(names.size());
+          const auto& name = group_name(id);
+          names.push_back(&name);
+          name_bytes_ += util::varint_size(name.size()) + name.size();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t index_of(GroupId id) const {
+    return (*slot_)[id];  // valid: ctor stamped every id the lists hold
+  }
+
+  [[nodiscard]] std::size_t encoded_size() const {
+    return util::varint_size(names.size()) + name_bytes_;
+  }
+
+  [[nodiscard]] std::size_t list_size(const std::vector<GroupId>& ids) const {
+    std::size_t total = util::varint_size(ids.size());
+    for (auto id : ids) total += util::varint_size(index_of(id));
+    return total;
+  }
+
+  void put(util::ByteWriter& w) const {
+    w.varint(names.size());
+    for (const auto* n : names) w.vstr(*n);
+  }
+
+  void put_list(util::ByteWriter& w, const std::vector<GroupId>& ids) const {
+    w.varint(ids.size());
+    for (auto id : ids) w.varint(index_of(id));
+  }
+
+ private:
+  std::vector<std::uint32_t>* slot_ = nullptr;
+  std::size_t name_bytes_ = 0;
+};
+
+std::vector<GroupId> get_id_table(util::ByteReader& r) {
+  auto n = get_vcount(r, 1);  // each name: >= 1-byte length prefix
+  std::vector<GroupId> table;
+  table.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) table.push_back(intern_group(r.vstr()));
+  return table;
+}
+
+std::vector<GroupId> get_id_list(util::ByteReader& r,
+                                 const std::vector<GroupId>& table) {
+  auto n = get_vcount(r, 1);
+  std::vector<GroupId> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto idx = r.varint();
+    if (idx >= table.size()) {
+      throw util::DecodeError("name-table index out of range: " +
+                              std::to_string(idx));
+    }
+    out.push_back(table[idx]);
+  }
+  return out;
+}
+
+util::Bytes encode_allocation_body_v2(const BalanceMsgV2& m, WamMsgType type) {
+  // Owner table in first-appearance order of the allocation.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owners;
+  std::unordered_map<std::uint64_t, std::uint32_t> owner_index;
+  std::vector<std::uint32_t> owner_of;
+  owner_of.reserve(m.allocation.size());
+  std::size_t entry_bytes = 0;
+  for (const auto& [id, owner] : m.allocation) {
+    auto key = (static_cast<std::uint64_t>(owner.first) << 32) | owner.second;
+    auto [it, inserted] =
+        owner_index.emplace(key, static_cast<std::uint32_t>(owners.size()));
+    if (inserted) owners.push_back(owner);
+    owner_of.push_back(it->second);
+    const auto& name = group_name(id);
+    entry_bytes += util::varint_size(name.size()) + name.size() +
+                   util::varint_size(it->second);
+  }
+  util::ByteWriter w(1 + kTagSize + util::varint_size(owners.size()) +
+                     8 * owners.size() +
+                     util::varint_size(m.allocation.size()) + entry_bytes);
+  w.u8(static_cast<std::uint8_t>(type));
+  put_tag(w, m.view);
+  w.varint(owners.size());
+  for (const auto& [daemon, client] : owners) {
+    w.u32(daemon);
+    w.u32(client);
+  }
+  w.varint(m.allocation.size());
+  for (std::size_t i = 0; i < m.allocation.size(); ++i) {
+    w.vstr(group_name(m.allocation[i].first));
+    w.varint(owner_of[i]);
+  }
+  return w.take();
+}
+
+BalanceMsgV2 decode_allocation_body_v2(util::ByteView buf, WamMsgType type) {
+  util::ByteReader r(buf);
+  check_type(r, type);
+  BalanceMsgV2 m;
+  m.view = get_tag(r);
+  auto n_owners = get_vcount(r, 8);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owners;
+  owners.reserve(n_owners);
+  for (std::uint64_t i = 0; i < n_owners; ++i) {
+    auto daemon = r.u32();
+    auto client = r.u32();
+    owners.emplace_back(daemon, client);
+  }
+  auto n_groups = get_vcount(r, 2);  // vstr prefix + owner index
+  m.allocation.reserve(n_groups);
+  for (std::uint64_t i = 0; i < n_groups; ++i) {
+    auto id = intern_group(r.vstr());
+    auto idx = r.varint();
+    if (idx >= owners.size()) {
+      throw util::DecodeError("owner-table index out of range: " +
+                              std::to_string(idx));
+    }
+    m.allocation.emplace_back(id, owners[idx]);
+  }
+  r.expect_end();
+  return m;
+}
+
+}  // namespace
+
+util::Bytes encode_state_v2(const StateMsgV2& m) {
+  NameTable table({&m.owned, &m.preferred, &m.quarantined});
+  util::ByteWriter w(1 + kTagSize + 1 + util::varint_size(m.weight) +
+                     table.encoded_size() + table.list_size(m.owned) +
+                     table.list_size(m.preferred) +
+                     table.list_size(m.quarantined));
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kStateV2));
+  put_tag(w, m.view);
+  w.boolean(m.mature);
+  w.varint(m.weight);
+  table.put(w);
+  table.put_list(w, m.owned);
+  table.put_list(w, m.preferred);
+  table.put_list(w, m.quarantined);
+  return w.take();
+}
+
+StateMsgV2 decode_state_v2(util::ByteView buf) {
+  util::ByteReader r(buf);
+  check_type(r, WamMsgType::kStateV2);
+  StateMsgV2 m;
+  m.view = get_tag(r);
+  m.mature = r.boolean();
+  m.weight = static_cast<std::uint32_t>(r.varint());
+  auto table = get_id_table(r);
+  m.owned = get_id_list(r, table);
+  m.preferred = get_id_list(r, table);
+  m.quarantined = get_id_list(r, table);
+  r.expect_end();
+  return m;
+}
+
+util::Bytes encode_balance_v2(const BalanceMsgV2& m) {
+  return encode_allocation_body_v2(m, WamMsgType::kBalanceV2);
+}
+
+util::Bytes encode_alloc_v2(const BalanceMsgV2& m) {
+  return encode_allocation_body_v2(m, WamMsgType::kAllocV2);
+}
+
+BalanceMsgV2 decode_balance_v2(util::ByteView buf) {
+  return decode_allocation_body_v2(buf, WamMsgType::kBalanceV2);
+}
+
+BalanceMsgV2 decode_alloc_v2(util::ByteView buf) {
+  return decode_allocation_body_v2(buf, WamMsgType::kAllocV2);
+}
+
+namespace {
+std::vector<GroupId> intern_all(const std::vector<std::string>& names) {
+  std::vector<GroupId> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(intern_group(n));
+  return out;
+}
+
+std::vector<std::string> resolve_all(const std::vector<GroupId>& ids) {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (auto id : ids) out.push_back(group_name(id));
+  return out;
+}
+}  // namespace
+
+StateMsgV2 to_v2(const StateMsg& m) {
+  StateMsgV2 out;
+  out.view = m.view;
+  out.mature = m.mature;
+  out.weight = m.weight;
+  out.owned = intern_all(m.owned);
+  out.preferred = intern_all(m.preferred);
+  out.quarantined = intern_all(m.quarantined);
+  return out;
+}
+
+StateMsg to_v1(const StateMsgV2& m) {
+  StateMsg out;
+  out.view = m.view;
+  out.mature = m.mature;
+  out.weight = m.weight;
+  out.owned = resolve_all(m.owned);
+  out.preferred = resolve_all(m.preferred);
+  out.quarantined = resolve_all(m.quarantined);
+  return out;
+}
+
+BalanceMsgV2 to_v2(const BalanceMsg& m) {
+  BalanceMsgV2 out;
+  out.view = m.view;
+  out.allocation.reserve(m.allocation.size());
+  for (const auto& [group, owner] : m.allocation) {
+    out.allocation.emplace_back(intern_group(group), owner);
+  }
+  return out;
+}
+
+BalanceMsg to_v1(const BalanceMsgV2& m) {
+  BalanceMsg out;
+  out.view = m.view;
+  out.allocation.reserve(m.allocation.size());
+  for (const auto& [id, owner] : m.allocation) {
+    out.allocation.emplace_back(group_name(id), owner);
+  }
+  return out;
+}
+
 util::Bytes encode_arp_share(const ArpShareMsg& m) {
-  util::ByteWriter w;
+  util::ByteWriter w(1 + 4 + 4 * m.ips.size());
   w.u8(static_cast<std::uint8_t>(WamMsgType::kArpShare));
   w.u32(static_cast<std::uint32_t>(m.ips.size()));
   for (auto ip : m.ips) w.u32(ip);
@@ -153,7 +454,8 @@ ArpShareMsg decode_arp_share(util::ByteView buf) {
 }
 
 util::Bytes encode_notify(const NotifyMsg& m) {
-  util::ByteWriter w;
+  util::ByteWriter w(1 + kTagSize + 4 + m.group.size() + 1 + 4 + 4 +
+                     m.reason.size());
   w.u8(static_cast<std::uint8_t>(WamMsgType::kNotify));
   put_tag(w, m.view);
   w.str(m.group);

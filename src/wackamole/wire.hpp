@@ -13,6 +13,7 @@
 
 #include "gcs/types.hpp"
 #include "util/bytes.hpp"
+#include "wackamole/group_ids.hpp"
 
 namespace wam::wackamole {
 
@@ -46,6 +47,15 @@ enum class WamMsgType : std::uint8_t {
   /// fence as a targeted trigger to re-run Reallocate_IPs() excluding the
   /// fenced member for that group.
   kNotify = 5,
+  /// Compact v2 encodings (wire format v2): a per-message name table sent
+  /// once plus varint counts and table indices, instead of repeating
+  /// length-prefixed strings. New CODES rather than a version field inside
+  /// the old ones: a v1-only decoder's peek_type() range ended at kNotify,
+  /// so v2 traffic rejects there with a clean DecodeError instead of being
+  /// misparsed.
+  kStateV2 = 6,
+  kBalanceV2 = 7,
+  kAllocV2 = 8,
   /// Sentinel: one past the last valid wire code. Keep it the final
   /// enumerator — peek_type() derives its validity range from it, so a new
   /// message type added above extends the range automatically.
@@ -95,11 +105,41 @@ struct NotifyMsg {
   std::string reason;
 };
 
+/// STATE_MSG in interned form — what the daemon's fast path works with.
+/// The wire encoding (kStateV2) carries a name table once (each distinct
+/// name of the three lists, in first-appearance order — a pure function
+/// of the message content, so the bytes are cross-process deterministic)
+/// plus varint table indices; GroupIds themselves never leave the
+/// process.
+struct StateMsgV2 {
+  ViewTag view;
+  bool mature = false;
+  std::uint32_t weight = 1;
+  std::vector<GroupId> owned;
+  std::vector<GroupId> preferred;
+  std::vector<GroupId> quarantined;
+};
+
+/// BALANCE_MSG / ALLOC in interned form. The wire encoding (kBalanceV2 /
+/// kAllocV2) dedupes owners into a table — with V groups and M members an
+/// entry shrinks from name+8 bytes to name+~1 byte.
+struct BalanceMsgV2 {
+  ViewTag view;
+  /// group id -> (owner daemon ip, owner client id), in the sender's
+  /// order (the daemon sends name-sorted).
+  std::vector<std::pair<GroupId, std::pair<std::uint32_t, std::uint32_t>>>
+      allocation;
+};
+
 [[nodiscard]] util::Bytes encode_state(const StateMsg& m);
 [[nodiscard]] util::Bytes encode_balance(const BalanceMsg& m);
 [[nodiscard]] util::Bytes encode_alloc(const BalanceMsg& m);
 [[nodiscard]] util::Bytes encode_arp_share(const ArpShareMsg& m);
 [[nodiscard]] util::Bytes encode_notify(const NotifyMsg& m);
+
+[[nodiscard]] util::Bytes encode_state_v2(const StateMsgV2& m);
+[[nodiscard]] util::Bytes encode_balance_v2(const BalanceMsgV2& m);
+[[nodiscard]] util::Bytes encode_alloc_v2(const BalanceMsgV2& m);
 
 /// Peek the type byte; throws util::DecodeError on empty/unknown input.
 [[nodiscard]] WamMsgType peek_type(util::ByteView buf);
@@ -108,5 +148,15 @@ struct NotifyMsg {
 [[nodiscard]] BalanceMsg decode_alloc(util::ByteView buf);
 [[nodiscard]] ArpShareMsg decode_arp_share(util::ByteView buf);
 [[nodiscard]] NotifyMsg decode_notify(util::ByteView buf);
+[[nodiscard]] StateMsgV2 decode_state_v2(util::ByteView buf);
+[[nodiscard]] BalanceMsgV2 decode_balance_v2(util::ByteView buf);
+[[nodiscard]] BalanceMsgV2 decode_alloc_v2(util::ByteView buf);
+
+/// v1 <-> v2 bridges (the string boundary). to_v2 interns; to_v1 resolves
+/// ids back to names. Round-tripping preserves content and order.
+[[nodiscard]] StateMsgV2 to_v2(const StateMsg& m);
+[[nodiscard]] StateMsg to_v1(const StateMsgV2& m);
+[[nodiscard]] BalanceMsgV2 to_v2(const BalanceMsg& m);
+[[nodiscard]] BalanceMsg to_v1(const BalanceMsgV2& m);
 
 }  // namespace wam::wackamole

@@ -1,0 +1,78 @@
+// Join-ordering regression coverage for the discovery/install membership
+// checks (gcs/daemon.cpp). Those checks binary-search sorted member
+// vectors (proposed_members_, Discovery.known, Propose.members); if any
+// path ever produced an unsorted vector, a member joining in an
+// unfavourable id order would be silently missed — the daemon would
+// believe a proposal excludes it (spurious re-discovery loop) or that a
+// peer doesn't know it (flood never quiesces). These tests drive joins in
+// every order class that changes which element the searches probe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gcs_fixture.hpp"
+
+namespace wam::testing {
+namespace {
+
+TEST(GcsJoinOrder, AscendingStaggeredJoins) {
+  GcsCluster c(4);
+  for (int i = 0; i < 4; ++i) {
+    c.daemons[static_cast<std::size_t>(i)]->start();
+    c.run(sim::seconds(2.0));
+  }
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2, 3}}, "ascending staggered");
+}
+
+// The lowest id coordinates installs; starting it LAST means every earlier
+// proposal came from a daemon that loses coordinatorship, and the final
+// member joins at the front of every sorted member vector.
+TEST(GcsJoinOrder, DescendingStaggeredJoins) {
+  GcsCluster c(4);
+  for (int i = 3; i >= 0; --i) {
+    c.daemons[static_cast<std::size_t>(i)]->start();
+    c.run(sim::seconds(2.0));
+  }
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2, 3}}, "descending staggered");
+}
+
+// Joins landing mid-install cascade back into discovery; the membership
+// checks run against proposals from both old and new coordinators.
+TEST(GcsJoinOrder, InterleavedJoinsCascade) {
+  GcsCluster c(5);
+  for (int i : {2, 4, 0, 3, 1}) {
+    c.daemons[static_cast<std::size_t>(i)]->start();
+    c.run(sim::milliseconds(300));  // shorter than discovery settles
+  }
+  c.run(sim::seconds(8.0));
+  c.expect_views({{0, 1, 2, 3, 4}}, "interleaved");
+}
+
+TEST(GcsJoinOrder, RejoinAfterFaultKeepsSortedViews) {
+  GcsCluster c(4);
+  c.start_all();
+  c.run(sim::seconds(5.0));
+  c.expect_views({{0, 1, 2, 3}}, "initial");
+
+  // Drop the FIRST member (the coordinator / front of every sorted
+  // vector), converge, then bring it back: its rejoin flood must be
+  // recognized by peers whose proposed_members_ no longer contains it.
+  c.hosts[0]->set_interface_up(0, false);
+  c.run(sim::seconds(5.0));
+  c.expect_views({{1, 2, 3}}, "after fault");
+
+  c.hosts[0]->set_interface_up(0, true);
+  c.run(sim::seconds(8.0));
+  c.expect_views({{0, 1, 2, 3}}, "after rejoin");
+
+  for (auto& d : c.daemons) {
+    auto members = d->view().members;
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()))
+        << "view member list must stay sorted";
+  }
+}
+
+}  // namespace
+}  // namespace wam::testing

@@ -1,0 +1,94 @@
+// util::Interner: dense ids, stable references, thread safety under the
+// concurrent intern storm chaos::ParallelRunner subjects the process-wide
+// group table to.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/interner.hpp"
+
+namespace wam::util {
+namespace {
+
+TEST(Interner, IdsAreDenseAndFirstInternOrder) {
+  Interner t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.intern("alpha"), 0u);
+  EXPECT_EQ(t.intern("beta"), 1u);
+  EXPECT_EQ(t.intern("alpha"), 0u) << "re-intern must return the same id";
+  EXPECT_EQ(t.intern("gamma"), 2u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Interner, FindMissesUntilInterned) {
+  Interner t;
+  EXPECT_FALSE(t.find("x").has_value());
+  auto id = t.intern("x");
+  ASSERT_TRUE(t.find("x").has_value());
+  EXPECT_EQ(*t.find("x"), id);
+  EXPECT_FALSE(t.find("y").has_value());
+}
+
+TEST(Interner, NameOfRoundTripsAndThrowsOnUnknown) {
+  Interner t;
+  auto id = t.intern("the-name");
+  EXPECT_EQ(t.name_of(id), "the-name");
+  EXPECT_THROW((void)t.name_of(id + 1), std::out_of_range);
+}
+
+TEST(Interner, ReferencesStayStableAcrossGrowth) {
+  Interner t;
+  const std::string* first = &t.name_of(t.intern("first"));
+  for (int i = 0; i < 10000; ++i) t.intern("filler-" + std::to_string(i));
+  EXPECT_EQ(&t.name_of(0), first)
+      << "deque-backed storage must never move interned strings";
+  EXPECT_EQ(*first, "first");
+}
+
+TEST(Interner, EmptyStringIsAValidKey) {
+  Interner t;
+  auto id = t.intern("");
+  EXPECT_EQ(t.name_of(id), "");
+  EXPECT_EQ(t.intern(""), id);
+}
+
+TEST(Interner, ConcurrentInternsAgreeOnIds) {
+  Interner t;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::vector<std::uint32_t>> ids(
+      kThreads, std::vector<std::uint32_t>(kNames));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t, &ids, w] {
+      for (int i = 0; i < kNames; ++i) {
+        // Every thread interns the same names in a different order.
+        int n = (i * 7 + w * 13) % kNames;
+        ids[static_cast<std::size_t>(w)][static_cast<std::size_t>(n)] =
+            t.intern("shared-" + std::to_string(n));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(kNames));
+  std::set<std::uint32_t> seen;
+  for (int n = 0; n < kNames; ++n) {
+    auto id = ids[0][static_cast<std::size_t>(n)];
+    for (int w = 1; w < kThreads; ++w) {
+      EXPECT_EQ(ids[static_cast<std::size_t>(w)][static_cast<std::size_t>(n)],
+                id)
+          << "threads disagree on the id of shared-" << n;
+    }
+    EXPECT_EQ(t.name_of(id), "shared-" + std::to_string(n));
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNames));
+}
+
+}  // namespace
+}  // namespace wam::util

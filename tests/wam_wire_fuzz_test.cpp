@@ -54,6 +54,12 @@ std::vector<Codec> codecs() {
        [](const util::Bytes& b) { (void)decode_arp_share(b); }},
       {"notify", encode_notify(notify),
        [](const util::Bytes& b) { (void)decode_notify(b); }},
+      {"state_v2", encode_state_v2(to_v2(state)),
+       [](const util::Bytes& b) { (void)decode_state_v2(b); }},
+      {"balance_v2", encode_balance_v2(to_v2(balance)),
+       [](const util::Bytes& b) { (void)decode_balance_v2(b); }},
+      {"alloc_v2", encode_alloc_v2(to_v2(balance)),
+       [](const util::Bytes& b) { (void)decode_alloc_v2(b); }},
   };
 }
 

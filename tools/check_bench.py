@@ -3,12 +3,23 @@
 
 Usage:
     check_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
+        [--override GLOB=RATIO ...]
 
 For every benchmark present in both files, computes
 current_time / baseline_time (real_time, same time_unit required) and
-exits non-zero if any ratio exceeds the threshold. Benchmarks that only
+exits non-zero if any ratio exceeds its threshold. Benchmarks that only
 exist on one side are reported but never fatal, so adding or retiring a
 benchmark does not break CI.
+
+Per-benchmark overrides loosen (or tighten) the global threshold for
+benchmarks whose name matches an fnmatch glob, e.g.
+
+    check_bench.py base.json curr.json --threshold 2.0 \\
+        --override 'BM_Scale*=3.0' --override 'BM_StateEncode/*=1.5'
+
+The first matching override wins. Use them for benchmarks that measure
+whole-simulation runs (noisier than micro loops) rather than raising the
+global threshold for everyone.
 
 Baselines are machine-dependent: the checked-in baseline is only meant to
 catch order-of-magnitude regressions (hence the generous default
@@ -16,6 +27,7 @@ threshold), not single-digit-percent noise.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -32,12 +44,38 @@ def load_benchmarks(path):
     return out
 
 
+def parse_override(text):
+    glob, sep, ratio = text.rpartition("=")
+    if not sep or not glob:
+        raise argparse.ArgumentTypeError(
+            f"override '{text}' is not of the form GLOB=RATIO")
+    try:
+        value = float(ratio)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"override '{text}' has a non-numeric ratio") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"override '{text}' must have a positive ratio")
+    return glob, value
+
+
+def threshold_for(name, default, overrides):
+    for glob, ratio in overrides:
+        if fnmatch.fnmatchcase(name, glob):
+            return ratio
+    return default
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=2.0,
                     help="fail when current/baseline exceeds this (default 2.0)")
+    ap.add_argument("--override", type=parse_override, action="append",
+                    default=[], metavar="GLOB=RATIO",
+                    help="per-benchmark threshold; first matching glob wins")
     args = ap.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -61,21 +99,22 @@ def main():
         if not bt or bt <= 0 or ct is None:
             print(f"SKIP  {name}: unusable real_time")
             continue
+        limit = threshold_for(name, args.threshold, args.override)
         ratio = ct / bt
-        status = "FAIL" if ratio > args.threshold else "ok"
+        status = "FAIL" if ratio > limit else "ok"
+        note = "" if limit == args.threshold else f" [limit {limit:.1f}x]"
         print(f"{status:<5} {name}: {bt:.1f} -> {ct:.1f} {b['time_unit']} "
-              f"({ratio:.2f}x)")
-        if ratio > args.threshold:
-            failures.append((name, ratio))
+              f"({ratio:.2f}x){note}")
+        if ratio > limit:
+            failures.append((name, ratio, limit))
 
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed beyond "
-              f"{args.threshold:.1f}x:")
-        for name, ratio in failures:
-            print(f"  {name}: {ratio:.2f}x")
+        print(f"\n{len(failures)} benchmark(s) regressed beyond their limit:")
+        for name, ratio, limit in failures:
+            print(f"  {name}: {ratio:.2f}x (limit {limit:.1f}x)")
         return 1
     print(f"\nall {len(set(base) & set(curr))} shared benchmark(s) within "
-          f"{args.threshold:.1f}x of baseline")
+          f"their limits")
     return 0
 
 

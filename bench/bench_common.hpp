@@ -47,9 +47,10 @@ inline void print_row(const std::string& label, const sim::Stats& stats,
     std::printf("  %-28s (no samples)\n", label.c_str());
     return;
   }
-  std::printf("  %-28s mean=%8.3f %s  min=%8.3f  max=%8.3f  n=%zu\n",
-              label.c_str(), stats.mean(), unit, stats.min(), stats.max(),
-              stats.count());
+  std::printf(
+      "  %-28s mean=%8.3f %s  min=%8.3f  max=%8.3f  p99=%8.3f  n=%zu\n",
+      label.c_str(), stats.mean(), unit, stats.min(), stats.max(),
+      stats.percentile(99), stats.count());
 }
 
 }  // namespace wam::bench

@@ -106,9 +106,24 @@ void ClusterScenario::start() {
 }
 
 void ClusterScenario::start_probe(int vip_index) {
-  probe_ = std::make_unique<ProbeClient>(*client_, vip(vip_index), 9000,
-                                         options_.probe_interval);
-  probe_->start();
+  auto config = options_.probe;
+  config.target = vip(vip_index);
+  auto probe = std::make_unique<ProbeClient>(*client_, config);
+  probe_ = probe.get();
+  attach_traffic(std::move(probe));
+}
+
+TrafficSource& ClusterScenario::attach_traffic(
+    std::unique_ptr<TrafficSource> source) {
+  traffic_.push_back(std::move(source));
+  traffic_.back()->start();
+  return *traffic_.back();
+}
+
+TrafficReport ClusterScenario::traffic_report() const {
+  TrafficReport total;
+  for (const auto& source : traffic_) total.merge(source->report());
+  return total;
 }
 
 bool ClusterScenario::run_until_stable(sim::Duration limit) {

@@ -29,7 +29,9 @@ struct ClusterOptions {
   gcs::Config gcs = gcs::Config::spread_tuned();
   sim::Duration balance_timeout = sim::seconds(60.0);
   sim::Duration maturity_timeout = sim::kZero;  // 0 = start mature
-  sim::Duration probe_interval = sim::milliseconds(10);
+  /// Probe parameters (target is filled in by start_probe from the VIP
+  /// index); defaults are the paper's 10 ms / port 9000 methodology.
+  ProbeConfig probe;
   bool with_router = true;  // client reaches VIPs through a router
   /// Gratuitous-ARP refresh period (Config::announce_interval). Zero keeps
   /// the default (disabled); chaos campaigns with OS faults enable it so
@@ -46,8 +48,13 @@ class ClusterScenario {
 
   /// Start GCS daemons, Wackamole daemons and echo servers.
   void start();
-  /// Start the probe client against VIP index `vip_index`.
+  /// Start the probe client against VIP index `vip_index` (a TrafficSource
+  /// built from ClusterOptions::probe, kept accessible via probe()).
   void start_probe(int vip_index = 0);
+  /// Attach an arbitrary traffic source (the scenario takes ownership and
+  /// starts it). The open-loop load harness plugs in here; so can extra
+  /// probes or workloads — traffic_report() aggregates them all.
+  TrafficSource& attach_traffic(std::unique_ptr<TrafficSource> source);
   void run(sim::Duration d) { sched.run_for(d); }
   /// Run until every running Wackamole daemon reports RUN or `limit` passes.
   bool run_until_stable(sim::Duration limit);
@@ -122,6 +129,13 @@ class ClusterScenario {
   }
   [[nodiscard]] net::Host& client_host() { return *client_; }
   [[nodiscard]] ProbeClient& probe() { return *probe_; }
+  /// Every attached traffic source (the probe included, once started).
+  [[nodiscard]] const std::vector<std::unique_ptr<TrafficSource>>& traffic()
+      const {
+    return traffic_;
+  }
+  /// Merged report across all attached traffic sources.
+  [[nodiscard]] TrafficReport traffic_report() const;
   [[nodiscard]] net::Router* router() { return router_.get(); }
   [[nodiscard]] int num_servers() const { return options_.num_servers; }
   [[nodiscard]] const ClusterOptions& options() const { return options_; }
@@ -151,7 +165,8 @@ class ClusterScenario {
   std::vector<std::unique_ptr<wackamole::Daemon>> wams_;
   std::vector<std::unique_ptr<EchoServer>> echos_;
   std::unique_ptr<net::Host> client_;
-  std::unique_ptr<ProbeClient> probe_;
+  std::vector<std::unique_ptr<TrafficSource>> traffic_;  // owns probe_ too
+  ProbeClient* probe_ = nullptr;
 };
 
 }  // namespace wam::apps

@@ -2,19 +2,13 @@
 
 namespace wam::apps {
 
-ProbeClient::ProbeClient(net::Host& host, net::Ipv4Address target,
-                         std::uint16_t target_port, sim::Duration interval,
-                         std::uint16_t local_port)
-    : host_(host),
-      target_(target),
-      target_port_(target_port),
-      interval_(interval),
-      local_port_(local_port) {}
+ProbeClient::ProbeClient(net::Host& host, ProbeConfig config)
+    : host_(host), config_(config) {}
 
 void ProbeClient::start() {
   if (running_) return;
   running_ = host_.open_udp(
-      local_port_,
+      config_.local_port,
       [this](const net::Host::UdpContext&, const util::SharedBytes& payload) {
         std::string hostname;
         try {
@@ -32,20 +26,30 @@ void ProbeClient::start() {
 void ProbeClient::stop() {
   if (!running_) return;
   timer_.cancel();
-  host_.close_udp(local_port_);
+  host_.close_udp(config_.local_port);
   running_ = false;
 }
 
 void ProbeClient::tick() {
   if (!running_) return;
   ++sent_;
-  host_.send_udp(target_, target_port_, local_port_, {'p', 'i', 'n', 'g'});
-  timer_ = host_.scheduler().schedule(interval_, [this] { tick(); });
+  host_.send_udp(config_.target, config_.target_port, config_.local_port,
+                 {'p', 'i', 'n', 'g'});
+  timer_ = host_.scheduler().schedule(config_.interval, [this] { tick(); });
+}
+
+TrafficReport ProbeClient::report() const {
+  TrafficReport r;
+  r.requests_sent = sent_;
+  r.responses = responses_.size();
+  r.lost = sent_ > r.responses ? sent_ - r.responses : 0;
+  r.longest_gap = longest_gap();
+  return r;
 }
 
 std::vector<ProbeClient::Interruption> ProbeClient::interruptions(
     sim::Duration min_gap) const {
-  if (min_gap == sim::kZero) min_gap = interval_ * 5;
+  if (min_gap == sim::kZero) min_gap = config_.interval * 5;
   std::vector<Interruption> out;
   for (std::size_t i = 1; i < responses_.size(); ++i) {
     auto gap = responses_[i].time - responses_[i - 1].time;

@@ -9,12 +9,48 @@
 #include <string>
 #include <vector>
 
+#include "apps/traffic_source.hpp"
 #include "net/host.hpp"
 #include "sim/scheduler.hpp"
 
 namespace wam::apps {
 
-class ProbeClient {
+/// Probe parameters. Defaults pin the paper's methodology (10 ms
+/// interval, echo port 9000); tests/apps_traffic_source_test.cpp asserts
+/// them so existing scenarios stay byte-identical. Chainable setters give
+/// call sites a builder without a separate builder type:
+///
+///     ProbeClient probe(host, ProbeConfig(vip).every(sim::milliseconds(5)));
+struct ProbeConfig {
+  net::Ipv4Address target;
+  std::uint16_t target_port = 9000;
+  sim::Duration interval = sim::milliseconds(10);
+  std::uint16_t local_port = 30000;
+
+  ProbeConfig() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): an address IS a probe
+  // target; the conversion keeps `ProbeClient(host, vip)` call sites.
+  ProbeConfig(net::Ipv4Address t) : target(t) {}
+
+  ProbeConfig& to(net::Ipv4Address t) {
+    target = t;
+    return *this;
+  }
+  ProbeConfig& port(std::uint16_t p) {
+    target_port = p;
+    return *this;
+  }
+  ProbeConfig& every(sim::Duration d) {
+    interval = d;
+    return *this;
+  }
+  ProbeConfig& from_port(std::uint16_t p) {
+    local_port = p;
+    return *this;
+  }
+};
+
+class ProbeClient : public TrafficSource {
  public:
   struct Response {
     sim::TimePoint time;
@@ -33,17 +69,16 @@ class ProbeClient {
     }
   };
 
-  ProbeClient(net::Host& host, net::Ipv4Address target,
-              std::uint16_t target_port = 9000,
-              sim::Duration interval = sim::milliseconds(10),
-              std::uint16_t local_port = 30000);
-  ~ProbeClient() { stop(); }
+  ProbeClient(net::Host& host, ProbeConfig config);
+  ~ProbeClient() override { stop(); }
   ProbeClient(const ProbeClient&) = delete;
   ProbeClient& operator=(const ProbeClient&) = delete;
 
-  void start();
-  void stop();
+  void start() override;
+  void stop() override;
+  [[nodiscard]] TrafficReport report() const override;
 
+  [[nodiscard]] const ProbeConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<Response>& responses() const {
     return responses_;
   }
@@ -60,10 +95,7 @@ class ProbeClient {
   void tick();
 
   net::Host& host_;
-  net::Ipv4Address target_;
-  std::uint16_t target_port_;
-  sim::Duration interval_;
-  std::uint16_t local_port_;
+  ProbeConfig config_;
   bool running_ = false;
   std::uint64_t sent_ = 0;
   std::vector<Response> responses_;

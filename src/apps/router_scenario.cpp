@@ -129,9 +129,9 @@ void RouterScenario::start() {
 }
 
 void RouterScenario::start_probe() {
-  probe_ = std::make_unique<ProbeClient>(
-      *internet_, net::Ipv4Address(198, 51, 100, 10), 9000,
-      options_.probe_interval);
+  auto config = options_.probe;
+  config.target = net::Ipv4Address(198, 51, 100, 10);
+  probe_ = std::make_unique<ProbeClient>(*internet_, config);
   probe_->start();
 }
 

@@ -36,7 +36,8 @@ struct RouterScenarioOptions {
   gcs::Config gcs = gcs::Config::spread_tuned();
   sim::Duration balance_timeout = sim::kZero;  // one group: nothing to balance
   sim::Duration arp_share_interval = sim::seconds(5.0);
-  sim::Duration probe_interval = sim::milliseconds(10);
+  /// Probe parameters (target filled in by start_probe).
+  ProbeConfig probe;
   /// §5.2's NAIVE deployment: the router taking over must re-learn its
   /// dynamic routing tables (OSPF/RIP) before it can forward — "this
   /// usually takes around 30 seconds". Zero models the paper's recommended

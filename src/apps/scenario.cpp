@@ -93,6 +93,26 @@ ParsedScenario parse_scenario(const std::string& text) {
         fail(line_no, line, "balance needs a timeout in seconds");
       }
       parsed.options.balance_timeout = sim::seconds(secs);
+    } else if (verb == "probe") {
+      // ProbeConfig knobs; omitted lines keep the paper's defaults (the
+      // pinning test asserts byte-identical runs either way).
+      std::string knob;
+      words >> knob;
+      if (knob == "interval") {
+        double secs = 0;
+        if (!(words >> secs) || secs <= 0) {
+          fail(line_no, line, "probe interval needs positive seconds");
+        }
+        parsed.options.probe.every(sim::seconds(secs));
+      } else if (knob == "port") {
+        int port = 0;
+        if (!(words >> port) || port <= 0 || port > 65535) {
+          fail(line_no, line, "probe port needs a port number");
+        }
+        parsed.options.probe.port(static_cast<std::uint16_t>(port));
+      } else {
+        fail(line_no, line, "probe knob must be 'interval' or 'port'");
+      }
     } else if (verb == "run") {
       double secs = 0;
       if (!(words >> secs) || secs <= 0) {
@@ -159,6 +179,13 @@ ParsedScenario parse_scenario(const std::string& text) {
         if (sa.groups.size() < 2) {
           fail(line_no, line, "partition needs at least two groups");
         }
+      } else if (action == "probe") {
+        int vip_index = 0;
+        if (!(words >> vip_index) || vip_index < 0 ||
+            vip_index >= parsed.options.num_vips) {
+          fail(line_no, line, "probe needs a VIP index in range");
+        }
+        sa.servers.push_back(vip_index);  // operand slot reused for the VIP
       } else if (action == "merge" || action == "balance" ||
                  action == "coverage" || action == "undrop") {
         // no operands
@@ -246,6 +273,8 @@ bool run_scenario(const std::string& text, std::ostream& out,
         s.set_arp_lose(action.servers[0], true);
       } else if (action.verb == "osheal") {
         s.heal_os(action.servers[0]);
+      } else if (action.verb == "probe") {
+        s.start_probe(action.servers[0]);
       } else if (action.verb == "partition") {
         s.partition(action.groups);
       } else if (action.verb == "merge") {
@@ -275,6 +304,9 @@ bool run_scenario(const std::string& text, std::ostream& out,
   }
   out << "final coverage:\n";
   coverage_report();
+  if (!s.traffic().empty()) {
+    out << "traffic: " << s.traffic_report().summary() << "\n";
+  }
   bool ok = !reachable.empty() && s.coverage_exactly_once(reachable);
   out << "exactly-once over reachable servers: " << (ok ? "OK" : "VIOLATED")
       << "\n";

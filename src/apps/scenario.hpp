@@ -8,7 +8,10 @@
 //     vips 8
 //     gcs tuned
 //     balance 30
+//     probe interval 0.01      # ProbeConfig knobs (defaults: 10 ms, 9000)
+//     probe port 9000
 //
+//     at 2   probe 0               # start the measuring client on VIP 0
 //     at 5   disconnect server2
 //     at 15  reconnect server2
 //     at 20  partition server1,server2 | server3,server4

@@ -1,0 +1,20 @@
+#include "apps/traffic_source.hpp"
+
+#include <cstdio>
+
+namespace wam::apps {
+
+std::string TrafficReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "sent=%llu answered=%llu lost=%llu retries=%llu "
+                "avail=%.4f gap=%.3fs",
+                static_cast<unsigned long long>(requests_sent),
+                static_cast<unsigned long long>(responses),
+                static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(retries), availability(),
+                sim::to_seconds(longest_gap));
+  return buf;
+}
+
+}  // namespace wam::apps

@@ -1,5 +1,7 @@
 #include "apps/workload.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/bytes.hpp"
 
@@ -33,6 +35,11 @@ void Workload::start() {
       }
       if (id < requests_.size() && !requests_[id].answered) {
         requests_[id].answered = true;
+        auto now = host_.scheduler().now();
+        if (answered_ > 0) {
+          longest_gap_ = std::max(longest_gap_, now - last_response_);
+        }
+        last_response_ = now;
         ++answered_;
       }
     });
@@ -70,6 +77,15 @@ void Workload::tick(std::size_t stream_index) {
 
 std::uint64_t Workload::lost() const {
   return sent_ > answered_ ? sent_ - answered_ : 0;
+}
+
+TrafficReport Workload::report() const {
+  TrafficReport r;
+  r.requests_sent = sent_;
+  r.responses = answered_;
+  r.lost = lost();
+  r.longest_gap = longest_gap_;
+  return r;
 }
 
 double Workload::availability() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/probe_client.hpp"
+#include "apps/traffic_source.hpp"
 #include "net/host.hpp"
 
 namespace wam::apps {
@@ -24,16 +25,17 @@ struct WorkloadOptions {
   int clients = 4;  // concurrent request streams
 };
 
-class Workload {
+class Workload : public TrafficSource {
  public:
   /// All request streams originate from `host` (distinct local ports).
   Workload(net::Host& host, WorkloadOptions options);
-  ~Workload() { stop(); }
+  ~Workload() override { stop(); }
   Workload(const Workload&) = delete;
   Workload& operator=(const Workload&) = delete;
 
-  void start();
-  void stop();
+  void start() override;
+  void stop() override;
+  [[nodiscard]] TrafficReport report() const override;
 
   [[nodiscard]] std::uint64_t requests_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t responses() const { return answered_; }
@@ -73,6 +75,8 @@ class Workload {
   bool running_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t answered_ = 0;
+  sim::TimePoint last_response_{};
+  sim::Duration longest_gap_ = sim::kZero;
   std::vector<Stream> streams_;
   std::vector<Request> requests_;  // indexed by request id
 };

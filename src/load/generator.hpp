@@ -1,0 +1,147 @@
+// Open-loop, flow-based client population generator.
+//
+// The paper's §6 experiment drives ONE probe stream at 10 ms; production
+// fail-over cost is a function of offered load, so this generator models a
+// whole client population without a Host object per client:
+//
+//   * Arrivals are open-loop — new flows start at a configured rate
+//     (Poisson or deterministic), independent of how the cluster responds,
+//     which is what makes the loss accounting request-weighted.
+//   * Each flow picks its VIP from a Zipf popularity law (hot objects).
+//   * Most flows are short HTTP-like request/response exchanges; a
+//     configurable fraction are long-lived connections issuing periodic
+//     requests over many seconds (the clients that live THROUGH a
+//     takeover).
+//   * Flow state lives in a flyweight slab (8 bytes per flow) with a free
+//     list; per-tick work is batched — one timer, one timeout scan over a
+//     FIFO of in-flight requests, and one Host::send_udp_burst injection
+//     per tick, so millions of flows cost millions of slab slots, not
+//     millions of timers.
+//
+// Requests carry a u64 id; the echo server reflects the payload, so a
+// reply is matched to its in-flight record by id alone. Timed-out
+// requests retry up to LoadOptions::max_retries before being counted
+// lost. All accounting lands in FlowStats.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "apps/traffic_source.hpp"
+#include "load/flow_stats.hpp"
+#include "load/zipf.hpp"
+#include "net/host.hpp"
+#include "sim/random.hpp"
+
+namespace wam::load {
+
+struct LoadOptions {
+  /// Service addresses, hottest first (Zipf rank k maps to vips[k]).
+  std::vector<net::Ipv4Address> vips;
+  std::uint16_t server_port = 9000;
+  std::uint16_t local_port = 32000;
+
+  /// New flows per second of virtual time.
+  double flows_per_second = 1000.0;
+  /// Poisson arrivals (true) or evenly spaced deterministic (false).
+  bool poisson = true;
+  /// Zipf exponent for VIP popularity; 0 = uniform.
+  double zipf_skew = 1.0;
+
+  /// Fraction of flows that are long-lived connections.
+  double long_flow_fraction = 0.05;
+  /// Requests a long-lived flow issues (one immediately, then one per
+  /// interval); short flows issue exactly one.
+  int long_flow_requests = 8;
+  sim::Duration long_flow_interval = sim::milliseconds(500);
+
+  /// Batching quantum: arrivals, timeouts and injection happen per tick.
+  sim::Duration tick = sim::milliseconds(1);
+  sim::Duration request_timeout = sim::milliseconds(250);
+  /// Re-sends after timeout before a request counts as lost.
+  int max_retries = 1;
+
+  sim::Duration stats_bucket = sim::milliseconds(100);
+  std::uint64_t seed = 1;
+};
+
+class LoadGenerator : public apps::TrafficSource {
+ public:
+  LoadGenerator(net::Host& host, LoadOptions options);
+
+  void start() override;
+  void stop() override;
+  [[nodiscard]] apps::TrafficReport report() const override;
+  /// Stop offering new work (arrivals and long-flow follow-ups) but keep
+  /// ticking until every in-flight request resolves, then stop. Gives
+  /// trials loss/availability accounting with no in-flight remainder.
+  void drain();
+
+  [[nodiscard]] FlowStats& stats() { return stats_; }
+  [[nodiscard]] const FlowStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const {
+    return flows_completed_;
+  }
+  /// Slab slots currently holding live flows.
+  [[nodiscard]] std::size_t flows_active() const {
+    return flows_.size() - free_.size();
+  }
+
+ private:
+  /// Flyweight flow record — everything a flow needs between requests.
+  struct Flow {
+    std::uint32_t vip = 0;       // index into options().vips
+    std::uint16_t remaining = 0; // requests not yet sent
+    std::uint16_t pending = 0;   // requests in flight
+  };
+  /// One in-flight request attempt, FIFO by send time (fixed timeout means
+  /// the front always expires first).
+  struct Outstanding {
+    sim::TimePoint first_sent{};
+    sim::TimePoint sent{};
+    std::uint32_t flow_slot = 0;
+    std::uint8_t attempt = 0;
+    bool answered = false;
+  };
+
+  void tick();
+  void start_flow();
+  /// Queue one request for this tick's burst. Fresh logical requests
+  /// (attempt 0) count as offered; retries keep their first_sent.
+  void queue_request(std::uint32_t slot, std::uint8_t attempt,
+                     sim::TimePoint first_sent);
+  void on_reply(const util::SharedBytes& payload);
+  /// A logical request resolved (answered or lost): release its hold on
+  /// the flow, freeing the slot once nothing is pending or unsent.
+  void resolve(std::uint32_t slot);
+  [[nodiscard]] std::uint32_t draw_arrivals();
+
+  net::Host& host_;
+  LoadOptions opt_;
+  sim::Rng rng_;
+  ZipfSampler zipf_;
+  FlowStats stats_;
+  bool running_ = false;
+  bool draining_ = false;
+  sim::TimerHandle timer_;
+
+  std::vector<Flow> flows_;          // the slab
+  std::vector<std::uint32_t> free_;  // free slot indices
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+
+  std::deque<Outstanding> out_;  // in-flight, FIFO by send time
+  std::uint64_t base_id_ = 0;    // id of out_.front()
+
+  /// Timer wheel for long-flow next-request times: ring of tick buckets,
+  /// slot (tick_index % size) drained each tick.
+  std::vector<std::vector<std::uint32_t>> wheel_;
+  std::uint64_t tick_index_ = 0;
+  double arrival_carry_ = 0;  // deterministic-arrival accumulator
+
+  std::vector<net::Host::UdpSend> burst_;  // this tick's injection batch
+};
+
+}  // namespace wam::load

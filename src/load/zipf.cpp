@@ -1,0 +1,36 @@
+#include "load/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wam::load {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) : s_(s) {
+  WAM_EXPECTS(n >= 1);
+  WAM_EXPECTS(s >= 0.0);
+  cdf_.reserve(n);
+  double acc = 0;
+  for (std::uint32_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(acc);
+  }
+  harmonic_ = acc;
+  for (double& c : cdf_) c /= harmonic_;
+  cdf_.back() = 1.0;  // guard against rounding shaving the tail
+}
+
+std::uint32_t ZipfSampler::sample(sim::Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint32_t k) const {
+  WAM_EXPECTS(k < cdf_.size());
+  return (1.0 / std::pow(static_cast<double>(k + 1), s_)) / harmonic_;
+}
+
+}  // namespace wam::load

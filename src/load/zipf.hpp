@@ -1,0 +1,41 @@
+// Zipf-distributed VIP popularity for the load harness.
+//
+// Web traffic concentrates on a few hot objects; the classic model is a
+// Zipf law where the k-th most popular of n items is drawn with
+// probability p(k) = (1/k^s) / H_{n,s}. The sampler precomputes the
+// cumulative distribution once and answers draws with a binary search —
+// O(log n) per sample, no floating-point drift between platforms beyond
+// what the deterministic Rng already pins.
+//
+// s = 0 degenerates to uniform; s = 1 is the canonical web-object skew.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace wam::load {
+
+class ZipfSampler {
+ public:
+  /// `n` items ranked 1..n by popularity, exponent `s` >= 0.
+  ZipfSampler(std::uint32_t n, double s);
+
+  /// Draw a rank in [0, n): 0 is the most popular item.
+  [[nodiscard]] std::uint32_t sample(sim::Rng& rng) const;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
+  /// Closed-form probability of rank k (0-based) — the oracle the
+  /// distribution test checks empirical frequencies against.
+  [[nodiscard]] double pmf(std::uint32_t k) const;
+
+ private:
+  double harmonic_ = 0;  // H_{n,s}
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace wam::load

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "util/assert.hpp"
@@ -286,6 +287,118 @@ void Fabric::send(NicId from, Frame frame) {
     return;
   }
   ++counters_.dropped_no_target;
+}
+
+void Fabric::send_batch(NicId from, std::vector<Frame> frames) {
+  if (frames.empty()) return;
+  const auto& sender = nic(from);
+  if (!sender.up) {
+    counters_.dropped_nic_down += frames.size();
+    return;
+  }
+  const auto& seg = segments_[static_cast<std::size_t>(sender.segment)];
+
+  // Phase 1 mirrors send() once per frame — same counter bumps, same
+  // eligibility checks, and crucially the same RNG draw order (one drop
+  // draw per frame on lossy segments, one jitter draw per accepted
+  // (frame, receiver) pair) — but records the computed arrival instead of
+  // scheduling an event.
+  struct Pending {
+    sim::TimePoint when;
+    std::uint32_t order;  // draw order; stands in for the scheduler seq
+    std::uint32_t frame;
+  };
+  std::map<NicId, std::vector<Pending>> deliveries;
+  std::uint32_t order = 0;
+  auto arrival = [&] {
+    sim::Duration latency = seg.config.latency;
+    if (seg.config.jitter > sim::kZero) {
+      latency += rng_.duration_range(sim::kZero, seg.config.jitter);
+    }
+    return sched_.now() + latency;
+  };
+
+  for (std::uint32_t fi = 0; fi < frames.size(); ++fi) {
+    const Frame& frame = frames[fi];
+    ++counters_.frames_sent;
+    if (tap_) tap_(sender.segment, frame);
+    if (seg.config.drop_probability > 0 &&
+        rng_.chance(seg.config.drop_probability)) {
+      ++counters_.dropped_random;
+      continue;
+    }
+
+    if (frame.dst.is_group()) {
+      for (NicId id : seg.nics) {
+        if (id == from) continue;
+        const auto& target = nic(id);
+        if (!frame.dst.is_broadcast() &&
+            target.filters.count(frame.dst) == 0) {
+          continue;
+        }
+        if (!target.up) {
+          ++counters_.dropped_nic_down;
+          continue;
+        }
+        if (target.component != sender.component) {
+          ++counters_.dropped_partition;
+          continue;
+        }
+        if (!blocked_.empty() && blocked_.count({from, id}) > 0) {
+          ++counters_.dropped_directional;
+          continue;
+        }
+        deliveries[id].push_back(Pending{arrival(), order++, fi});
+      }
+      continue;
+    }
+
+    bool matched = false;
+    for (NicId id : seg.nics) {
+      const auto& target = nic(id);
+      if (target.mac != frame.dst) continue;
+      matched = true;
+      if (!target.up) {
+        ++counters_.dropped_nic_down;
+      } else if (target.component != sender.component) {
+        ++counters_.dropped_partition;
+      } else if (!blocked_.empty() && blocked_.count({from, id}) > 0) {
+        ++counters_.dropped_directional;
+      } else {
+        deliveries[id].push_back(Pending{arrival(), order++, fi});
+      }
+      break;
+    }
+    if (!matched) ++counters_.dropped_no_target;
+  }
+
+  // Phase 2: one event per receiver at its batch's LAST arrival, handing
+  // frames over in (arrival, draw order) — the (time, seq) order the
+  // scheduler would have delivered the per-frame events in.
+  for (auto& [to, list] : deliveries) {
+    std::sort(list.begin(), list.end(),
+              [](const Pending& a, const Pending& b) {
+                if (a.when != b.when) return a.when < b.when;
+                return a.order < b.order;
+              });
+    std::vector<Frame> batch;
+    batch.reserve(list.size());
+    for (const Pending& p : list) batch.push_back(frames[p.frame]);
+    sched_.schedule_at(
+        list.back().when, [this, to, batch = std::move(batch)]() mutable {
+          for (Frame& f : batch) {
+            // Re-check liveness per frame: the receiver may go down from
+            // within an earlier frame's handler, exactly as it could
+            // between two unbatched delivery events.
+            if (!nic(to).up) {
+              ++counters_.dropped_nic_down;
+              continue;
+            }
+            ++counters_.frames_delivered;
+            nic(to).deliver(f, to);
+          }
+        });
+  }
 }
 
 }  // namespace wam::net

@@ -118,6 +118,19 @@ class Fabric {
   /// Transmit a frame from `from`. Fire-and-forget (UDP-like) semantics.
   void send(NicId from, Frame frame);
 
+  /// Transmit many frames from `from` at the current instant, scheduling
+  /// ONE delivery event per receiving NIC instead of one per frame — the
+  /// hook the open-loop load harness injects client storms through
+  /// (see src/load). Semantics match calling send() once per frame in
+  /// order: the same counters, the same loss/partition/NIC checks, and —
+  /// pinned by tests/net_fabric_batch_test.cpp — the identical RNG draw
+  /// sequence, so a same-seed batched run delivers frames to each host in
+  /// byte-identical order to the unbatched path. Only the timestamps
+  /// coarsen: a receiver's whole batch lands at the LATEST of its frames'
+  /// computed arrival times (never earlier than unbatched, and at most
+  /// one jitter span later).
+  void send_batch(NicId from, std::vector<Frame> frames);
+
   /// ARP probe: would anyone else answer a who-has for `ip` sent from
   /// `asking`? Honours the same reachability rules as delivery — the
   /// answering NIC must share the asker's segment and partition component,

@@ -417,6 +417,41 @@ void Host::send_udp_from(Ipv4Address src_ip, Ipv4Address dst,
   transmit_ip(std::move(pkt), ifindex, next_hop);
 }
 
+void Host::send_udp_burst(std::vector<UdpSend> batch) {
+  std::vector<std::vector<Frame>> per_if(ifaces_.size());
+  for (auto& item : batch) {
+    auto [ifindex, next_hop] = route(item.dst);
+    if (ifindex < 0) {
+      ++counters_.ip_no_route;
+      continue;
+    }
+    if (owns_ip(item.dst)) {
+      send_udp_from(primary_ip(ifindex), item.dst, item.dst_port,
+                    item.src_port, std::move(item.payload));
+      continue;
+    }
+    UdpDatagram dgram{item.src_port, item.dst_port, std::move(item.payload)};
+    Ipv4Packet pkt;
+    pkt.src = primary_ip(ifindex);
+    pkt.dst = item.dst;
+    pkt.payload = dgram.encode();
+    ++counters_.udp_sent;
+    auto hop_mac = arp_.lookup(next_hop, sched_.now());
+    if (!hop_mac) {
+      // Unresolved next hop: take the regular pending-ARP queue path.
+      transmit_ip(std::move(pkt), ifindex, next_hop);
+      continue;
+    }
+    per_if[static_cast<std::size_t>(ifindex)].push_back(
+        Frame{mac(ifindex), *hop_mac, EtherType::kIpv4, pkt.encode()});
+  }
+  for (std::size_t i = 0; i < per_if.size(); ++i) {
+    if (!per_if[i].empty()) {
+      fabric_.send_batch(ifaces_[i].nic, std::move(per_if[i]));
+    }
+  }
+}
+
 void Host::join_multicast(int ifindex, Ipv4Address group) {
   WAM_EXPECTS(group.is_multicast());
   auto& ifc = iface(ifindex);

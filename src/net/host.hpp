@@ -118,6 +118,22 @@ class Host {
   void send_udp_broadcast(int ifindex, std::uint16_t dst_port,
                           std::uint16_t src_port, util::Bytes payload);
 
+  /// One datagram of a send_udp_burst() batch.
+  struct UdpSend {
+    Ipv4Address dst;
+    std::uint16_t dst_port = 0;
+    std::uint16_t src_port = 0;
+    util::Bytes payload;
+  };
+  /// Flyweight injection hook for the open-loop load harness: send many
+  /// datagrams at one instant, handing all frames with a resolved next
+  /// hop to Fabric::send_batch (one delivery event per receiving NIC)
+  /// instead of one fabric event each. Datagrams whose next hop is not
+  /// yet in the ARP cache, loopback destinations, and unroutable
+  /// destinations fall back to the exact per-datagram path send_udp()
+  /// takes, so counters and ARP behavior are unchanged.
+  void send_udp_burst(std::vector<UdpSend> batch);
+
   // ---- IP multicast ----
   /// Subscribe this interface to a 224.0.0.0/4 group (IGMP-less model:
   /// the switch fabric learns the filter directly).

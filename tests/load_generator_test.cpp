@@ -1,0 +1,174 @@
+// LoadGenerator and harness pins: open-loop offered rate, loss accounting
+// when the service dies, drain semantics, and same-seed byte-identical
+// trial serialization.
+#include "load/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/echo.hpp"
+#include "load/harness.hpp"
+#include "net/fabric.hpp"
+#include "net/host.hpp"
+
+namespace wam::load {
+namespace {
+
+struct GeneratorTest : ::testing::Test {
+  sim::Scheduler sched;
+  net::Fabric fabric{sched};
+  net::SegmentId seg = fabric.add_segment();
+  std::unique_ptr<net::Host> server;
+  std::unique_ptr<net::Host> client;
+  std::unique_ptr<apps::EchoServer> echo;
+  net::Ipv4Address vip{10, 0, 0, 100};
+
+  GeneratorTest() {
+    server = std::make_unique<net::Host>(sched, fabric, "server1");
+    server->add_interface(seg, net::Ipv4Address(10, 0, 0, 1), 24);
+    server->add_alias(0, vip);
+    client = std::make_unique<net::Host>(sched, fabric, "client");
+    client->add_interface(seg, net::Ipv4Address(10, 0, 0, 50), 24);
+    echo = std::make_unique<apps::EchoServer>(*server);
+    echo->start();
+  }
+
+  LoadOptions options(double rate) {
+    LoadOptions opt;
+    opt.vips = {vip};
+    opt.flows_per_second = rate;
+    opt.long_flow_fraction = 0.0;
+    return opt;
+  }
+};
+
+TEST_F(GeneratorTest, OfferedRateTracksConfiguredRate) {
+  auto opt = options(2000.0);
+  LoadGenerator gen(*client, opt);
+  gen.start();
+  sched.run_for(sim::seconds(5.0));
+  // Poisson arrivals: ~10000 short flows = requests, within 5%.
+  EXPECT_NEAR(static_cast<double>(gen.stats().offered()), 10000.0, 500.0);
+  EXPECT_EQ(gen.stats().offered(),
+            static_cast<std::uint64_t>(gen.flows_started()));
+  // Healthy LAN: everything answered, nothing lost or retried.
+  EXPECT_EQ(gen.stats().lost(), 0u);
+  EXPECT_EQ(gen.stats().retries(), 0u);
+  EXPECT_GT(gen.stats().availability(), 0.999);
+  gen.stop();
+}
+
+TEST_F(GeneratorTest, DeterministicArrivalsAreExact) {
+  auto opt = options(1000.0);
+  opt.poisson = false;
+  LoadGenerator gen(*client, opt);
+  gen.start();
+  sched.run_for(sim::seconds(2.0));
+  // 1 flow per ms tick, 2000 ticks (first tick fires at t=1ms).
+  EXPECT_EQ(gen.flows_started(), 2000u);
+  gen.stop();
+}
+
+TEST_F(GeneratorTest, ServerDeathConvertsOfferedLoadIntoLoss) {
+  auto opt = options(2000.0);
+  LoadGenerator gen(*client, opt);
+  gen.start();
+  sched.run_for(sim::seconds(2.0));
+  gen.stats().mark_event(sched.now(), "server dies");
+  server->fail();
+  sched.run_for(sim::seconds(2.0));
+  gen.drain();
+  sched.run_for(sim::seconds(2.0));
+
+  // Everything offered after the failure times out (one retry each), so
+  // roughly half the offered load is lost and availability ~0.5.
+  EXPECT_GT(gen.stats().lost(), 3000u);
+  EXPECT_GT(gen.stats().retries(), 3000u);
+  EXPECT_NEAR(gen.stats().availability(), 0.5, 0.05);
+  // ~2 s of full outage at the mean offered rate, by construction.
+  EXPECT_NEAR(gen.stats().effective_downtime_seconds(), 2.0, 0.3);
+  // After drain, accounting is closed: offered = answered + lost.
+  EXPECT_EQ(gen.stats().offered(),
+            gen.stats().answered() + gen.stats().lost());
+  // report() agrees with the sink once nothing is in flight.
+  auto report = gen.report();
+  EXPECT_EQ(report.lost, gen.stats().lost());
+  EXPECT_EQ(report.responses, gen.stats().answered());
+}
+
+TEST_F(GeneratorTest, LongFlowsIssueFollowUpRequests) {
+  auto opt = options(500.0);
+  opt.long_flow_fraction = 1.0;  // every flow long-lived
+  opt.long_flow_requests = 4;
+  opt.long_flow_interval = sim::milliseconds(100);
+  LoadGenerator gen(*client, opt);
+  gen.start();
+  sched.run_for(sim::seconds(2.0));
+  gen.drain();
+  sched.run_for(sim::seconds(1.0));
+  // Flows that started before ~t=1.7s completed all 4 requests; offered
+  // must be well above one per flow.
+  EXPECT_GT(gen.stats().offered(), gen.flows_started() * 3);
+  EXPECT_GT(gen.flows_completed(), 0u);
+  // Drain released every slab slot.
+  EXPECT_EQ(gen.flows_active(), 0u);
+}
+
+TEST_F(GeneratorTest, FlowSlabRecyclesSlots) {
+  auto opt = options(5000.0);
+  LoadGenerator gen(*client, opt);
+  gen.start();
+  sched.run_for(sim::seconds(4.0));
+  // In-flight at any instant is rate x RTT (~sub-ms), so the slab stays
+  // tiny compared to the ~20k flows that passed through it.
+  EXPECT_GT(gen.flows_started(), 15000u);
+  EXPECT_LT(gen.flows_active(), 200u);
+  gen.stop();
+}
+
+TEST(LoadHarness, SameSeedTrialsAreByteIdentical) {
+  TrialOptions t;
+  t.protocol = Protocol::kWackamole;
+  t.members = 3;
+  t.vips = 8;
+  t.flows_per_second = 2000.0;
+  t.warmup = sim::seconds(1.0);
+  t.after = sim::seconds(6.0);
+  t.window = sim::seconds(1.0);
+  auto a = run_failover_trial(t);
+  auto b = run_failover_trial(t);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_GT(a.flows, 10000u);
+  EXPECT_GT(a.lost, 0u);  // the fault must actually cost something
+  EXPECT_LT(a.availability, 1.0);
+  EXPECT_GT(a.availability, 0.5);
+
+  // A different seed perturbs the trial (same shape, different draws).
+  TrialOptions other = t;
+  other.seed = 2;
+  EXPECT_NE(run_failover_trial(other).to_json(), a.to_json());
+}
+
+TEST(LoadHarness, BaselineProtocolLosesMoreThanNWay) {
+  // The paper's claim, in miniature: VRRP's master holds EVERY address,
+  // so one fault loses all offered load for the whole takeover, while
+  // Wackamole only loses the victim's share.
+  TrialOptions t;
+  t.members = 3;
+  t.vips = 9;
+  t.flows_per_second = 2000.0;
+  t.warmup = sim::seconds(1.0);
+  t.after = sim::seconds(6.0);
+  t.protocol = Protocol::kWackamole;
+  auto wack = run_failover_trial(t);
+  t.protocol = Protocol::kVrrp;
+  auto vrrp = run_failover_trial(t);
+  EXPECT_GT(vrrp.effective_downtime_s, wack.effective_downtime_s);
+  EXPECT_GT(vrrp.lost, wack.lost);
+}
+
+}  // namespace
+}  // namespace wam::load

@@ -1,0 +1,84 @@
+// ZipfSampler pins: the empirical draw frequencies must match the
+// closed-form pmf, and the degenerate exponents must behave.
+#include "load/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wam::load {
+namespace {
+
+TEST(Zipf, PmfMatchesClosedForm) {
+  // p(k) = (1/k^s) / H_{n,s} for 1-based rank k.
+  const std::uint32_t n = 20;
+  const double s = 1.2;
+  ZipfSampler z(n, s);
+  double h = 0;
+  for (std::uint32_t k = 1; k <= n; ++k) h += 1.0 / std::pow(k, s);
+  double total = 0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(z.pmf(k), (1.0 / std::pow(k + 1, s)) / h, 1e-12);
+    total += z.pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchPmf) {
+  const std::uint32_t n = 64;
+  ZipfSampler z(n, 1.0);
+  sim::Rng rng(7);
+  const int draws = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[z.sample(rng)];
+  // Each rank's frequency within 4 sigma of its binomial expectation
+  // (ranks with vanishing mass get an absolute floor).
+  for (std::uint32_t k = 0; k < n; ++k) {
+    double p = z.pmf(k);
+    double expected = p * draws;
+    double sigma = std::sqrt(draws * p * (1 - p));
+    EXPECT_NEAR(counts[k], expected, 4 * sigma + 5) << "rank " << k;
+  }
+  // Zipf s=1: rank 0 draws roughly twice rank 1, four times rank 3.
+  EXPECT_GT(counts[0], counts[1] * 1.7);
+  EXPECT_LT(counts[0], counts[1] * 2.3);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  const std::uint32_t n = 10;
+  ZipfSampler z(n, 0.0);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(z.pmf(k), 1.0 / n, 1e-12);
+  }
+  sim::Rng rng(3);
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(rng)];
+  for (std::uint32_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], 5000, 400) << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingleItemAlwaysRankZero) {
+  ZipfSampler z(1, 1.0);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(z.pmf(0), 1.0);
+}
+
+TEST(Zipf, SameSeedSameSequence) {
+  ZipfSampler z(32, 0.9);
+  sim::Rng a(11);
+  sim::Rng b(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z.sample(a), z.sample(b));
+}
+
+TEST(Zipf, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), util::ContractViolation);
+  EXPECT_THROW(ZipfSampler(5, -0.1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace wam::load

@@ -1,0 +1,188 @@
+// Fabric::send_batch pins: same-seed batched injection must reproduce the
+// unbatched path's per-host delivery order byte-for-byte, with identical
+// counter accounting, while coalescing each receiver's frames into one
+// delivery event at the latest computed arrival.
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wam::net {
+namespace {
+
+// A small LAN that records, per NIC, the payload bytes in delivery order
+// and the virtual delivery times.
+struct Lan {
+  sim::Scheduler sched;
+  Fabric fabric;
+  SegmentId seg;
+  std::vector<NicId> nics;
+  std::vector<std::vector<std::string>> inbox;
+  std::vector<std::vector<sim::TimePoint>> times;
+
+  explicit Lan(std::uint64_t seed, Fabric::SegmentConfig config)
+      : fabric(sched, nullptr, seed), seg(fabric.add_segment(config)) {}
+
+  NicId attach() {
+    auto idx = inbox.size();
+    inbox.emplace_back();
+    times.emplace_back();
+    NicId id = fabric.attach(seg, fabric.allocate_mac(),
+                             [this, idx](const Frame& f, NicId) {
+                               inbox[idx].emplace_back(f.payload.begin(),
+                                                       f.payload.end());
+                               times[idx].push_back(sched.now());
+                             });
+    nics.push_back(id);
+    return id;
+  }
+
+  Frame frame(NicId from, MacAddress dst, std::uint8_t tag) {
+    return Frame{fabric.mac_of(from), dst, EtherType::kIpv4, {tag}};
+  }
+};
+
+// The workload both runs share: unicasts to every peer (some down, some
+// partitioned away, one direction-blocked), plus broadcasts, interleaved.
+std::vector<Frame> make_workload(Lan& lan, int count) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < count; ++i) {
+    auto tag = static_cast<std::uint8_t>(i);
+    NicId to = lan.nics[1 + static_cast<std::size_t>(i) % 4];
+    frames.push_back(lan.frame(lan.nics[0], lan.fabric.mac_of(to), tag));
+    if (i % 5 == 0) {
+      frames.push_back(
+          lan.frame(lan.nics[0], MacAddress::broadcast(), tag));
+    }
+  }
+  return frames;
+}
+
+void apply_faults(Lan& lan) {
+  lan.fabric.set_nic_up(lan.nics[2], false);
+  lan.fabric.set_partition(lan.seg, {{lan.nics[0], lan.nics[1], lan.nics[2],
+                                      lan.nics[3]},
+                                     {lan.nics[4]}});
+  lan.fabric.block_direction(lan.nics[0], lan.nics[3]);
+}
+
+struct RunResult {
+  std::vector<std::vector<std::string>> inbox;
+  std::vector<std::vector<sim::TimePoint>> times;
+  std::uint64_t sent, delivered, no_target, partition, nic_down, random,
+      directional;
+};
+
+RunResult run(std::uint64_t seed, bool batched, double drop, int count) {
+  Fabric::SegmentConfig config;
+  config.jitter = sim::microseconds(30);
+  config.drop_probability = drop;
+  Lan lan(seed, config);
+  for (int i = 0; i < 5; ++i) lan.attach();
+  apply_faults(lan);
+  auto frames = make_workload(lan, count);
+  if (batched) {
+    lan.fabric.send_batch(lan.nics[0], std::move(frames));
+  } else {
+    for (auto& f : frames) lan.fabric.send(lan.nics[0], std::move(f));
+  }
+  lan.sched.run_all();
+  const auto& c = lan.fabric.counters();
+  return {lan.inbox,
+          lan.times,
+          c.frames_sent,
+          c.frames_delivered,
+          c.dropped_no_target,
+          c.dropped_partition,
+          c.dropped_nic_down,
+          c.dropped_random,
+          c.dropped_directional};
+}
+
+void expect_equivalent(const RunResult& plain, const RunResult& batch) {
+  ASSERT_EQ(plain.inbox.size(), batch.inbox.size());
+  for (std::size_t i = 0; i < plain.inbox.size(); ++i) {
+    EXPECT_EQ(plain.inbox[i], batch.inbox[i]) << "nic " << i;
+  }
+  EXPECT_EQ(plain.sent, batch.sent);
+  EXPECT_EQ(plain.delivered, batch.delivered);
+  EXPECT_EQ(plain.no_target, batch.no_target);
+  EXPECT_EQ(plain.partition, batch.partition);
+  EXPECT_EQ(plain.nic_down, batch.nic_down);
+  EXPECT_EQ(plain.random, batch.random);
+  EXPECT_EQ(plain.directional, batch.directional);
+}
+
+TEST(FabricBatch, SameSeedDeliveryOrderMatchesUnbatched) {
+  auto plain = run(42, false, 0.0, 40);
+  auto batch = run(42, true, 0.0, 40);
+  ASSERT_GT(plain.delivered, 0u);
+  expect_equivalent(plain, batch);
+}
+
+TEST(FabricBatch, LossyRunDrawsIdenticalDropAndJitterSequence) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    auto plain = run(seed, false, 0.3, 60);
+    auto batch = run(seed, true, 0.3, 60);
+    ASSERT_GT(plain.random, 0u) << "seed " << seed;
+    expect_equivalent(plain, batch);
+  }
+}
+
+TEST(FabricBatch, ReceiverGetsOneEventAtLatestArrival) {
+  // One receiver, jittered segment: unbatched deliveries spread out;
+  // batched ones all land together at the latest unbatched arrival.
+  auto one_receiver = [](bool batched) {
+    Fabric::SegmentConfig config;
+    config.jitter = sim::microseconds(200);
+    Lan lan(5, config);
+    for (int i = 0; i < 2; ++i) lan.attach();
+    std::vector<Frame> frames;
+    for (int i = 0; i < 8; ++i) {
+      frames.push_back(lan.frame(lan.nics[0], lan.fabric.mac_of(lan.nics[1]),
+                                 static_cast<std::uint8_t>(i)));
+    }
+    if (batched) {
+      lan.fabric.send_batch(lan.nics[0], std::move(frames));
+    } else {
+      for (auto& f : frames) lan.fabric.send(lan.nics[0], std::move(f));
+    }
+    lan.sched.run_all();
+    return lan.times[1];
+  };
+  auto plain_times = one_receiver(false);
+  auto batch_times = one_receiver(true);
+  ASSERT_EQ(plain_times.size(), 8u);
+  ASSERT_EQ(batch_times.size(), 8u);
+  sim::TimePoint latest = plain_times[0];
+  for (auto t : plain_times) latest = std::max(latest, t);
+  EXPECT_GT(latest, plain_times[0]) << "jitter should spread arrivals";
+  for (auto t : batch_times) EXPECT_EQ(t, latest);
+}
+
+TEST(FabricBatch, EmptyBatchIsNoOp) {
+  Lan lan(1, Fabric::SegmentConfig{});
+  lan.attach();
+  lan.fabric.send_batch(lan.nics[0], {});
+  lan.sched.run_all();
+  EXPECT_EQ(lan.fabric.counters().frames_sent, 0u);
+}
+
+TEST(FabricBatch, ReceiverDownAtDeliveryTimeDropsLate) {
+  // The up-check at delivery time must re-run per frame, like send().
+  Lan lan(1, Fabric::SegmentConfig{});
+  lan.attach();
+  lan.attach();
+  std::vector<Frame> frames;
+  frames.push_back(lan.frame(lan.nics[0], lan.fabric.mac_of(lan.nics[1]), 1));
+  lan.fabric.send_batch(lan.nics[0], std::move(frames));
+  lan.fabric.set_nic_up(lan.nics[1], false);  // down before delivery fires
+  lan.sched.run_all();
+  EXPECT_TRUE(lan.inbox[1].empty());
+  EXPECT_EQ(lan.fabric.counters().frames_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace wam::net

@@ -43,7 +43,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--seeds N] [--seed S] [--profile cluster|router|both]\n"
       "          [--rounds R] [--servers N] [--vips K] [--os-faults]\n"
-      "          [--no-shrink] [--dsl] [--replay] [--quiet] [--jobs N]\n",
+      "          [--no-shrink] [--dsl] [--replay] [--quiet] [--jobs N]\n"
+      "          [--shards N] [--no-shard-threads]\n",
       argv0);
   return 2;
 }
@@ -122,6 +123,14 @@ int main(int argc, char** argv) {
       cli.campaign.generator.num_vips = static_cast<int>(v);
     } else if (std::strcmp(arg, "--os-faults") == 0) {
       cli.campaign.generator.os_faults = true;
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      // Run cluster-profile seeds on the sharded engine (decision-identical
+      // to the default sequential engine; see docs/PARALLEL.md).
+      const char* a = next();
+      if (!a || !parse_u64(a, v) || v == 0 || v > 64) return usage(argv[0]);
+      cli.campaign.shards = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--no-shard-threads") == 0) {
+      cli.campaign.shard_threads = false;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       cli.campaign.shrink = false;
     } else if (std::strcmp(arg, "--dsl") == 0) {

@@ -1,5 +1,6 @@
 #include "apps/cluster_scenario.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "util/assert.hpp"
@@ -20,15 +21,29 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
     : fabric(sched, &log, options.seed), options_(std::move(options)) {
   WAM_EXPECTS(options_.num_servers >= 1);
   WAM_EXPECTS(options_.num_vips >= 1 && options_.num_vips <= 4096);
+  WAM_EXPECTS(options_.load_clients >= 1 && options_.load_clients <= 32);
   const bool wide = options_.num_vips > 100;
   const int prefix = wide ? 16 : 24;
   const auto router_ip = wide ? net::Ipv4Address(10, 0, 255, 254)
                               : net::Ipv4Address(10, 0, 0, 254);
-  const auto client_ip = wide ? net::Ipv4Address(10, 0, 255, 253)
-                              : net::Ipv4Address(10, 0, 0, 253);
 
   cluster_seg_ = fabric.add_segment();
   fabric.bind_observability(obs, "net");
+  if (options_.with_router) external_seg_ = fabric.add_segment();
+
+  if (options_.shards > 0) {
+    // Lookahead = the minimum per-hop latency: anything sent in a window
+    // arrives in a window that has not started yet (conservative PDES).
+    sim::Duration lookahead = fabric.segment_config(cluster_seg_).latency;
+    if (external_seg_ >= 0) {
+      lookahead =
+          std::min(lookahead, fabric.segment_config(external_seg_).latency);
+    }
+    shards_ = std::make_unique<sim::ShardSet>(sched, options_.shards,
+                                              lookahead);
+    shards_->set_threads(options_.shard_threads);
+    fabric.set_sharding(*shards_);
+  }
 
   // The shared VIP set (one single-address group per VIP: web-cluster mode).
   std::vector<net::Ipv4Address> vips;
@@ -37,17 +52,37 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
   }
 
   if (options_.with_router) {
-    external_seg_ = fabric.add_segment();
     router_ = std::make_unique<net::Router>(sched, fabric, "router", &log);
     router_->attach_network(cluster_seg_, router_ip, prefix);
     router_->attach_network(external_seg_, net::Ipv4Address(172, 16, 0, 1),
                             24);
-    client_ = std::make_unique<net::Host>(sched, fabric, "client", &log);
-    client_->add_interface(external_seg_, net::Ipv4Address(172, 16, 0, 2), 24);
-    client_->set_default_gateway(net::Ipv4Address(172, 16, 0, 1));
-  } else {
-    client_ = std::make_unique<net::Host>(sched, fabric, "client", &log);
-    client_->add_interface(cluster_seg_, client_ip, prefix);
+  }
+  for (int i = 0; i < options_.load_clients; ++i) {
+    const int shard = shard_for_client(i);
+    // A client on shard k schedules its timers (and receives its frames)
+    // on shard k's run-loop; non-zero shards log nowhere, since the shared
+    // Log reads shard 0's clock.
+    sim::Scheduler& csched = shards_ ? shards_->shard(shard) : sched;
+    sim::Log* clog = shard == 0 ? &log : nullptr;
+    const std::string name =
+        i == 0 ? "client" : "client" + std::to_string(i + 1);
+    auto client = std::make_unique<net::Host>(csched, fabric, name, clog);
+    if (options_.with_router) {
+      client->add_interface(external_seg_,
+                            net::Ipv4Address(172, 16, 0,
+                                             static_cast<std::uint8_t>(2 + i)),
+                            24);
+      client->set_default_gateway(net::Ipv4Address(172, 16, 0, 1));
+    } else {
+      const auto ip =
+          wide ? net::Ipv4Address(10, 0, 255,
+                                  static_cast<std::uint8_t>(253 - i))
+               : net::Ipv4Address(10, 0, 0,
+                                  static_cast<std::uint8_t>(253 - i));
+      client->add_interface(cluster_seg_, ip, prefix);
+    }
+    if (shards_) fabric.assign_shard(client->nic_id(0), shard);
+    clients_.push_back(std::move(client));
   }
 
   for (int i = 0; i < options_.num_servers; ++i) {
@@ -99,6 +134,20 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
   }
 }
 
+int ClusterScenario::shard_for_client(int i) const {
+  const int s = options_.shards;
+  return s <= 1 ? 0 : 1 + (i % (s - 1));
+}
+
+void ClusterScenario::advance_to(sim::TimePoint t) {
+  if (shards_) {
+    shards_->run_until(t);
+    fabric.fold_shard_counters();
+  } else {
+    sched.run_until(t);
+  }
+}
+
 void ClusterScenario::start() {
   for (auto& d : gcs_) d->start();
   for (auto& w : wams_) w->start();
@@ -108,7 +157,7 @@ void ClusterScenario::start() {
 void ClusterScenario::start_probe(int vip_index) {
   auto config = options_.probe;
   config.target = vip(vip_index);
-  auto probe = std::make_unique<ProbeClient>(*client_, config);
+  auto probe = std::make_unique<ProbeClient>(client_host(), config);
   probe_ = probe.get();
   attach_traffic(std::move(probe));
 }
@@ -175,7 +224,11 @@ void ClusterScenario::partition(const std::vector<std::vector<int>>& groups) {
   WAM_EXPECTS(assigned.size() ==
               static_cast<std::size_t>(options_.num_servers));
   if (router_) nic_groups[0].push_back(router_->host().nic_id(0));
-  if (!options_.with_router) nic_groups[0].push_back(client_->nic_id(0));
+  if (!options_.with_router) {
+    for (const auto& client : clients_) {
+      nic_groups[0].push_back(client->nic_id(0));
+    }
+  }
   fabric.set_partition(cluster_seg_, nic_groups);
 }
 

@@ -106,16 +106,18 @@ std::vector<Violation> drive(Scenario& s, const FaultSchedule& schedule,
         (ci >= schedule.checkpoints.size() ||
          actions[ai].at <= schedule.checkpoints[ci].at);
     if (take_action) {
-      s.sched.run_until(sim::TimePoint(actions[ai].at));
+      // advance_to quiesces the world first (all shard clocks equal on the
+      // sharded engine), so faults always apply at a barrier.
+      s.advance_to(sim::TimePoint(actions[ai].at));
       apply(actions[ai]);
       ++ai;
     } else {
-      s.sched.run_until(sim::TimePoint(schedule.checkpoints[ci].at));
+      s.advance_to(sim::TimePoint(schedule.checkpoints[ci].at));
       check(schedule.checkpoints[ci], violations);
       ++ci;
     }
   }
-  s.sched.run_until(sim::TimePoint(schedule.horizon));
+  s.advance_to(sim::TimePoint(schedule.horizon));
   if (timeline_json) *timeline_json = s.timeline.to_json();
   return violations;
 }
@@ -123,11 +125,14 @@ std::vector<Violation> drive(Scenario& s, const FaultSchedule& schedule,
 std::vector<Violation> execute_cluster(const FaultSchedule& schedule,
                                        const std::vector<FaultAction>& actions,
                                        std::uint64_t fabric_seed,
-                                       std::string* timeline_json) {
+                                       std::string* timeline_json, int shards,
+                                       bool shard_threads) {
   apps::ClusterOptions copts;
   copts.num_servers = schedule.num_servers;
   copts.num_vips = schedule.num_vips;
   copts.with_router = false;
+  copts.shards = shards;
+  copts.shard_threads = shard_threads;
   copts.balance_timeout = sim::seconds(15.0);  // let balance interleave
   copts.seed = fabric_seed;
   if (schedule.os_faults) {
@@ -203,10 +208,12 @@ const char* profile_name(Profile p) {
 
 std::vector<Violation> execute_schedule(
     const FaultSchedule& schedule, const std::vector<FaultAction>& actions,
-    std::uint64_t fabric_seed, std::string* timeline_json) {
+    std::uint64_t fabric_seed, std::string* timeline_json, int shards,
+    bool shard_threads) {
   return schedule.router_profile
              ? execute_router(schedule, actions, fabric_seed, timeline_json)
-             : execute_cluster(schedule, actions, fabric_seed, timeline_json);
+             : execute_cluster(schedule, actions, fabric_seed, timeline_json,
+                               shards, shard_threads);
 }
 
 CampaignResult run_seed(std::uint64_t seed, Profile profile,
@@ -224,12 +231,14 @@ CampaignResult run_seed(std::uint64_t seed, Profile profile,
                    ? generate_cluster_schedule(gen_rng, opt.generator)
                    : generate_router_schedule(gen_rng, opt.generator);
   r.dsl = to_dsl(r.schedule);
-  r.violations = execute_schedule(r.schedule, r.schedule.actions, fabric_seed,
-                                  &r.timeline_json);
+  r.violations =
+      execute_schedule(r.schedule, r.schedule.actions, fabric_seed,
+                       &r.timeline_json, opt.shards, opt.shard_threads);
 
   if (!r.passed() && opt.shrink) {
     auto still_fails = [&](const std::vector<FaultAction>& candidate) {
-      return !execute_schedule(r.schedule, candidate, fabric_seed, nullptr)
+      return !execute_schedule(r.schedule, candidate, fabric_seed, nullptr,
+                               opt.shards, opt.shard_threads)
                   .empty();
     };
     auto shrunk = shrink_schedule(r.schedule.actions, still_fails,

@@ -1,6 +1,7 @@
 #include "load/flow_stats.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/assert.hpp"
 
@@ -19,7 +20,9 @@ FlowStats::Bucket& FlowStats::bucket_at(sim::TimePoint t) {
   auto idx = static_cast<std::size_t>((t - origin_) / bucket_);
   while (buckets_.size() <= idx) {
     Bucket b;
-    b.start = origin_ + bucket_ * static_cast<int>(buckets_.size());
+    // 64-bit index math: narrowing the index through int corrupts bucket
+    // starts (and with them failover-window sides) on long high-rate runs.
+    b.start = origin_ + bucket_ * static_cast<std::int64_t>(buckets_.size());
     buckets_.push_back(b);
   }
   return buckets_[idx];
@@ -56,6 +59,90 @@ void FlowStats::mark_event(sim::TimePoint at, std::string label) {
   events_.push_back({at, std::move(label)});
 }
 
+void FlowStats::set_origin(sim::TimePoint t) {
+  WAM_EXPECTS(!have_origin_ && buckets_.empty());
+  have_origin_ = true;
+  origin_ = t;
+  last_seen_ = t;
+}
+
+void FlowStats::merge(const FlowStats& other) {
+  WAM_EXPECTS(bucket_ == other.bucket_);
+  offered_ += other.offered_;
+  answered_ += other.answered_;
+  lost_ += other.lost_;
+  retries_ += other.retries_;
+  rtt_.merge(other.rtt_);
+
+  if (other.have_origin_) {
+    if (!have_origin_) {
+      have_origin_ = true;
+      origin_ = other.origin_;
+      last_seen_ = other.last_seen_;
+      buckets_ = other.buckets_;
+    } else {
+      last_seen_ = std::max(last_seen_, other.last_seen_);
+      const sim::TimePoint new_origin = std::min(origin_, other.origin_);
+      WAM_EXPECTS((origin_ - new_origin) % bucket_ == sim::kZero);
+      WAM_EXPECTS((other.origin_ - new_origin) % bucket_ == sim::kZero);
+      if (new_origin != origin_) {
+        // Rebase our grid onto the earlier origin.
+        const auto shift =
+            static_cast<std::size_t>((origin_ - new_origin) / bucket_);
+        std::vector<Bucket> rebased(buckets_.size() + shift);
+        for (std::size_t i = 0; i < rebased.size(); ++i) {
+          rebased[i].start =
+              new_origin + bucket_ * static_cast<std::int64_t>(i);
+        }
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+          rebased[i + shift].offered = buckets_[i].offered;
+          rebased[i + shift].answered = buckets_[i].answered;
+          rebased[i + shift].lost = buckets_[i].lost;
+          rebased[i + shift].retries = buckets_[i].retries;
+        }
+        buckets_ = std::move(rebased);
+        origin_ = new_origin;
+      }
+      const auto off =
+          static_cast<std::size_t>((other.origin_ - origin_) / bucket_);
+      while (buckets_.size() < off + other.buckets_.size()) {
+        Bucket b;
+        b.start =
+            origin_ + bucket_ * static_cast<std::int64_t>(buckets_.size());
+        buckets_.push_back(b);
+      }
+      for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+        Bucket& into = buckets_[off + i];
+        into.offered += other.buckets_[i].offered;
+        into.answered += other.buckets_[i].answered;
+        into.lost += other.buckets_[i].lost;
+        into.retries += other.buckets_[i].retries;
+      }
+    }
+  }
+
+  // Interleave response samples in time order (ties: ours first — matching
+  // the shard index order merges are applied in), then recompute the gap
+  // statistics over the combined timeline: the longest silence of the
+  // merged population is not the max of the per-shard silences.
+  std::vector<Sample> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+             other.samples_.end(), std::back_inserter(merged),
+             [](const Sample& a, const Sample& b) { return a.at < b.at; });
+  samples_ = std::move(merged);
+  longest_gap_ = sim::kZero;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    longest_gap_ =
+        std::max(longest_gap_, samples_[i].at - samples_[i - 1].at);
+  }
+  if (!samples_.empty()) last_response_ = samples_.back().at;
+
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+}
+
 double FlowStats::availability() const {
   if (offered_ == 0) return 1.0;
   return static_cast<double>(answered_) / static_cast<double>(offered_);
@@ -78,7 +165,10 @@ std::vector<FailoverWindow> FlowStats::failover_windows(
     w.label = event.label;
     w.at = event.at;
     w.window = window;
-    const sim::TimePoint lo = event.at - window;
+    // Clamp the lower edge at the grid origin: a mark earlier than one
+    // window into the run must not produce a negative-time window.
+    sim::TimePoint lo = event.at - window;
+    if (have_origin_ && lo < origin_) lo = origin_;
     const sim::TimePoint hi = event.at + window;
 
     // Counter sides come from the bucketized timeline; a bucket belongs to

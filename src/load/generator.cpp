@@ -8,6 +8,36 @@
 
 namespace wam::load {
 
+namespace {
+
+/// Largest lambda handed to one Knuth draw: exp(-500) ≈ 7e-218 is still a
+/// perfectly normal double, far from the ~1e-308 underflow cliff.
+constexpr double kPoissonChunk = 500.0;
+
+std::uint32_t knuth_poisson(sim::Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  std::uint32_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+std::uint32_t poisson_draw(sim::Rng& rng, double lambda) {
+  WAM_EXPECTS(lambda >= 0.0);
+  std::uint64_t total = 0;
+  while (lambda > kPoissonChunk) {
+    total += knuth_poisson(rng, kPoissonChunk);
+    lambda -= kPoissonChunk;
+  }
+  total += knuth_poisson(rng, lambda);
+  return static_cast<std::uint32_t>(total);
+}
+
 LoadGenerator::LoadGenerator(net::Host& host, LoadOptions options)
     : host_(host),
       opt_(std::move(options)),
@@ -20,9 +50,13 @@ LoadGenerator::LoadGenerator(net::Host& host, LoadOptions options)
   WAM_EXPECTS(opt_.flows_per_second > 0);
   WAM_EXPECTS(opt_.tick > sim::kZero);
   WAM_EXPECTS(opt_.long_flow_requests >= 1);
-  auto wheel_ticks = opt_.long_flow_interval / opt_.tick;
-  wheel_.resize(static_cast<std::size_t>(std::max<std::int64_t>(
-      static_cast<std::int64_t>(wheel_ticks), 1)));
+  // Round to the nearest whole number of ticks: plain division truncates,
+  // silently shortening the long-flow cadence for any non-divisible
+  // interval (e.g. 250 ms at a 100 ms tick ran every 200 ms).
+  WAM_EXPECTS(opt_.long_flow_interval >= opt_.tick);
+  const auto ticks = (opt_.long_flow_interval + opt_.tick / 2) / opt_.tick;
+  wheel_.resize(static_cast<std::size_t>(
+      std::max<std::int64_t>(static_cast<std::int64_t>(ticks), 1)));
 }
 
 void LoadGenerator::start() {
@@ -64,16 +98,7 @@ std::uint32_t LoadGenerator::draw_arrivals() {
     arrival_carry_ -= n;
     return n;
   }
-  // Knuth's product-of-uniforms sampler; fine for per-tick means well
-  // under ~500 (1 ms ticks at the rates the benches drive).
-  const double limit = std::exp(-lambda);
-  std::uint32_t k = 0;
-  double p = 1.0;
-  do {
-    ++k;
-    p *= rng_.uniform();
-  } while (p > limit);
-  return k - 1;
+  return poisson_draw(rng_, lambda);
 }
 
 void LoadGenerator::tick() {

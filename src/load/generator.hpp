@@ -36,6 +36,15 @@
 
 namespace wam::load {
 
+/// Exact Poisson(lambda) sample. Knuth's product-of-uniforms sampler
+/// directly for small lambda; above a threshold the draw is split into
+/// independent chunks (Poisson(a+b) = Poisson(a) + Poisson(b)), because
+/// Knuth's termination test `p > exp(-lambda)` breaks once exp(-lambda)
+/// underflows to 0 (lambda ≳ 700): the loop then only ends when p itself
+/// underflows, silently capping samples near ~745. Small-lambda draws are
+/// byte-identical to the historical sampler (same rng consumption).
+std::uint32_t poisson_draw(sim::Rng& rng, double lambda);
+
 struct LoadOptions {
   /// Service addresses, hottest first (Zipf rank k maps to vips[k]).
   std::vector<net::Ipv4Address> vips;
@@ -88,6 +97,8 @@ class LoadGenerator : public apps::TrafficSource {
   [[nodiscard]] std::size_t flows_active() const {
     return flows_.size() - free_.size();
   }
+  /// Timer-wheel size in ticks (= the effective long-flow cadence).
+  [[nodiscard]] std::size_t wheel_ticks() const { return wheel_.size(); }
 
  private:
   /// Flyweight flow record — everything a flow needs between requests.

@@ -1,0 +1,172 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wam::sim {
+
+ShardSet::ShardSet(Scheduler& primary, int count, Duration lookahead)
+    : lookahead_(lookahead) {
+  WAM_EXPECTS(count >= 1);
+  WAM_EXPECTS(lookahead > kZero);
+  shards_.push_back(&primary);
+  for (int i = 1; i < count; ++i) {
+    owned_.push_back(std::make_unique<Scheduler>());
+    shards_.push_back(owned_.back().get());
+  }
+  const auto n = static_cast<std::size_t>(count);
+  out_.resize(n);
+  for (auto& row : out_) row.resize(n);
+  out_seq_.assign(n, 0);
+  inbox_.resize(n);
+  worker_errors_.resize(n);
+}
+
+ShardSet::~ShardSet() {
+  if (!workers_.empty()) {
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void ShardSet::post(int from, int to, TimePoint when, util::SmallFn fn) {
+  WAM_EXPECTS(from >= 0 && from < size() && to >= 0 && to < size());
+  // The conservative guarantee: a message posted during a window may not
+  // land inside it. Catching a violation here (instead of delivering late)
+  // turns a lookahead misconfiguration into an immediate, debuggable fail.
+  WAM_ASSERT(when >= window_end_);
+  auto& box = out_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  box.push_back(Pending{when, static_cast<std::uint32_t>(from),
+                        out_seq_[static_cast<std::size_t>(from)]++,
+                        std::move(fn)});
+}
+
+void ShardSet::drain_inbox(int shard) {
+  auto& box = inbox_[static_cast<std::size_t>(shard)];
+  if (box.empty()) return;
+  // Canonical insertion order: (arrival time, source shard, source seq).
+  // The destination scheduler breaks its (when) ties by insertion seq, so
+  // sorting here pins the cross-shard tie-break regardless of which thread
+  // finished its window first.
+  std::sort(box.begin(), box.end(), [](const Pending& a, const Pending& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  Scheduler& sched = *shards_[static_cast<std::size_t>(shard)];
+  for (Pending& p : box) sched.schedule_at(p.when, std::move(p.fn));
+  box.clear();
+}
+
+void ShardSet::run_window(int shard, TimePoint wend, bool final_window) {
+  drain_inbox(shard);
+  Scheduler& sched = *shards_[static_cast<std::size_t>(shard)];
+  if (final_window) {
+    sched.run_until(wend);  // inclusive: events at exactly `wend` run
+  } else {
+    sched.run_until_exclusive(wend);
+  }
+}
+
+void ShardSet::collect_outboxes() {
+  for (std::size_t dst = 0; dst < out_.size(); ++dst) {
+    auto& in = inbox_[dst];
+    for (std::size_t src = 0; src < out_.size(); ++src) {
+      auto& box = out_[src][dst];
+      posts_ += box.size();
+      for (Pending& p : box) in.push_back(std::move(p));
+      box.clear();  // keeps capacity for the next window
+    }
+  }
+}
+
+void ShardSet::start_workers() {
+  if (!workers_.empty()) return;
+  for (int i = 1; i < size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardSet::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  while (true) {
+    // Spin briefly, then yield: cheap rendezvous on many-core boxes,
+    // cooperative on over-subscribed ones (CI runners, single-core).
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+    seen = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    try {
+      run_window(shard, window_end_, final_window_);
+    } catch (...) {
+      worker_errors_[static_cast<std::size_t>(shard)] =
+          std::current_exception();
+    }
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ShardSet::rethrow_worker_failure() {
+  for (auto& err : worker_errors_) {
+    if (err) {
+      std::exception_ptr e = err;
+      err = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ShardSet::run_windows_threaded(TimePoint wend, bool final_window) {
+  start_workers();
+  done_.store(0, std::memory_order_relaxed);
+  window_end_ = wend;
+  final_window_ = final_window;
+  epoch_.fetch_add(1, std::memory_order_release);
+  run_window(0, wend, final_window);  // shard 0 on the calling thread
+  int spins = 0;
+  while (done_.load(std::memory_order_acquire) < size() - 1) {
+    if (++spins > 64) std::this_thread::yield();
+  }
+  rethrow_worker_failure();
+}
+
+void ShardSet::run_until(TimePoint deadline) {
+  if (size() == 1) {
+    // Degenerate single-shard set: no cross-shard traffic is possible, so
+    // this IS the sequential engine (the oracle the tests compare against).
+    drain_inbox(0);
+    shards_[0]->run_until(deadline);
+    window_end_ = deadline;
+    return;
+  }
+  TimePoint t = now();
+  for (int i = 1; i < size(); ++i) {
+    WAM_EXPECTS(shard(i).now() == t);  // quiesced entry invariant
+  }
+  WAM_EXPECTS(t <= deadline);
+  while (true) {
+    const bool final_window = deadline - t <= lookahead_;
+    const TimePoint wend = final_window ? deadline : t + lookahead_;
+    ++windows_;
+    if (threads_enabled_) {
+      run_windows_threaded(wend, final_window);
+    } else {
+      window_end_ = wend;
+      final_window_ = final_window;
+      for (int i = 0; i < size(); ++i) run_window(i, wend, final_window);
+    }
+    collect_outboxes();
+    t = wend;
+    if (final_window) break;
+  }
+  // Leave no message stranded in staging: arrivals beyond `deadline` are
+  // scheduled into their destination now, so pending_events() is accurate
+  // and a later run_until starts from plain scheduler state.
+  for (int i = 0; i < size(); ++i) drain_inbox(i);
+}
+
+}  // namespace wam::sim

@@ -1,0 +1,126 @@
+// Conservative PDES: one world sharded across worker threads.
+//
+// A ShardSet partitions a simulation into K shards, each with its own
+// Scheduler run-loop (shard 0 aliases an externally owned scheduler so a
+// scenario's public `sched` member stays the real shard-0 clock). Time
+// advances in lookahead windows: every shard runs its own events up to the
+// window end, then all shards rendezvous at a barrier where cross-shard
+// messages posted during the window are handed to their destination
+// shards. The lookahead is the minimum cross-shard latency (the fabric's
+// per-hop delay): anything sent at t arrives at t + lookahead or later,
+// i.e. in a window that has not started yet, so no shard can ever receive
+// an event in its past — the classic conservative synchronization
+// argument (Chandy-Misra-Bryant, barrier form).
+//
+// Determinism contract (docs/PARALLEL.md):
+//   * Each shard's event order is the sequential (when, seq) order of its
+//     own scheduler — unchanged from the single-threaded engine.
+//   * Cross-shard arrivals are inserted at the window boundary in the
+//     canonical (when, source shard, per-source sequence) order, so the
+//     destination's tie-break is independent of thread timing.
+//   * Consequently a run is bit-identical for any thread interleaving and
+//     for threads on/off; and the K = 1 configuration IS the sequential
+//     engine, which the equivalence tests use as the oracle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/small_fn.hpp"
+
+namespace wam::sim {
+
+class ShardSet {
+ public:
+  /// Shard 0 aliases `primary` (externally owned, typically a scenario's
+  /// `sched` member); shards 1..count-1 are owned. `lookahead` must be a
+  /// positive lower bound on every cross-shard delay.
+  ShardSet(Scheduler& primary, int count, Duration lookahead);
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+  ~ShardSet();
+
+  [[nodiscard]] int size() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] Scheduler& shard(int i) {
+    return *shards_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  /// All shard clocks agree whenever the set is quiesced (outside
+  /// run_until); shard 0 is the canonical one.
+  [[nodiscard]] TimePoint now() const { return shards_[0]->now(); }
+
+  /// Worker threads on (default) or a serial round-robin that executes
+  /// the identical window schedule on the calling thread — bit-identical
+  /// results either way (the serial mode is the debugging/TSan-friendly
+  /// reference).
+  void set_threads(bool on) { threads_enabled_ = on; }
+  [[nodiscard]] bool threads() const { return threads_enabled_; }
+
+  /// Queue `fn` to run at `when` on shard `to`. Must be called from shard
+  /// `from`'s run-loop during a window (each source owns its outboxes, so
+  /// posting is lock-free); `when` must lie at or beyond the current
+  /// window end — the lookahead guarantee the fabric provides.
+  void post(int from, int to, TimePoint when, util::SmallFn fn);
+
+  /// Advance every shard to `deadline` in lookahead windows. Events at
+  /// exactly `deadline` run (matching Scheduler::run_until semantics);
+  /// on return all shards are quiesced at `deadline` and every posted
+  /// message has been delivered into its destination scheduler.
+  void run_until(TimePoint deadline);
+  void run_for(Duration span) { run_until(now() + span); }
+
+  /// Barrier windows executed so far (observability for tests/benches).
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  /// Cross-shard messages posted so far.
+  [[nodiscard]] std::uint64_t posts() const { return posts_; }
+
+ private:
+  struct Pending {
+    TimePoint when;
+    std::uint32_t src;
+    std::uint64_t seq;  // per-source post counter
+    util::SmallFn fn;
+  };
+
+  void run_window(int shard, TimePoint wend, bool final_window);
+  void drain_inbox(int shard);
+  void collect_outboxes();
+  void start_workers();
+  void worker_loop(int shard);
+  void run_windows_threaded(TimePoint wend, bool final_window);
+  void rethrow_worker_failure();
+
+  Duration lookahead_;
+  std::vector<Scheduler*> shards_;  // [0] external, rest owned below
+  std::vector<std::unique_ptr<Scheduler>> owned_;
+
+  // out_[src][dst]: written only by src's thread during a window.
+  std::vector<std::vector<std::vector<Pending>>> out_;
+  std::vector<std::uint64_t> out_seq_;  // per-source post counter
+  // inbox_[dst]: staged at the barrier by the coordinator, sorted and
+  // scheduled by dst at its next window start.
+  std::vector<std::vector<Pending>> inbox_;
+
+  bool threads_enabled_ = true;
+  std::uint64_t windows_ = 0;
+  std::uint64_t posts_ = 0;
+
+  // Worker rendezvous: the coordinator publishes (window_end_,
+  // final_window_) then release-increments epoch_; workers acquire it,
+  // run their shard's window, and release-increment done_.
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> stop_{false};
+  TimePoint window_end_{};
+  bool final_window_ = false;
+  std::vector<std::exception_ptr> worker_errors_;
+};
+
+}  // namespace wam::sim

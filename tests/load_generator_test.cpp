@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +16,7 @@
 #include "load/harness.hpp"
 #include "net/fabric.hpp"
 #include "net/host.hpp"
+#include "util/assert.hpp"
 
 namespace wam::load {
 namespace {
@@ -127,6 +131,75 @@ TEST_F(GeneratorTest, FlowSlabRecyclesSlots) {
   EXPECT_GT(gen.flows_started(), 15000u);
   EXPECT_LT(gen.flows_active(), 200u);
   gen.stop();
+}
+
+TEST(PoissonDraw, SmallLambdaIsByteIdenticalToKnuthReference) {
+  // Below the split threshold the sampler must consume the rng exactly
+  // like the historical Knuth loop — pinned so every existing seeded
+  // trial keeps its byte-identical results.
+  auto reference = [](sim::Rng& rng, double lambda) -> std::uint32_t {
+    const double limit = std::exp(-lambda);
+    std::uint32_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  };
+  for (double lambda : {0.3, 1.0, 10.0, 75.0, 400.0}) {
+    sim::Rng a(42);
+    sim::Rng b(42);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(poisson_draw(a, lambda), reference(b, lambda)) << lambda;
+    }
+    // Full stream agreement, not just the sample values.
+    EXPECT_EQ(a.uniform(), b.uniform()) << lambda;
+  }
+}
+
+TEST(PoissonDraw, HighLambdaIsNotCappedAndMeanIsUnbiased) {
+  // The historical sampler silently capped draws near ~745 once
+  // exp(-lambda) underflowed to 0: at lambda = 1000 every sample came
+  // back ~745 and the offered load ran 25% light. The split sampler must
+  // put the mean back on lambda and produce samples ABOVE the old cap
+  // (1000 - 8 sigma > 745, so any capped sampler fails this hard).
+  sim::Rng rng(7);
+  const double lambda = 1000.0;
+  const int n = 3000;
+  double sum = 0;
+  std::uint32_t lo = ~0u;
+  std::uint32_t hi = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t x = poisson_draw(rng, lambda);
+    sum += x;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  const double mean = sum / n;
+  // sd of the sample mean = sqrt(1000/3000) ~ 0.58; +-4 sd margin.
+  EXPECT_NEAR(mean, lambda, 2.5);
+  EXPECT_GT(lo, 745u);
+  EXPECT_GT(hi, lambda);  // the right tail exists again
+}
+
+TEST_F(GeneratorTest, WheelSizeRoundsToNearestTick) {
+  // 250 ms cadence at a 100 ms tick used to truncate to 2 ticks (a 200 ms
+  // cadence, 25% hot); round-half-up gives 3. Divisible intervals are
+  // untouched, and a cadence shorter than the tick is a configuration
+  // error, not a 0-sized wheel.
+  auto opt = options(100.0);
+  opt.tick = sim::milliseconds(100);
+  opt.long_flow_interval = sim::milliseconds(250);
+  EXPECT_EQ(LoadGenerator(*client, opt).wheel_ticks(), 3u);
+  opt.long_flow_interval = sim::milliseconds(240);
+  EXPECT_EQ(LoadGenerator(*client, opt).wheel_ticks(), 2u);
+  opt.long_flow_interval = sim::milliseconds(500);
+  EXPECT_EQ(LoadGenerator(*client, opt).wheel_ticks(), 5u);
+  opt.long_flow_interval = sim::milliseconds(100);
+  EXPECT_EQ(LoadGenerator(*client, opt).wheel_ticks(), 1u);
+  opt.long_flow_interval = sim::milliseconds(60);
+  EXPECT_THROW(LoadGenerator(*client, opt), util::ContractViolation);
 }
 
 TEST(LoadHarness, SameSeedTrialsAreByteIdentical) {

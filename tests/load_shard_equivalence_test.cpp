@@ -1,0 +1,151 @@
+// Sequential-vs-sharded decision identity for the load plane.
+//
+// The sharded engine's contract (docs/PARALLEL.md): a world sharded N ways
+// makes the same decisions as the sequential oracle (the same engine at
+// N = 1), and a sharded run is bit-identical with worker threads on or
+// off. The trial-level pins compare full TrialResult::to_json() bytes; the
+// fabric-level pin compares per-NIC delivery journals, canonicalized
+// within same-nanosecond runs (arrival order between different senders in
+// the same nanosecond is the one documented freedom).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/cluster_scenario.hpp"
+#include "load/generator.hpp"
+#include "load/harness.hpp"
+#include "net/fabric.hpp"
+
+namespace wam::load {
+namespace {
+
+TrialOptions small_trial() {
+  TrialOptions t;
+  t.protocol = Protocol::kWackamole;
+  t.members = 4;
+  t.vips = 16;
+  t.flows_per_second = 2000.0;
+  t.warmup = sim::seconds(1.0);
+  t.after = sim::seconds(5.0);
+  t.window = sim::seconds(1.0);
+  t.clients = 3;
+  t.shard_threads = false;  // serial windows: fast on 1-core CI, TSan-free
+  return t;
+}
+
+TEST(ShardEquivalence, ShardedTrialMatchesSequentialOracle) {
+  auto t = small_trial();
+  t.shards = 1;
+  const auto oracle = run_failover_trial(t).to_json();
+  t.shards = 4;
+  EXPECT_EQ(run_failover_trial(t).to_json(), oracle);
+  t.shards = 2;
+  EXPECT_EQ(run_failover_trial(t).to_json(), oracle);
+}
+
+TEST(ShardEquivalence, WorkerThreadsDoNotChangeResults) {
+  auto t = small_trial();
+  t.shards = 3;
+  t.after = sim::seconds(3.0);
+  t.shard_threads = false;
+  const auto serial = run_failover_trial(t).to_json();
+  t.shard_threads = true;
+  EXPECT_EQ(run_failover_trial(t).to_json(), serial);
+}
+
+TEST(ShardEquivalence, BaselineProtocolsRunShardedToo) {
+  // The VRRP baseline LAN goes through the same ShardSet plumbing.
+  auto t = small_trial();
+  t.protocol = Protocol::kVrrp;
+  t.members = 3;
+  t.after = sim::seconds(3.0);
+  t.shards = 1;
+  const auto oracle = run_failover_trial(t).to_json();
+  t.shards = 3;
+  EXPECT_EQ(run_failover_trial(t).to_json(), oracle);
+}
+
+using Rec = net::Fabric::DeliveryRecord;
+
+/// Sort each same-timestamp run by digest: delivery order WITHIN one
+/// nanosecond at one NIC is the only thing the engines may disagree on.
+std::vector<Rec> canonical(std::vector<Rec> v) {
+  auto it = v.begin();
+  while (it != v.end()) {
+    auto run_end = it;
+    while (run_end != v.end() && run_end->when == it->when) ++run_end;
+    std::sort(it, run_end,
+              [](const Rec& a, const Rec& b) { return a.digest < b.digest; });
+    it = run_end;
+  }
+  return v;
+}
+
+void expect_same_journal(const std::vector<Rec>& a, const std::vector<Rec>& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].when.time_since_epoch().count(),
+              b[i].when.time_since_epoch().count())
+        << what << " record " << i;
+    ASSERT_EQ(a[i].digest, b[i].digest) << what << " record " << i;
+  }
+}
+
+/// Run a small cluster + client load world and return the canonicalized
+/// per-NIC delivery journals (servers first, then clients).
+std::vector<std::vector<Rec>> run_world(int shards) {
+  apps::ClusterOptions copt;
+  copt.num_servers = 3;
+  copt.num_vips = 6;
+  copt.with_router = false;
+  copt.shards = shards;
+  copt.shard_threads = false;
+  copt.load_clients = 2;
+  copt.seed = 9;
+  apps::ClusterScenario s(copt);
+  s.fabric.set_record_deliveries(true);
+  s.start();
+  s.run_until_stable(sim::seconds(30.0));
+
+  for (int c = 0; c < s.num_clients(); ++c) {
+    LoadOptions opt;
+    for (int k = 0; k < copt.num_vips; ++k) opt.vips.push_back(s.vip(k));
+    opt.flows_per_second = 400.0;
+    opt.seed = 77 + static_cast<std::uint64_t>(c);
+    s.attach_traffic(std::make_unique<LoadGenerator>(s.client_host(c), opt));
+  }
+  s.run(sim::seconds(1.0));
+  s.disconnect_server(1);
+  s.run(sim::seconds(2.0));
+  s.reconnect_server(1);
+  s.run(sim::seconds(1.0));
+
+  std::vector<std::vector<Rec>> journals;
+  for (int i = 0; i < s.num_servers(); ++i) {
+    journals.push_back(canonical(s.fabric.deliveries(s.server_host(i).nic_id(0))));
+  }
+  for (int c = 0; c < s.num_clients(); ++c) {
+    journals.push_back(canonical(s.fabric.deliveries(s.client_host(c).nic_id(0))));
+  }
+  return journals;
+}
+
+TEST(ShardEquivalence, PerNicDeliveryJournalsMatchOracle) {
+  const auto oracle = run_world(1);
+  const auto sharded = run_world(3);
+  ASSERT_EQ(oracle.size(), sharded.size());
+  std::uint64_t total = 0;
+  for (std::size_t n = 0; n < oracle.size(); ++n) {
+    expect_same_journal(oracle[n], sharded[n], "nic " + std::to_string(n));
+    total += oracle[n].size();
+  }
+  EXPECT_GT(total, 1000u);  // the journals actually observed traffic
+}
+
+}  // namespace
+}  // namespace wam::load

@@ -14,6 +14,7 @@
 // --jobs N fans the (seed, profile) list out over N threads; results are
 // buffered and reported in seed order, so stdout is byte-identical to a
 // sequential run (each seed builds its own simulation universe).
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -43,8 +44,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--seeds N] [--seed S] [--profile cluster|router|both]\n"
       "          [--rounds R] [--servers N] [--vips K] [--os-faults]\n"
-      "          [--no-shrink] [--dsl] [--replay] [--quiet] [--jobs N]\n"
-      "          [--shards N] [--no-shard-threads]\n",
+      "          [--state-faults] [--no-shrink] [--dsl] [--replay]\n"
+      "          [--quiet] [--jobs N] [--shards N] [--no-shard-threads]\n",
       argv0);
   return 2;
 }
@@ -123,6 +124,10 @@ int main(int argc, char** argv) {
       cli.campaign.generator.num_vips = static_cast<int>(v);
     } else if (std::strcmp(arg, "--os-faults") == 0) {
       cli.campaign.generator.os_faults = true;
+    } else if (std::strcmp(arg, "--state-faults") == 0) {
+      // Transient state-corruption verbs + the ReconvergenceOracle
+      // (cluster profile; router schedules do not generate them).
+      cli.campaign.generator.state_faults = true;
     } else if (std::strcmp(arg, "--shards") == 0) {
       // Run cluster-profile seeds on the sharded engine (decision-identical
       // to the default sequential engine; see docs/PARALLEL.md).
@@ -172,9 +177,24 @@ int main(int argc, char** argv) {
   auto results = runner.run(work);
 
   int failures = 0;
+  std::vector<double> recon;
   for (const auto& r : results) {
     report(r, cli);
     if (!r.passed()) ++failures;
+    recon.insert(recon.end(), r.reconvergence_ms.begin(),
+                 r.reconvergence_ms.end());
+  }
+  if (!recon.empty()) {
+    // Injection-to-first-SelfHeal window per applied corruption
+    // (--state-faults); the distribution CI and EXPERIMENTS.md track.
+    std::sort(recon.begin(), recon.end());
+    auto pct = [&](double p) {
+      return recon[static_cast<std::size_t>(p * (recon.size() - 1))];
+    };
+    std::printf(
+        "reconvergence: %zu sample(s), min %.0f ms, p50 %.0f ms, "
+        "p90 %.0f ms, max %.0f ms\n",
+        recon.size(), recon.front(), pct(0.5), pct(0.9), recon.back());
   }
   std::printf("%zu run(s), %d with violations\n", results.size(), failures);
   return failures == 0 ? 0 : 1;

@@ -113,6 +113,9 @@ ClusterScenario::ClusterScenario(ClusterOptions options)
     config.start_mature = options_.maturity_timeout == sim::kZero;
     config.announce_interval = options_.announce_interval;
     config.quarantine_cooldown = options_.quarantine_cooldown;
+    config.audit_interval = options_.audit_interval;
+    config.resync_delay = options_.resync_delay;
+    config.resync_backoff_max = options_.resync_backoff_max;
     auto wamd = std::make_unique<wackamole::Daemon>(sched, config, *gcsd,
                                                     *faulty, &log);
     auto echo = std::make_unique<EchoServer>(*host);
@@ -304,6 +307,65 @@ void ClusterScenario::heal_os(int i) {
   faulty_ip_manager(i).heal();
   obs.emit(sched.now(), obs::EventType::kFaultHealed, "scenario",
            {{"kind", "os_heal"}, {"server", "s" + std::to_string(i + 1)}});
+}
+
+bool ClusterScenario::corrupt_vip_owner(int i, int group_index) {
+  bool applied = wam(i).chaos_corrupt_vip_owner(group_index);
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "corrupt_vip_owner"},
+            {"server", "s" + std::to_string(i + 1)},
+            {"group_index", std::to_string(group_index)},
+            {"applied", applied ? "1" : "0"}});
+  return applied;
+}
+
+bool ClusterScenario::corrupt_index(int i, int group_index) {
+  bool applied = wam(i).chaos_corrupt_index(group_index);
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "corrupt_index"},
+            {"server", "s" + std::to_string(i + 1)},
+            {"group_index", std::to_string(group_index)},
+            {"applied", applied ? "1" : "0"}});
+  return applied;
+}
+
+bool ClusterScenario::stale_incarnation(int i) {
+  bool applied = wam(i).chaos_corrupt_view_tag();
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "stale_incarnation"},
+            {"server", "s" + std::to_string(i + 1)},
+            {"applied", applied ? "1" : "0"}});
+  return applied;
+}
+
+bool ClusterScenario::flip_view_id(int i) {
+  bool applied = gcs_daemon(i).chaos_flip_view_epoch();
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "flip_view_id"},
+            {"server", "s" + std::to_string(i + 1)},
+            {"applied", applied ? "1" : "0"}});
+  return applied;
+}
+
+bool ClusterScenario::reconfig_storm(int i) {
+  // Three rediscoveries in quick succession: one membership churn burst.
+  // The follow-up kicks ride timers on the servers' scheduler (shard 0 in
+  // sharded runs) so sequential and sharded timelines stay byte-identical.
+  bool applied = gcs_daemon(i).force_rediscovery("chaos: reconfig storm");
+  obs.emit(sched.now(), obs::EventType::kFaultInjected, "scenario",
+           {{"kind", "reconfig_storm"},
+            {"server", "s" + std::to_string(i + 1)},
+            {"applied", applied ? "1" : "0"}});
+  if (applied) {
+    gcs::Daemon* d = &gcs_daemon(i);
+    sched.schedule(sim::milliseconds(200), [d] {
+      d->force_rediscovery("chaos: reconfig storm (2/3)");
+    });
+    sched.schedule(sim::milliseconds(400), [d] {
+      d->force_rediscovery("chaos: reconfig storm (3/3)");
+    });
+  }
+  return applied;
 }
 
 net::Ipv4Address ClusterScenario::vip(int index) const {

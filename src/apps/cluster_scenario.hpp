@@ -40,6 +40,12 @@ struct ClusterOptions {
   sim::Duration announce_interval = sim::kZero;
   /// Self-fence cooldown before a daemon re-probes its enforcement layer.
   sim::Duration quarantine_cooldown = sim::seconds(30.0);
+  /// Wackamole self-stabilization knobs (Config::audit_interval & co);
+  /// zero keeps auditing off so historical seeds replay byte-identically.
+  /// GCS-side view auditing is configured via `gcs.audit_interval`.
+  sim::Duration audit_interval = sim::kZero;
+  sim::Duration resync_delay = sim::seconds(1.0);
+  sim::Duration resync_backoff_max = sim::seconds(30.0);
   /// Sharded engine (conservative PDES, sim/shard.hpp). 0 keeps the legacy
   /// single-threaded engine byte-identical to history; N >= 1 runs the
   /// sharded engine with N shards — N = 1 is the sequential oracle (same
@@ -114,6 +120,24 @@ class ClusterScenario {
   void set_arp_lose(int i, bool on);
   /// Clear every injected enforcement fault on server i.
   void heal_os(int i);
+
+  // ---- transient state corruption (self-stabilization campaign) ----
+  // Each verb flips bits in one daemon's hot state through a chaos
+  // backdoor; each returns whether the corruption actually applied (the
+  // daemon must be running, connected and non-IDLE — the ReconvergenceOracle
+  // only tracks applied injections).
+  /// Stray write into server i's VIP table: the group at `group_index`
+  /// (mod table size) gets an owner no view ever contained.
+  bool corrupt_vip_owner(int i, int group_index);
+  /// Desync server i's member->groups index from its owner map.
+  bool corrupt_index(int i, int group_index);
+  /// Bit-flip server i's cached ViewTag: every in-view message looks stale.
+  bool stale_incarnation(int i);
+  /// Bit-flip the epoch of server i's installed GCS view.
+  bool flip_view_id(int i);
+  /// Reconfiguration storm: three forced rediscoveries on server i's GCS
+  /// daemon spaced 200 ms apart (exercises the resync backoff damping).
+  bool reconfig_storm(int i);
 
   // ---- queries ----
   [[nodiscard]] net::Ipv4Address vip(int index) const;

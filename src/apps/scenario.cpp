@@ -93,6 +93,20 @@ ParsedScenario parse_scenario(const std::string& text) {
         fail(line_no, line, "balance needs a timeout in seconds");
       }
       parsed.options.balance_timeout = sim::seconds(secs);
+    } else if (verb == "audit") {
+      // Self-stabilization: enable the Wackamole state audit and the GCS
+      // view audit at this period (0 keeps both off). Resync backoff is
+      // tightened alongside so heals complete within a scenario run.
+      double secs = 0;
+      if (!(words >> secs) || secs < 0) {
+        fail(line_no, line, "audit needs a period in seconds");
+      }
+      parsed.options.audit_interval = sim::seconds(secs);
+      parsed.options.gcs.audit_interval = sim::seconds(secs);
+      if (secs > 0) {
+        parsed.options.resync_delay = sim::seconds(0.5);
+        parsed.options.resync_backoff_max = sim::seconds(4.0);
+      }
     } else if (verb == "probe") {
       // ProbeConfig knobs; omitted lines keep the paper's defaults (the
       // pinning test asserts byte-identical runs either way).
@@ -159,10 +173,20 @@ ParsedScenario parse_scenario(const std::string& text) {
           fail(line_no, line, "osfail needs a probability in [0, 1)");
         }
       } else if (action == "osfail-sticky" || action == "arp-lose" ||
-                 action == "osheal") {
+                 action == "osheal" || action == "stale-incarnation" ||
+                 action == "flip-view-id" || action == "reconfig-storm") {
         std::string target;
         if (!(words >> target)) fail(line_no, line, action + " needs a server");
         sa.servers.push_back(parse_server(target, n, line_no, line));
+      } else if (action == "corrupt-vip-owner" || action == "corrupt-index") {
+        std::string target;
+        if (!(words >> target)) fail(line_no, line, action + " needs a server");
+        sa.servers.push_back(parse_server(target, n, line_no, line));
+        int group_index = 0;
+        if (!(words >> group_index) || group_index < 0) {
+          fail(line_no, line, action + " needs a non-negative group index");
+        }
+        sa.value = group_index;  // integer operand rides the value slot
       } else if (action == "partition") {
         // Remainder: comma-lists separated by '|'.
         std::string rest;
@@ -273,6 +297,17 @@ bool run_scenario(const std::string& text, std::ostream& out,
         s.set_arp_lose(action.servers[0], true);
       } else if (action.verb == "osheal") {
         s.heal_os(action.servers[0]);
+      } else if (action.verb == "corrupt-vip-owner") {
+        s.corrupt_vip_owner(action.servers[0],
+                            static_cast<int>(action.value));
+      } else if (action.verb == "corrupt-index") {
+        s.corrupt_index(action.servers[0], static_cast<int>(action.value));
+      } else if (action.verb == "stale-incarnation") {
+        s.stale_incarnation(action.servers[0]);
+      } else if (action.verb == "flip-view-id") {
+        s.flip_view_id(action.servers[0]);
+      } else if (action.verb == "reconfig-storm") {
+        s.reconfig_storm(action.servers[0]);
       } else if (action.verb == "probe") {
         s.start_probe(action.servers[0]);
       } else if (action.verb == "partition") {

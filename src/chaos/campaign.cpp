@@ -11,7 +11,8 @@ namespace {
 // every action inapplicable in the current state is a no-op, so shrunk
 // subsequences execute cleanly.
 
-void apply_cluster(apps::ClusterScenario& s, const FaultAction& a) {
+void apply_cluster(apps::ClusterScenario& s, const FaultAction& a,
+                   ReconvergenceOracle* recon = nullptr) {
   switch (a.kind) {
     case FaultKind::kPartition:
       s.partition(a.groups);
@@ -59,6 +60,34 @@ void apply_cluster(apps::ClusterScenario& s, const FaultAction& a) {
       break;
     case FaultKind::kOsHeal:
       s.heal_os(a.servers[0]);
+      break;
+    // Corruption injections report whether they actually applied (target
+    // running, connected, non-IDLE); only applied ones create
+    // reconvergence obligations — a no-op corruption obliges nobody.
+    case FaultKind::kCorruptVipOwner:
+      if (s.corrupt_vip_owner(a.servers[0], static_cast<int>(a.value)) &&
+          recon != nullptr) {
+        recon->on_applied(s, a);
+      }
+      break;
+    case FaultKind::kCorruptIndex:
+      if (s.corrupt_index(a.servers[0], static_cast<int>(a.value)) &&
+          recon != nullptr) {
+        recon->on_applied(s, a);
+      }
+      break;
+    case FaultKind::kStaleIncarnation:
+      if (s.stale_incarnation(a.servers[0]) && recon != nullptr) {
+        recon->on_applied(s, a);
+      }
+      break;
+    case FaultKind::kFlipViewId:
+      if (s.flip_view_id(a.servers[0]) && recon != nullptr) {
+        recon->on_applied(s, a);
+      }
+      break;
+    case FaultKind::kReconfigStorm:
+      s.reconfig_storm(a.servers[0]);
       break;
   }
 }
@@ -122,11 +151,43 @@ std::vector<Violation> drive(Scenario& s, const FaultSchedule& schedule,
   return violations;
 }
 
+/// Reconvergence windows, measured from the event timeline: for every
+/// applied corruption injection, the time to the target server's first
+/// SelfHeal (in either layer) at or after it. Unhealed injections are the
+/// oracle's business; here they simply contribute no sample.
+void extract_reconvergence_ms(const obs::EventTimeline& timeline,
+                              std::vector<double>& out) {
+  const auto& events = timeline.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.type != obs::EventType::kFaultInjected) continue;
+    const std::string* kind = e.field("kind");
+    const std::string* applied = e.field("applied");
+    const std::string* server = e.field("server");
+    if (kind == nullptr || applied == nullptr || server == nullptr) continue;
+    if (*applied != "1") continue;
+    if (*kind != "corrupt_vip_owner" && *kind != "corrupt_index" &&
+        *kind != "stale_incarnation" && *kind != "flip_view_id") {
+      continue;
+    }
+    const std::string wam_scope = "wam/" + *server;
+    const std::string gcs_scope = "gcs/" + *server;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const auto& h = events[j];
+      if (h.type != obs::EventType::kSelfHeal) continue;
+      if (h.source != wam_scope && h.source != gcs_scope) continue;
+      out.push_back(sim::to_millis(h.time - e.time));
+      break;
+    }
+  }
+}
+
 std::vector<Violation> execute_cluster(const FaultSchedule& schedule,
                                        const std::vector<FaultAction>& actions,
                                        std::uint64_t fabric_seed,
                                        std::string* timeline_json, int shards,
-                                       bool shard_threads) {
+                                       bool shard_threads,
+                                       std::vector<double>* reconvergence_ms) {
   apps::ClusterOptions copts;
   copts.num_servers = schedule.num_servers;
   copts.num_vips = schedule.num_vips;
@@ -135,12 +196,22 @@ std::vector<Violation> execute_cluster(const FaultSchedule& schedule,
   copts.shard_threads = shard_threads;
   copts.balance_timeout = sim::seconds(15.0);  // let balance interleave
   copts.seed = fabric_seed;
-  if (schedule.os_faults) {
+  if (schedule.os_faults || schedule.state_faults) {
     // Fence/unfence cycles must complete within a quiescence window: the
     // cooldown probe fires before the checkpoint, and periodic announces
-    // exercise the arp-lose path. Untouched for pre-existing schedules.
+    // exercise the arp-lose path. State-fault heals reuse the same fence
+    // machinery, so they need the same knobs. Untouched for pre-existing
+    // schedules.
     copts.quarantine_cooldown = sim::seconds(10.0);
     copts.announce_interval = sim::seconds(2.0);
+  }
+  if (schedule.state_faults) {
+    // Detection and healing must also complete within the window: audit
+    // every 250 ms, resync after 500 ms with the backoff capped at 4 s.
+    copts.audit_interval = sim::milliseconds(250);
+    copts.resync_delay = sim::milliseconds(500);
+    copts.resync_backoff_max = sim::seconds(4.0);
+    copts.gcs.audit_interval = sim::milliseconds(250);
   }
   apps::ClusterScenario s(copts);
   s.start();
@@ -148,14 +219,20 @@ std::vector<Violation> execute_cluster(const FaultSchedule& schedule,
 
   ClusterFaultModel model(schedule.num_servers);
   PairPersistenceFilter pair_filter;
-  return drive(
+  ReconvergenceOracle recon;
+  auto violations = drive(
       s, schedule, actions,
       [&](const FaultAction& a) {
-        apply_cluster(s, a);
+        apply_cluster(s, a, schedule.state_faults ? &recon : nullptr);
         model.apply(a);
       },
       [&](const Checkpoint& cp, std::vector<Violation>& out) {
-        if (!schedule.os_faults) {
+        if (schedule.state_faults) {
+          // Reconvergence obligations bypass the pair filter: they are
+          // judged exactly once, at the first checkpoint after injection.
+          recon.check(s, cp.regression_guard, out);
+        }
+        if (!schedule.os_faults && !schedule.state_faults) {
           check_cluster_invariants(s, model, cp.regression_guard, out);
           return;
         }
@@ -167,6 +244,10 @@ std::vector<Violation> execute_cluster(const FaultSchedule& schedule,
         pair_filter.apply(cp.regression_guard, std::move(found), out);
       },
       timeline_json);
+  if (reconvergence_ms != nullptr && schedule.state_faults) {
+    extract_reconvergence_ms(s.timeline, *reconvergence_ms);
+  }
+  return violations;
 }
 
 std::vector<Violation> execute_router(const FaultSchedule& schedule,
@@ -209,11 +290,11 @@ const char* profile_name(Profile p) {
 std::vector<Violation> execute_schedule(
     const FaultSchedule& schedule, const std::vector<FaultAction>& actions,
     std::uint64_t fabric_seed, std::string* timeline_json, int shards,
-    bool shard_threads) {
+    bool shard_threads, std::vector<double>* reconvergence_ms) {
   return schedule.router_profile
              ? execute_router(schedule, actions, fabric_seed, timeline_json)
              : execute_cluster(schedule, actions, fabric_seed, timeline_json,
-                               shards, shard_threads);
+                               shards, shard_threads, reconvergence_ms);
 }
 
 CampaignResult run_seed(std::uint64_t seed, Profile profile,
@@ -233,7 +314,8 @@ CampaignResult run_seed(std::uint64_t seed, Profile profile,
   r.dsl = to_dsl(r.schedule);
   r.violations =
       execute_schedule(r.schedule, r.schedule.actions, fabric_seed,
-                       &r.timeline_json, opt.shards, opt.shard_threads);
+                       &r.timeline_json, opt.shards, opt.shard_threads,
+                       &r.reconvergence_ms);
 
   if (!r.passed() && opt.shrink) {
     auto still_fails = [&](const std::vector<FaultAction>& candidate) {

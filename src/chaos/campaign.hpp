@@ -55,6 +55,9 @@ struct CampaignResult {
   std::vector<FaultAction> shrunk_actions;
   std::string shrunk_dsl;
   int shrink_evaluations = 0;
+  /// State-fault runs: per applied corruption injection, milliseconds from
+  /// injection to the target's first SelfHeal (the reconvergence window).
+  std::vector<double> reconvergence_ms;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };
@@ -68,9 +71,12 @@ struct CampaignResult {
 /// Returns the violations; fills `timeline_json` when non-null.
 /// `shards`/`shard_threads` select the engine for cluster-profile
 /// schedules (see CampaignOptions); router schedules ignore them.
+/// `reconvergence_ms`, when non-null, collects per-injection reconvergence
+/// windows (state-fault cluster schedules only).
 [[nodiscard]] std::vector<Violation> execute_schedule(
     const FaultSchedule& schedule, const std::vector<FaultAction>& actions,
     std::uint64_t fabric_seed, std::string* timeline_json, int shards = 0,
-    bool shard_threads = true);
+    bool shard_threads = true,
+    std::vector<double>* reconvergence_ms = nullptr);
 
 }  // namespace wam::chaos

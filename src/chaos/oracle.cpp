@@ -1,5 +1,7 @@
 #include "chaos/oracle.hpp"
 
+#include "wackamole/audit.hpp"
+
 namespace wam::chaos {
 
 namespace {
@@ -53,6 +55,10 @@ const char* violation_kind_name(Violation::Kind k) {
     case Violation::Kind::kConflict: return "conflict";
     case Violation::Kind::kNotRun: return "not-run";
     case Violation::Kind::kFencedButHeld: return "fenced-but-held";
+    case Violation::Kind::kCorruptionUndetected:
+      return "corruption-undetected";
+    case Violation::Kind::kCorruptionUnhealed: return "corruption-unhealed";
+    case Violation::Kind::kResidualCorruption: return "residual-corruption";
   }
   return "?";
 }
@@ -144,6 +150,100 @@ void check_router_invariants(apps::RouterScenario& s,
   }
   report_coverage(holders, "virtual-router group", "{up routers}", now,
                   regression_guard, out);
+}
+
+// ------------------------------------------------- reconvergence oracle ----
+
+namespace {
+
+/// Detection and healing may happen in either layer (a flipped view epoch
+/// is caught by the GCS ViewAuditor, a corrupt table by the Wackamole
+/// StateAuditor), so obligations sum the counters of both daemons.
+std::uint64_t detected_count(apps::ClusterScenario& s, int i) {
+  return s.wam(i).counters().corruptions_detected.value() +
+         s.gcs_daemon(i).counters().corruptions_detected.value();
+}
+
+std::uint64_t heal_count(apps::ClusterScenario& s, int i) {
+  return s.wam(i).counters().self_heals.value() +
+         s.gcs_daemon(i).counters().self_heals.value();
+}
+
+}  // namespace
+
+void ReconvergenceOracle::on_applied(apps::ClusterScenario& s,
+                                     const FaultAction& a) {
+  if (a.kind == FaultKind::kReconfigStorm) return;
+  Obligation o;
+  o.server = a.servers[0];
+  o.at = s.sched.now();
+  o.verb = fault_kind_verb(a.kind);
+  o.detected0 = detected_count(s, o.server);
+  o.heals0 = heal_count(s, o.server);
+  pending_.push_back(o);
+}
+
+void ReconvergenceOracle::check(apps::ClusterScenario& s,
+                                bool regression_guard,
+                                std::vector<Violation>& out) {
+  const auto now = s.sched.now();
+  for (const auto& o : pending_) {
+    auto& w = s.wam(o.server);
+    if (!w.running() || !w.connected()) {
+      // The target crashed or lost its GCS since the injection: its state
+      // was (or will be) rebuilt from scratch, so the obligation is moot.
+      continue;
+    }
+    const std::string who = "server" + std::to_string(o.server + 1);
+    if (detected_count(s, o.server) == o.detected0) {
+      Violation v;
+      v.kind = Violation::Kind::kCorruptionUndetected;
+      v.at = now;
+      v.persisted = regression_guard;
+      v.detail = who + ": " + o.verb + " injected at " +
+                 sim::format_time(o.at) + " never detected";
+      out.push_back(std::move(v));
+    } else if (heal_count(s, o.server) == o.heals0) {
+      Violation v;
+      v.kind = Violation::Kind::kCorruptionUnhealed;
+      v.at = now;
+      v.persisted = regression_guard;
+      v.detail = who + ": " + o.verb + " injected at " +
+                 sim::format_time(o.at) + " detected but never healed";
+      out.push_back(std::move(v));
+    }
+  }
+  pending_.clear();
+
+  // Residual sweep: Properties 1/2 must not just hold — the guarded state
+  // itself must be clean again on every reachable daemon.
+  for (int i = 0; i < s.num_servers(); ++i) {
+    const std::string who = "server" + std::to_string(i + 1);
+    auto& w = s.wam(i);
+    if (w.running() && w.connected()) {
+      auto findings = wackamole::StateAuditor::audit(w);
+      for (const auto& f : findings) {
+        Violation v;
+        v.kind = Violation::Kind::kResidualCorruption;
+        v.at = now;
+        v.persisted = regression_guard;
+        v.detail = who + " wam audit: " +
+                   wackamole::audit_check_name(f.check) +
+                   (f.group.empty() ? "" : " " + f.group) + " (" + f.detail +
+                   ")";
+        out.push_back(std::move(v));
+      }
+    }
+    auto& g = s.gcs_daemon(i);
+    if (g.running() && g.in_op() && !g.view_audit_clean()) {
+      Violation v;
+      v.kind = Violation::Kind::kResidualCorruption;
+      v.at = now;
+      v.persisted = regression_guard;
+      v.detail = who + " gcs view audit not clean";
+      out.push_back(std::move(v));
+    }
+  }
 }
 
 void PairPersistenceFilter::apply(bool regression_guard,

@@ -42,6 +42,15 @@ struct Violation {
     /// while its enforcement layer still holds the addresses — fencing
     /// must release before it quarantines.
     kFencedButHeld,
+    // ---- self-stabilization (--state-faults) ----
+    /// An applied corruption was never detected: the target's
+    /// corruptions_detected counter did not advance by the checkpoint.
+    kCorruptionUndetected,
+    /// Detected but never healed: self_heals did not advance.
+    kCorruptionUnhealed,
+    /// A state audit still reports findings at the checkpoint — the
+    /// cluster did not reconverge within the bounded window.
+    kResidualCorruption,
   };
   Kind kind = Kind::kUncovered;
   sim::TimePoint at{};
@@ -90,6 +99,38 @@ class PairPersistenceFilter {
  private:
   std::set<std::string> pending_;  // coverage keys seen at the last
                                    // post-quiesce checkpoint
+};
+
+/// Self-stabilization oracle for --state-faults schedules.
+///
+/// Properties 1/2 say what the steady state must look like; this oracle
+/// asserts they are *restored* within a bounded window after a transient
+/// corruption. Every APPLIED injection (the scenario hook returned true —
+/// the target was running, connected and non-IDLE) records the target's
+/// detection/heal counters; at the next checkpoint, a quiescence window
+/// later, both must have advanced and a fresh audit of every reachable
+/// daemon must come back clean. kReconfigStorm records no obligation (it
+/// is churn, not corruption — the membership protocol itself absorbs it).
+///
+/// Constructed per execution, alongside the fault model, so any shrunk
+/// subsequence of a schedule is judged with exactly the same rule.
+class ReconvergenceOracle {
+ public:
+  /// Record an applied corruption injection.
+  void on_applied(apps::ClusterScenario& s, const FaultAction& a);
+  /// Judge pending obligations and audit for residual corruption.
+  void check(apps::ClusterScenario& s, bool regression_guard,
+             std::vector<Violation>& out);
+
+ private:
+  struct Obligation {
+    int server = 0;
+    sim::TimePoint at{};
+    const char* verb = "";
+    std::uint64_t detected0 = 0;  // wam+gcs corruptions_detected at injection
+    std::uint64_t heals0 = 0;     // wam+gcs self_heals at injection
+  };
+  std::vector<Obligation> pending_;
 };
 
 }  // namespace wam::chaos

@@ -42,6 +42,11 @@ const char* fault_kind_verb(FaultKind k) {
     case FaultKind::kOsFailSticky: return "osfail-sticky";
     case FaultKind::kArpLose: return "arp-lose";
     case FaultKind::kOsHeal: return "osheal";
+    case FaultKind::kCorruptVipOwner: return "corrupt-vip-owner";
+    case FaultKind::kCorruptIndex: return "corrupt-index";
+    case FaultKind::kStaleIncarnation: return "stale-incarnation";
+    case FaultKind::kFlipViewId: return "flip-view-id";
+    case FaultKind::kReconfigStorm: return "reconfig-storm";
   }
   return "?";
 }
@@ -108,6 +113,15 @@ void ClusterFaultModel::apply(const FaultAction& a) {
       os_prob_.erase(a.servers[0]);
       os_sticky_.erase(a.servers[0]);
       arp_lose_.erase(a.servers[0]);
+      break;
+    case FaultKind::kCorruptVipOwner:
+    case FaultKind::kCorruptIndex:
+    case FaultKind::kStaleIncarnation:
+    case FaultKind::kFlipViewId:
+    case FaultKind::kReconfigStorm:
+      // Transient corruption: the daemon is expected to detect and heal it
+      // by itself, so the predicted steady state is unchanged. Modelling
+      // them as no-ops also keeps every shrunk subsequence sound.
       break;
   }
 }
@@ -329,6 +343,7 @@ FaultSchedule generate_cluster_schedule(sim::Rng& rng,
   const std::int64_t quiesce_ms = to_ms(opt.quiesce);
   const std::int64_t calm_ms = to_ms(opt.calm);
   std::int64_t cursor = 10'000;  // actions start after initial stabilization
+  s.state_faults = opt.state_faults;
 
   for (int round = 0; round < opt.rounds; ++round) {
     int burst = 1 + static_cast<int>(rng.below(3));
@@ -366,6 +381,45 @@ FaultSchedule generate_cluster_schedule(sim::Rng& rng,
         heal.value = 0.0;
         model.apply(heal);
         s.actions.push_back(std::move(heal));
+      }
+    }
+    // State-corruption shots land AFTER the transient heals, a couple of
+    // seconds into the settling window: the corruption hits a cluster that
+    // is (re)converging, and the remaining quiescence bounds the window in
+    // which the daemon must detect and heal it. RNG draws happen only when
+    // state faults are enabled so pre-existing pinned seeds keep consuming
+    // the generator stream identically.
+    if (opt.state_faults) {
+      cursor += rng.range(2000, 4000);
+      int shots = 1 + static_cast<int>(rng.below(2));  // 1 or 2 per round
+      for (int c = 0; c < shots; ++c) {
+        std::vector<int> candidates;
+        for (int i = 0; i < n; ++i) {
+          // Expected participants whose GCS was not just restarted: the
+          // local Wackamole daemon should be connected and non-IDLE, so
+          // the injection actually applies and the oracle tracks it.
+          if (model.participant(i) &&
+              cursor - restarted_ms[static_cast<std::size_t>(i)] >= 3000) {
+            candidates.push_back(i);
+          }
+        }
+        if (candidates.empty()) break;
+        static constexpr FaultKind kCorruptions[] = {
+            FaultKind::kCorruptVipOwner, FaultKind::kCorruptIndex,
+            FaultKind::kStaleIncarnation, FaultKind::kFlipViewId,
+            FaultKind::kReconfigStorm};
+        FaultAction a;
+        a.at = sim::milliseconds(cursor);
+        a.kind = kCorruptions[rng.below(5)];
+        a.servers.push_back(pick(rng, candidates));
+        if (a.kind == FaultKind::kCorruptVipOwner ||
+            a.kind == FaultKind::kCorruptIndex) {
+          a.value = static_cast<double>(rng.below(
+              static_cast<std::size_t>(opt.num_vips)));
+        }
+        model.apply(a);
+        s.actions.push_back(std::move(a));
+        cursor += rng.range(300, 600);
       }
     }
     s.checkpoints.push_back({sim::milliseconds(cursor + quiesce_ms), false});
@@ -440,7 +494,11 @@ std::string to_dsl(const FaultSchedule& s) {
   out += "servers " + std::to_string(s.num_servers) + "\n";
   out += "vips " + std::to_string(s.num_vips) + "\n";
   out += "gcs tuned\n";
-  out += "balance 15\n\n";
+  out += "balance 15\n";
+  // State-fault schedules replay with auditing on, mirroring the campaign
+  // executor's knobs — without it the injected corruption would never heal.
+  if (s.state_faults) out += "audit 0.25\n";
+  out += "\n";
 
   // Merge actions and checkpoints into one chronological listing so the
   // artifact reads as the exact campaign timeline.
@@ -485,6 +543,11 @@ std::string to_dsl(const FaultSchedule& s) {
         out += " " + server_token(a.servers[0]) + buf;
         break;
       }
+      case FaultKind::kCorruptVipOwner:
+      case FaultKind::kCorruptIndex:
+        out += " " + server_token(a.servers[0]) + " " +
+               std::to_string(static_cast<int>(a.value));
+        break;
       case FaultKind::kMerge:
       case FaultKind::kUndrop:
         break;

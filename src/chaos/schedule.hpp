@@ -54,6 +54,17 @@ enum class FaultKind {
   kOsFailSticky,  // server i's acquires fail until kOsHeal (dead NIC)
   kArpLose,       // server i's gratuitous ARPs are silently lost
   kOsHeal,        // clear every enforcement fault on server i
+  // ---- transient state corruption (self-stabilization campaign) ----
+  // All five are one-shot bit flips the daemons must detect and heal on
+  // their own; the fault model treats them as no-ops (the expected steady
+  // state is unchanged — that IS the reconvergence property under test).
+  kCorruptVipOwner,    // stray write into server i's VIP table (`value` =
+                       // group index)
+  kCorruptIndex,       // desync server i's member index (`value` = group
+                       // index)
+  kStaleIncarnation,   // bit-flip server i's cached ViewTag
+  kFlipViewId,         // bit-flip the epoch of server i's installed view
+  kReconfigStorm,      // three forced rediscoveries in quick succession
 };
 
 /// The scenario-DSL verb for a kind ("crash", "drop", ...).
@@ -84,6 +95,11 @@ struct FaultSchedule {
   /// quarantine cooldown and enables periodic announces so fence/unfence
   /// cycles complete within a quiescence window.
   bool os_faults = false;
+  /// Generated with state-corruption faults: the executor enables the
+  /// wackamole StateAuditor and the GCS ViewAuditor (plus fast resync
+  /// backoff) so detection and healing complete within a quiescence
+  /// window, and the ReconvergenceOracle tracks every applied injection.
+  bool state_faults = false;
   std::vector<FaultAction> actions;      // sorted by `at`, strictly increasing
   std::vector<Checkpoint> checkpoints;   // sorted by `at`
   sim::Duration horizon{};               // run the simulation this far
@@ -99,6 +115,10 @@ struct GeneratorOptions {
   /// arp-lose / osheal). Off by default so pre-existing pinned seeds keep
   /// consuming the generator stream identically.
   bool os_faults = false;
+  /// Also generate transient state-corruption faults (corrupt-vip-owner /
+  /// corrupt-index / stale-incarnation / flip-view-id / reconfig-storm).
+  /// Off by default for the same stream-stability reason.
+  bool state_faults = false;
 };
 
 /// Deterministic: the same (rng seed, options) yields the same schedule.

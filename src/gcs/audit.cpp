@@ -1,0 +1,49 @@
+#include "gcs/audit.hpp"
+
+#include <algorithm>
+
+namespace wam::gcs {
+
+const char* view_check_name(ViewCheck c) {
+  switch (c) {
+    case ViewCheck::kIdMismatch: return "view-id-mismatch";
+    case ViewCheck::kMembersMismatch: return "view-members-mismatch";
+    case ViewCheck::kEpochRegressed: return "view-epoch-regressed";
+    case ViewCheck::kSelfMissing: return "view-self-missing";
+  }
+  return "?";
+}
+
+void ViewAuditor::record(const View& v) {
+  shadow_ = v;
+  have_ = true;
+  shadow_epoch_ = std::max(shadow_epoch_, v.id.epoch);
+}
+
+std::optional<ViewFinding> ViewAuditor::audit(const View& live,
+                                              DaemonId self) const {
+  if (!have_) return std::nullopt;
+  if (!(live.id == shadow_.id)) {
+    return ViewFinding{ViewCheck::kIdMismatch,
+                       "live " + live.id.to_string() + " vs shadow " +
+                           shadow_.id.to_string()};
+  }
+  if (live.members != shadow_.members) {
+    return ViewFinding{ViewCheck::kMembersMismatch,
+                       "live " + live.to_string() + " vs shadow " +
+                           shadow_.to_string()};
+  }
+  if (live.id.epoch < shadow_epoch_) {
+    return ViewFinding{ViewCheck::kEpochRegressed,
+                       "epoch " + std::to_string(live.id.epoch) +
+                           " below high-water " +
+                           std::to_string(shadow_epoch_)};
+  }
+  if (!live.contains(self)) {
+    return ViewFinding{ViewCheck::kSelfMissing,
+                       self.to_string() + " not in " + live.to_string()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace wam::gcs

@@ -1,0 +1,58 @@
+// Self-stabilization, GCS side: a shadow copy of the installed daemon view
+// plus an epoch high-water mark, checked against the live view on a timer.
+//
+// The membership view is the root of everything Wackamole derives (ranks,
+// representatives, staleness tags); a transient flip of the view id or the
+// member list silently desynchronizes the whole cluster. The auditor keeps
+// a duplicated copy recorded at install time — a TMR-lite guard — and the
+// daemon heals a divergence by restoring the shadow and re-entering
+// discovery with a fresh incarnation (epoch folded over the high-water
+// mark, so the healed daemon can never regress below a view it already
+// installed).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gcs/types.hpp"
+
+namespace wam::gcs {
+
+enum class ViewCheck {
+  /// Live view id disagrees with the shadow recorded at install.
+  kIdMismatch,
+  /// Live member list disagrees with the shadow recorded at install.
+  kMembersMismatch,
+  /// Live epoch regressed below the installed high-water mark.
+  kEpochRegressed,
+  /// This daemon is missing from its own installed view.
+  kSelfMissing,
+};
+
+const char* view_check_name(ViewCheck c);
+
+struct ViewFinding {
+  ViewCheck check;
+  std::string detail;
+};
+
+class ViewAuditor {
+ public:
+  /// Snapshot the freshly installed view (call from install paths only).
+  void record(const View& v);
+  /// Compare the live view against the shadow; nullopt = clean. Pure read.
+  [[nodiscard]] std::optional<ViewFinding> audit(const View& live,
+                                                 DaemonId self) const;
+  /// The trusted copy to restore from on divergence.
+  [[nodiscard]] const View& shadow() const { return shadow_; }
+  /// Highest epoch ever installed — fold into the next discovery epoch so
+  /// a healed daemon rejoins with a strictly fresh incarnation.
+  [[nodiscard]] std::uint64_t shadow_epoch() const { return shadow_epoch_; }
+
+ private:
+  View shadow_;
+  bool have_ = false;
+  std::uint64_t shadow_epoch_ = 0;
+};
+
+}  // namespace wam::gcs

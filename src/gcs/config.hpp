@@ -49,6 +49,12 @@ struct Config {
   /// frames. Zero (default) = broadcast.
   net::Ipv4Address multicast_group;
 
+  /// Period of the ViewAuditor sweep (self-stabilization): the live view
+  /// is compared against a shadow copy recorded at install time, and a
+  /// divergence heals by restoring the shadow and re-entering discovery
+  /// with a fresh incarnation. Zero (default) disables auditing.
+  sim::Duration audit_interval = sim::kZero;
+
   OrderingEngine ordering = OrderingEngine::kSequencer;
   /// Token ring: minimum hold time per hop (paces rotation).
   sim::Duration token_hold = sim::milliseconds(2);

@@ -28,6 +28,8 @@ void for_each_gcs_metric(CountersT&& c, Fn&& fn) {
   fn("retransmissions", c.retransmissions);
   fn("sync_messages_delivered", c.sync_messages_delivered);
   fn("decode_errors", c.decode_errors);
+  fn("corruptions_detected", c.corruptions_detected);
+  fn("self_heals", c.self_heals);
 }
 }  // namespace
 
@@ -100,8 +102,10 @@ void Daemon::start() {
   advertised_seq_ = 0;
   view_ = View{ViewId{0, id_}, {id_}};
   state_ = State::kOp;
+  auditor_.record(view_);
   heartbeat_timer_ = host_.scheduler().schedule(
       config_.heartbeat_timeout, [this] { heartbeat_tick(); });
+  arm_audit_timer();
   log_.info("daemon %s starting", id_.to_string().c_str());
   enter_discovery("startup");
 }
@@ -116,6 +120,7 @@ void Daemon::stop() {
   heartbeat_timer_.cancel();
   nack_timer_.cancel();
   fifo_nack_timer_.cancel();
+  audit_timer_.cancel();
   token_pass_timer_.cancel();
   token_retry_timer_.cancel();
   discovery_rebroadcast_timer_.cancel();
@@ -238,7 +243,12 @@ void Daemon::on_heartbeat(const Heartbeat& hb) {
   if (state_ != State::kOp) return;
   if (!view_.contains(hb.sender)) return;  // foreign case handled in on_udp
   if (hb.in_op && hb.view != view_.id) {
-    // A member operates in a different view than ours: reconcile.
+    // A member operates in a different view than ours. Before treating the
+    // disagreement as churn, audit OUR side against the install-time shadow:
+    // a locally bit-flipped view id looks exactly like this, and the heal
+    // path (restore shadow + rediscover) must get credit for it — this is
+    // the "protocol-message boundary" audit point.
+    if (audit_and_heal()) return;
     enter_discovery("view mismatch in heartbeat");
     return;
   }
@@ -990,6 +1000,7 @@ void Daemon::install_view(const Install& inst) {
 
   view_ = inst.view;
   state_ = State::kOp;
+  auditor_.record(view_);
   discovery_epoch_ = std::max(discovery_epoch_, view_.id.epoch);
   next_seq_ = 1;
   delivered_seq_ = 0;
@@ -1028,6 +1039,27 @@ void Daemon::install_view(const Install& inst) {
   }
 
   group_table_.replace(inst.groups, inst.group_seqs);
+  // Each accept's entries reflect that daemon's own position in the agreed
+  // stream at collect time. A daemon that had not yet delivered a sequenced
+  // leave/join for one of ITS OWN clients contributes a stale entry which
+  // the authoritativeness filter in maybe_finish_collect() then prefers
+  // over every peer's fresher copy — resurrecting a ghost member (and
+  // dropping a re-join) that wedges any client protocol waiting to hear
+  // from all group members. The sync cut carries exactly the controls such
+  // a daemon missed, it is identical in every Install, and join/leave are
+  // idempotent on the table, so re-applying it here converges all daemons
+  // on the same ghost-free table. Notifications are NOT fired per control:
+  // refresh_groups_after_install() below announces the final membership
+  // once, with identical group sequence numbers everywhere.
+  for (const auto& msg : inst.sync) {
+    if (msg.kind != DataKind::kJoin && msg.kind != DataKind::kLeave) continue;
+    if (!inst.view.contains(msg.sender.daemon)) continue;
+    if (msg.kind == DataKind::kJoin) {
+      group_table_.join(msg.group, msg.sender);
+    } else {
+      group_table_.leave(msg.group, msg.sender);
+    }
+  }
   // The merged table is authoritative for which groups our clients are in.
   for (auto& [cid, client] : clients_) {
     client.groups.clear();
@@ -1198,6 +1230,72 @@ MemberId Daemon::member_id(std::uint32_t client) const {
   auto it = clients_.find(client);
   std::string name = it == clients_.end() ? "?" : it->second.name;
   return MemberId{id_, client, std::move(name)};
+}
+
+// --------------------------------- self-stabilization: view audit / heal ----
+
+void Daemon::arm_audit_timer() {
+  if (config_.audit_interval == sim::kZero) return;
+  audit_timer_.cancel();
+  audit_timer_ = host_.scheduler().schedule(config_.audit_interval,
+                                            [this] { audit_tick(); });
+}
+
+bool Daemon::audit_and_heal() {
+  // Only the operational state carries an installed view worth checking;
+  // mid-discovery the view is about to be replaced anyway.
+  if (!running_ || state_ != State::kOp) return false;
+  auto f = auditor_.audit(view_, id_);
+  if (!f) return false;
+  ++counters_.corruptions_detected;
+  log_.warn("view audit: %s (%s) — restoring shadow and rediscovering",
+            view_check_name(f->check), f->detail.c_str());
+  if (obs_ != nullptr) {
+    obs_->emit(host_.scheduler().now(), obs::EventType::kCorruptionDetected,
+               obs_scope_,
+               {{"checks", view_check_name(f->check)}, {"detail", f->detail}});
+  }
+  // Heal: the shadow recorded at install is the trusted copy. Restore
+  // it, fold the epoch high-water mark into the discovery epoch (the
+  // rejoin must be a strictly fresh incarnation even if the corrupt
+  // epoch had jumped ahead), and re-run the membership protocol so
+  // every derived table is rebuilt by the install exchange.
+  view_ = auditor_.shadow();
+  discovery_epoch_ = std::max(discovery_epoch_, auditor_.shadow_epoch());
+  ++counters_.self_heals;
+  if (obs_ != nullptr) {
+    obs_->emit(host_.scheduler().now(), obs::EventType::kSelfHeal, obs_scope_,
+               {{"action", "rediscovery"}});
+  }
+  enter_discovery("view audit");
+  return true;
+}
+
+void Daemon::audit_tick() {
+  if (!running_) return;
+  audit_and_heal();
+  arm_audit_timer();
+}
+
+bool Daemon::force_rediscovery(const char* reason) {
+  if (!running_ || state_ != State::kOp) return false;
+  enter_discovery(reason);
+  return true;
+}
+
+bool Daemon::chaos_flip_view_epoch() {
+  if (!running_ || state_ != State::kOp) return false;
+  view_.id.epoch ^= 0x40;  // single bit flip: the classic soft error
+  log_.warn("chaos: flipped view epoch to %llu",
+            static_cast<unsigned long long>(view_.id.epoch));
+  // A flip landing on a still-unhealed earlier flip cancels it: the view
+  // matches the shadow again and no audit could ever find anything.
+  // Report not-applied so the oracle records no detection obligation.
+  if (!auditor_.audit(view_, id_).has_value()) {
+    log_.warn("chaos: double flip restored the view id — no corruption");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace wam::gcs

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "gcs/audit.hpp"
 #include "gcs/config.hpp"
 #include "gcs/groups.hpp"
 #include "gcs/message.hpp"
@@ -79,6 +80,8 @@ struct DaemonCounters {
   obs::Counter retransmissions;
   obs::Counter sync_messages_delivered;
   obs::Counter decode_errors;
+  obs::Counter corruptions_detected;
+  obs::Counter self_heals;
 
   void bind(obs::MetricRegistry& registry, const std::string& scope);
   void export_into(obs::MetricRegistry& registry,
@@ -123,6 +126,20 @@ class Daemon {
                         util::Bytes payload,
                         ServiceType service = ServiceType::kAgreed);
   [[nodiscard]] MemberId member_id(std::uint32_t client) const;
+
+  // ---- Self-stabilization (view audit / recovery) ----
+  /// True when the live view matches the shadow recorded at install.
+  [[nodiscard]] bool view_audit_clean() const {
+    return !auditor_.audit(view_, id_).has_value();
+  }
+  /// Rejoin the membership protocol with a fresh incarnation (used by the
+  /// reconfig-storm chaos verb and by the heal path). No-op unless
+  /// running and operational; returns whether it fired.
+  bool force_rediscovery(const char* reason);
+  /// Chaos backdoor: flip one bit of the installed view's epoch — the
+  /// transient fault the ViewAuditor exists to catch. No-op unless
+  /// running and operational; returns whether it fired.
+  bool chaos_flip_view_epoch();
 
  private:
   enum class State { kOp, kDiscovery, kAwaitInstall };
@@ -196,6 +213,13 @@ class Daemon {
   [[nodiscard]] std::vector<std::uint32_t> local_members_of(
       const std::string& group) const;
 
+  // ---- Self-stabilization ----
+  void arm_audit_timer();
+  void audit_tick();
+  /// Audit the live view against the shadow; on divergence restore the
+  /// shadow and re-enter discovery. Returns whether a heal fired.
+  bool audit_and_heal();
+
   net::Host& host_;
   Config config_;
   int ifindex_;
@@ -263,6 +287,10 @@ class Daemon {
   GroupTable group_table_;
   std::map<std::uint32_t, LocalClient> clients_;
   std::uint32_t next_client_id_ = 1;
+
+  // Self-stabilization.
+  ViewAuditor auditor_;
+  sim::TimerHandle audit_timer_;
 
   DaemonCounters counters_;
   obs::Observability* obs_ = nullptr;

@@ -56,7 +56,20 @@ void FlowStats::on_lost(sim::TimePoint t) {
 }
 
 void FlowStats::mark_event(sim::TimePoint at, std::string label) {
-  events_.push_back({at, std::move(label)});
+  // Sorted insert (stable on ties) so failover_windows() reports in time
+  // order even when marks arrive out of order — e.g. a mark recorded
+  // before set_origin() rebases the grid, or shard-merged marks. An exact
+  // duplicate (same tick AND same label) is a replay echo of the same
+  // fail-over, not a second event: skip it instead of double-reporting.
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), at,
+      [](sim::TimePoint t, const Event& e) { return t < e.at; });
+  for (auto it = pos; it != events_.begin();) {
+    --it;
+    if (it->at != at) break;
+    if (it->label == label) return;
+  }
+  events_.insert(pos, {at, std::move(label)});
 }
 
 void FlowStats::set_origin(sim::TimePoint t) {

@@ -20,6 +20,8 @@ const char* event_type_name(EventType t) {
     case EventType::kGroupFenced: return "GroupFenced";
     case EventType::kGroupUnfenced: return "GroupUnfenced";
     case EventType::kPanicRelease: return "PanicRelease";
+    case EventType::kCorruptionDetected: return "CorruptionDetected";
+    case EventType::kSelfHeal: return "SelfHeal";
   }
   return "?";
 }

@@ -45,6 +45,8 @@ enum class EventType : std::uint8_t {
   kGroupFenced,      // wam: OS-op retry budget exhausted, group self-fenced
   kGroupUnfenced,    // wam: quarantine cooldown probe succeeded
   kPanicRelease,     // wam: release_everything() — all groups dropped at once
+  kCorruptionDetected,  // wam/gcs: a state audit found corrupted hot state
+  kSelfHeal,            // wam/gcs: recovery action taken on a corruption
 };
 
 [[nodiscard]] const char* event_type_name(EventType t);

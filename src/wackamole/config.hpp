@@ -83,6 +83,20 @@ struct Config {
   /// NOTIFY clear.
   sim::Duration quarantine_cooldown = sim::seconds(30.0);
 
+  // ---- Self-stabilization (state audit / recovery) ----
+  /// Period of the StateAuditor sweep over the daemon's hot state. Zero
+  /// (the default) disables auditing entirely — both the timer and the
+  /// protocol-message-boundary checks — so pre-existing pinned seeds
+  /// replay byte-identically.
+  sim::Duration audit_interval = sim::kZero;
+  /// Base delay before a corruption-triggered resync (leave + rejoin of
+  /// the group to rebuild state from peers' STATE_MSGs). Consecutive
+  /// resyncs back off exponentially from this base...
+  sim::Duration resync_delay = sim::seconds(1.0);
+  /// ...capped here, damping reconfiguration storms: a daemon whose state
+  /// keeps corrupting converges to one membership change per cap period.
+  sim::Duration resync_backoff_max = sim::seconds(30.0);
+
   /// Sorted group names (the canonical iteration order of set I).
   [[nodiscard]] std::vector<std::string> group_names() const;
   [[nodiscard]] const VipGroup* find_group(const std::string& name) const;

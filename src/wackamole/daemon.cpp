@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "wackamole/audit.hpp"
 
 namespace wam::wackamole {
 
@@ -90,17 +91,25 @@ void Daemon::start() {
   if (!mature_) arm_maturity_timer();
   arm_arp_share_timer();
   arm_announce_timer();
+  arm_audit_timer();
   log_.info("wackamole starting (%s)", mature_ ? "mature" : "immature");
 }
 
 void Daemon::graceful_shutdown() {
   if (!running_) return;
+  // Detect-only sweep: corruption present at shutdown is still reported
+  // (the final campaign checkpoint reads the counters), but the state is
+  // about to be discarded, so nothing is healed.
+  run_audit(AuditPoint::kShutdown);
   running_ = false;
   balance_timer_.cancel();
   maturity_timer_.cancel();
   arp_share_timer_.cancel();
   announce_timer_.cancel();
   reconnect_timer_.cancel();
+  audit_timer_.cancel();
+  resync_timer_.cancel();
+  resync_pending_ = false;
   cancel_pending_acquires();
   for (auto& [name, p] : pending_releases_) p.timer.cancel();
   pending_releases_.clear();
@@ -150,6 +159,11 @@ void Daemon::on_membership(const gcs::GroupView& gv) {
   // EVS transitional signals are informational; the algorithm acts only on
   // regular membership installations (the paper's VIEW_CHANGE events).
   if (gv.transitional) return;
+  // Audit BEFORE the wipe below: any corruption still present is detected
+  // (and counted) here, never silently erased by the rebuild — the
+  // reconvergence oracle's "every injected corruption is detected"
+  // obligation holds unconditionally.
+  run_audit(AuditPoint::kPreWipe);
   ++counters_.view_changes;
   log_.info("VIEW_CHANGE: %s", gv.to_string().c_str());
   // Algorithm 1 lines 1-4 / Algorithm 2 lines 7-9: clear the table (the
@@ -217,10 +231,17 @@ void Daemon::on_message(const gcs::GroupMessage& gm) {
     log_.warn("malformed %d message from %s", static_cast<int>(type),
               gm.sender.to_string().c_str());
   }
+  // Protocol-message boundary: state was just mutated by a handler — the
+  // cheapest possible moment to notice a stray write before it propagates
+  // into the next outgoing message.
+  run_audit(AuditPoint::kBoundary);
 }
 
 void Daemon::on_disconnect() {
   if (!running_) return;
+  // Pre-wipe audit, same contract as on_membership: detect before the
+  // release-everything below discards the evidence.
+  run_audit(AuditPoint::kPreWipe);
   ++counters_.disconnects;
   emit(obs::EventType::kDisconnect);
   log_.warn("lost local GCS daemon: releasing all virtual interfaces");
@@ -948,6 +969,252 @@ void Daemon::cooldown_tick(const std::string& name) {
   // A claim must reach the peers' tables: STATE_MSGs fold via claim() in
   // any state, exactly like the maturity bootstrap's announcement.
   if (claimed) send_state_msg();
+}
+
+// --------------------------- self-stabilization: audit / heal / resync ----
+
+namespace {
+const char* audit_point_name(int p) {
+  switch (p) {
+    case 0: return "timer";
+    case 1: return "boundary";
+    case 2: return "pre-wipe";
+    case 3: return "shutdown";
+  }
+  return "?";
+}
+}  // namespace
+
+void Daemon::arm_audit_timer() {
+  if (config_.audit_interval == sim::kZero) return;
+  audit_timer_.cancel();
+  audit_timer_ =
+      sched_.schedule(config_.audit_interval, [this] { audit_tick(); });
+}
+
+void Daemon::audit_tick() {
+  if (!running_) return;
+  run_audit(AuditPoint::kTimer);
+  arm_audit_timer();
+}
+
+void Daemon::run_audit(AuditPoint point) {
+  // Zero interval disables auditing entirely (timer AND boundary checks),
+  // keeping pre-existing pinned seeds byte-identical.
+  if (config_.audit_interval == sim::kZero) return;
+  if (!running_ || in_audit_) return;
+  auto findings = StateAuditor::audit(*this);
+  if (findings.empty()) {
+    // A clean timer sweep a full cap-period after the last resync resets
+    // the backoff: the next isolated corruption gets the fast base delay
+    // again, while a storm keeps the damping.
+    if (point == AuditPoint::kTimer && resync_attempts_ > 0 &&
+        !resync_pending_ &&
+        sched_.now() - last_resync_at_ >= config_.resync_backoff_max) {
+      resync_attempts_ = 0;
+    }
+    return;
+  }
+  // Guard: heals below fence/multicast, and local delivery is synchronous —
+  // the nested on_message boundary audit must not recurse into run_audit
+  // while the state is mid-repair.
+  in_audit_ = true;
+  ++counters_.corruptions_detected;
+  std::string checks;
+  for (const auto& f : findings) {
+    if (!checks.empty()) checks += ',';
+    checks += audit_check_name(f.check);
+    log_.warn("state audit [%s] %s%s%s: %s",
+              audit_point_name(static_cast<int>(point)),
+              audit_check_name(f.check), f.group.empty() ? "" : " ",
+              f.group.c_str(), f.detail.c_str());
+  }
+  emit(obs::EventType::kCorruptionDetected,
+       {{"checks", checks},
+        {"count", std::to_string(findings.size())},
+        {"at", audit_point_name(static_cast<int>(point))}});
+
+  if (point == AuditPoint::kShutdown) {
+    // Detect-only: the shutdown discards the state anyway.
+    in_audit_ = false;
+    return;
+  }
+  if (point == AuditPoint::kPreWipe) {
+    // The caller is about to discard and rebuild this exact state (view
+    // change wipe or disconnect release): the imminent rebuild IS the
+    // heal, and any pending resync is superseded by it.
+    ++counters_.self_heals;
+    emit(obs::EventType::kSelfHeal, {{"action", "view-rebuild"}});
+    resync_timer_.cancel();
+    resync_pending_ = false;
+    in_audit_ = false;
+    return;
+  }
+
+  bool checksum = false;
+  bool index = false;
+  bool view_tag = false;
+  std::vector<GroupId> bogus;
+  std::vector<std::string> unknown_quarantine;
+  for (const auto& f : findings) {
+    switch (f.check) {
+      case AuditCheck::kTableChecksum: checksum = true; break;
+      case AuditCheck::kTableIndex: index = true; break;
+      case AuditCheck::kViewTag: view_tag = true; break;
+      case AuditCheck::kOwnerNotInView:
+        bogus.push_back(intern_group(f.group));
+        break;
+      case AuditCheck::kQuarantineUnknown:
+        unknown_quarantine.push_back(f.group);
+        break;
+    }
+  }
+  if (!unknown_quarantine.empty()) {
+    for (const auto& name : unknown_quarantine) {
+      quarantined_.erase(name);
+      auto it = cooldown_timers_.find(name);
+      if (it != cooldown_timers_.end()) {
+        it->second.cancel();
+        cooldown_timers_.erase(it);
+      }
+    }
+    ++counters_.self_heals;
+    emit(obs::EventType::kSelfHeal,
+         {{"action", "drop-unknown-quarantine"},
+          {"groups", std::to_string(unknown_quarantine.size())}});
+  }
+  if (!bogus.empty()) {
+    // Identified corrupt entries: drop them, rebuild the derived state
+    // (index + checksum), then run the PR-3 fence machinery per group —
+    // quarantine + NOTIFY makes the peers reallocate around us NOW, and
+    // the cooldown probe clears the fence once the dust settles. The
+    // table is consistent again BEFORE the first multicast below (local
+    // delivery is synchronous).
+    for (auto id : bogus) table_.clear_owner(id);
+    table_.rebuild();
+    ++counters_.self_heals;
+    emit(obs::EventType::kSelfHeal,
+         {{"action", "fence"}, {"groups", std::to_string(bogus.size())}});
+    for (auto id : bogus) {
+      fence_group(group_name(id), "state audit: owner not in view");
+    }
+  }
+  if (view_tag || (checksum && bogus.empty())) {
+    // No identifiable entry to surgically repair (or the incarnation
+    // itself is suspect): discard everything and rebuild from the peers.
+    schedule_resync(view_tag ? "view-tag mismatch" : "table checksum");
+  } else if (index && bogus.empty() && !checksum) {
+    // Index-only drift: the owner map is intact, rebuild the index.
+    table_.rebuild();
+    ++counters_.self_heals;
+    emit(obs::EventType::kSelfHeal, {{"action", "rebuild-index"}});
+  }
+  in_audit_ = false;
+}
+
+void Daemon::schedule_resync(const std::string& why) {
+  if (resync_pending_) return;
+  resync_pending_ = true;
+  auto delay = config_.resync_delay;
+  for (int i = 0; i < resync_attempts_ && delay < config_.resync_backoff_max;
+       ++i) {
+    delay += delay;
+  }
+  delay = std::min(delay, config_.resync_backoff_max);
+  ++resync_attempts_;
+  last_resync_at_ = sched_.now();
+  log_.warn("scheduling resync in %.1fms (%s, attempt %d)",
+            sim::to_millis(delay), why.c_str(), resync_attempts_);
+  resync_timer_.cancel();
+  resync_timer_ = sched_.schedule(delay, [this] { resync_tick(); });
+}
+
+void Daemon::resync_tick() {
+  resync_pending_ = false;
+  if (!running_ || !client_.connected() || state_ == WamState::kIdle) return;
+  ++counters_.resyncs;
+  ++counters_.self_heals;
+  emit(obs::EventType::kSelfHeal,
+       {{"action", "resync"}, {"attempt", std::to_string(resync_attempts_)}});
+  log_.warn("resync: rejoining %s to rebuild state from the peers",
+            config_.group.c_str());
+  last_resync_at_ = sched_.now();
+  // Drop the whole client session and rejoin under a FRESH incarnation
+  // (new client id), not leave+join under the same identity: the leave
+  // and the re-join travel as separate unicasts to the sequencer, and
+  // in-flight jitter can invert them — the join would no-op against our
+  // still-present membership and the leave would then evict us for good.
+  // A fresh identity's join commutes with the old identity's leave, so
+  // arrival order cannot matter. The graceful disconnect still leaves the
+  // group for the old id, so peers reallocate within milliseconds while
+  // we discard every claim we can no longer vouch for; the rejoin
+  // installs a fresh view and the normal GATHER rebuilds current_table
+  // from the peers' STATE_MSGs. Quarantine deliberately survives — it
+  // rides in STATE_MSGs, not in the wiped table.
+  client_.disconnect();
+  cancel_pending_acquires();
+  release_everything("resync");
+  balance_timer_.cancel();
+  view_.reset();
+  view_tag_ = ViewTag{};
+  table_.clear();
+  received_.clear();
+  info_.clear();
+  enter_state(WamState::kIdle);
+  if (!client_.connect(gcs_)) {
+    // The local GCS died between audit and resync: fall back to the
+    // standard reconnect loop (on_disconnect-equivalent state).
+    reconnect_timer_.cancel();
+    reconnect_timer_ = sched_.schedule(config_.reconnect_interval,
+                                       [this] { reconnect_tick(); });
+    return;
+  }
+  client_.join(config_.group);
+}
+
+// ------------------------------- chaos backdoors (corruption injection) ----
+
+bool Daemon::chaos_corrupt_vip_owner(int index) {
+  if (!running_ || !client_.connected() || state_ == WamState::kIdle ||
+      config_ids_.empty()) {
+    return false;
+  }
+  auto id = config_ids_[static_cast<std::size_t>(index) % config_ids_.size()];
+  // An identity no view ever contained: trips the checksum, the index
+  // agreement AND the owner-not-in-view check.
+  gcs::MemberId bogus{net::Ipv4Address(10, 0, 254, 254), 0xC0DE, "bogus"};
+  table_.chaos_set_owner_unchecked(id, bogus);
+  log_.warn("chaos: corrupted owner of %s", group_name(id).c_str());
+  return true;
+}
+
+bool Daemon::chaos_corrupt_index(int index) {
+  if (!running_ || !client_.connected() || state_ == WamState::kIdle ||
+      config_ids_.empty()) {
+    return false;
+  }
+  auto id = config_ids_[static_cast<std::size_t>(index) % config_ids_.size()];
+  gcs::MemberId phantom{net::Ipv4Address(10, 0, 254, 253), 0xBEEF, "phantom"};
+  table_.chaos_corrupt_index_entry(id, phantom);
+  log_.warn("chaos: desynced member index for %s", group_name(id).c_str());
+  return true;
+}
+
+bool Daemon::chaos_corrupt_view_tag() {
+  if (!running_ || !client_.connected() || state_ == WamState::kIdle ||
+      !view_) {
+    return false;
+  }
+  view_tag_.group_seq ^= 0x40;  // single bit flip: the classic soft error
+  log_.warn("chaos: flipped view tag to %s", view_tag_.to_string().c_str());
+  // A flip landing on a still-unhealed earlier flip cancels it: the tag is
+  // correct again and there is nothing any detector could ever find.
+  // Report not-applied so the oracle records no detection obligation.
+  if (view_tag_ == ViewTag::of(*view_)) {
+    log_.warn("chaos: double flip restored the view tag — no corruption");
+    return false;
+  }
+  return true;
 }
 
 void Daemon::set_preferences(std::vector<std::string> preferred) {

@@ -88,6 +88,9 @@ struct WamCounters {
   obs::Counter groups_unfenced;    // cooldown probe succeeded -> NOTIFY clear
   obs::Counter notifies_sent;
   obs::Counter notifies_received;
+  obs::Counter corruptions_detected;  // audits that found corrupted state
+  obs::Counter self_heals;            // heal actions taken on detection
+  obs::Counter resyncs;               // leave+rejoin rebuilds executed
 
   /// Back every field with a registry cell named "<scope>/<field>".
   void bind(obs::MetricRegistry& registry, const std::string& scope);
@@ -120,6 +123,9 @@ struct WamCounters {
     fn("groups_unfenced", self.groups_unfenced);
     fn("notifies_sent", self.notifies_sent);
     fn("notifies_received", self.notifies_received);
+    fn("corruptions_detected", self.corruptions_detected);
+    fn("self_heals", self.self_heals);
+    fn("resyncs", self.resyncs);
   }
 };
 
@@ -160,6 +166,9 @@ class Daemon {
   [[nodiscard]] const std::optional<gcs::GroupView>& view() const {
     return view_;
   }
+  /// The cached tag messages are stamped/filtered with; the StateAuditor
+  /// cross-checks it against ViewTag::of(*view()).
+  [[nodiscard]] const ViewTag& view_tag() const { return view_tag_; }
   [[nodiscard]] std::vector<std::string> owned() const;
   /// Groups this daemon has self-fenced (NOTIFY protocol): their OS-level
   /// acquisition kept failing and a peer is expected to cover them. Sorted.
@@ -180,6 +189,19 @@ class Daemon {
   /// Provide the local ARP-cache contents for the periodic ARP share
   /// (router application); pass nullptr to disable.
   void set_arp_share_source(std::function<std::vector<std::uint32_t>()> src);
+
+  // ---- Chaos backdoors (state-corruption injection; test/campaign use) ----
+  // Each models one transient-corruption class and returns whether it was
+  // applied: all are no-ops unless the daemon is running, connected and
+  // out of IDLE — the states where corrupted state could do damage.
+  /// Overwrite the owner of the index-th configured group with a member
+  /// that is not in any view, bypassing the table's guards.
+  bool chaos_corrupt_vip_owner(int index);
+  /// Desync the table's member index for the index-th configured group.
+  bool chaos_corrupt_index(int index);
+  /// Bit-flip the cached view tag (a stale incarnation: every in-view
+  /// message starts looking stale, and ours look stale to the peers).
+  bool chaos_corrupt_view_tag();
 
  private:
   void on_membership(const gcs::GroupView& gv);
@@ -225,6 +247,14 @@ class Daemon {
   void arm_announce_timer();
   void announce_tick();
   void reconnect_tick();
+  // ---- Self-stabilization: audit / heal / resync ----
+  /// Where an audit runs from; decides the heal policy (see run_audit).
+  enum class AuditPoint { kTimer, kBoundary, kPreWipe, kShutdown };
+  void arm_audit_timer();
+  void audit_tick();
+  void run_audit(AuditPoint point);
+  void schedule_resync(const std::string& why);
+  void resync_tick();
   void become_mature(const char* how);
   /// Switch the Figure-2 state machine, publishing a StateTransition event.
   void enter_state(WamState next);
@@ -278,6 +308,12 @@ class Daemon {
   sim::TimerHandle arp_share_timer_;
   sim::TimerHandle announce_timer_;
   sim::TimerHandle reconnect_timer_;
+  sim::TimerHandle audit_timer_;
+  sim::TimerHandle resync_timer_;
+  bool in_audit_ = false;       // reentrancy guard: heals multicast
+  bool resync_pending_ = false;
+  int resync_attempts_ = 0;     // drives the capped exponential backoff
+  sim::TimePoint last_resync_at_{};
   std::function<std::vector<std::uint32_t>()> arp_share_source_;
 
   WamCounters counters_;

@@ -4,6 +4,17 @@
 
 namespace wam::wackamole {
 
+std::uint64_t VipTable::entry_hash(GroupId id, const gcs::MemberId& member) {
+  // Identity fields only (daemon ip, client id) — matches operator== and
+  // MemberIdHash; the informational name must not perturb the checksum.
+  std::uint64_t h = (static_cast<std::uint64_t>(member.daemon.value()) << 32) |
+                    static_cast<std::uint64_t>(member.client);
+  h ^= 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(id) + 1);
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
 void VipTable::link(GroupId id, const gcs::MemberId& member) {
   members_[member].insert(id);
 }
@@ -40,8 +51,10 @@ void VipTable::set_owner(GroupId id, const gcs::MemberId& member) {
       return;
     }
     unlink(id, it->second);
+    checksum_ ^= entry_hash(id, it->second);
     it->second = member;
   }
+  checksum_ ^= entry_hash(id, member);
   link(id, member);
 }
 
@@ -54,6 +67,7 @@ void VipTable::clear_owner(GroupId id) {
   auto it = owners_.find(id);
   if (it == owners_.end()) return;
   unlink(id, it->second);
+  checksum_ ^= entry_hash(id, it->second);
   owners_.erase(it);
 }
 
@@ -100,6 +114,7 @@ VipTable::ClaimResult VipTable::claim(GroupId id, const gcs::MemberId& claimant,
   auto it = owners_.find(id);
   if (it == owners_.end()) {
     owners_.emplace(id, claimant);
+    checksum_ ^= entry_hash(id, claimant);
     link(id, claimant);
     return {true, std::nullopt};
   }
@@ -111,11 +126,55 @@ VipTable::ClaimResult VipTable::claim(GroupId id, const gcs::MemberId& claimant,
   if (claimant_rank > existing_rank) {
     auto dropped = it->second;
     unlink(id, dropped);
+    checksum_ ^= entry_hash(id, dropped) ^ entry_hash(id, claimant);
     it->second = claimant;
     link(id, claimant);
     return {true, dropped};
   }
   return {false, claimant};
+}
+
+bool VipTable::verify_checksum() const {
+  std::uint64_t expect = 0;
+  for (const auto& [id, member] : owners_) expect ^= entry_hash(id, member);
+  return expect == checksum_;
+}
+
+bool VipTable::verify_index() const {
+  std::size_t indexed = 0;
+  for (const auto& [member, ids] : members_) {
+    if (ids.empty()) return false;  // unlink() always drops empty sets
+    indexed += ids.size();
+    for (GroupId id : ids) {
+      auto it = owners_.find(id);
+      if (it == owners_.end() || !(it->second == member)) return false;
+    }
+  }
+  return indexed == owners_.size();
+}
+
+void VipTable::rebuild() {
+  members_.clear();
+  checksum_ = 0;
+  for (const auto& [id, member] : owners_) {
+    members_[member].insert(id);
+    checksum_ ^= entry_hash(id, member);
+  }
+}
+
+void VipTable::chaos_set_owner_unchecked(GroupId id,
+                                         const gcs::MemberId& member) {
+  owners_[id] = member;  // deliberately skips unlink/link and the checksum
+}
+
+void VipTable::chaos_corrupt_index_entry(GroupId id,
+                                         const gcs::MemberId& bogus) {
+  auto it = owners_.find(id);
+  if (it != owners_.end() && load_of(it->second) > 0) {
+    unlink(id, it->second);  // indexed entry vanishes; owner map keeps it
+  } else {
+    link(id, bogus);  // phantom entry the owner map never had
+  }
 }
 
 std::string VipTable::describe() const {

@@ -38,6 +38,7 @@ class VipTable {
   void clear() {
     owners_.clear();
     members_.clear();
+    checksum_ = 0;
   }
 
   // ---- Name-keyed API (config-parse / test boundary) ----
@@ -87,14 +88,38 @@ class VipTable {
 
   [[nodiscard]] std::string describe() const;
 
+  // ---- Guarded-state hooks (self-stabilization layer) ----
+  /// Incrementally maintained XOR checksum over every (group, owner)
+  /// entry. O(1) to read; any single corrupted entry flips it.
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+  /// Recompute the checksum from owners_ and compare — O(V).
+  [[nodiscard]] bool verify_checksum() const;
+  /// Recompute the member->groups index from owners_ and compare — O(V).
+  /// Detects index drift that the checksum (owners_-only) cannot see.
+  [[nodiscard]] bool verify_index() const;
+  /// Discard and rebuild the derived state (index + checksum) from the
+  /// owner map. The owner map itself is the recovery root here; entries
+  /// that are wrong against the VIEW are the daemon's job to fence.
+  void rebuild();
+
+  /// Chaos backdoors: corrupt state without maintaining the invariants —
+  /// exactly what a stray write would do. Test/injection use only.
+  /// Overwrites the owner entry, bypassing index and checksum updates.
+  void chaos_set_owner_unchecked(GroupId id, const gcs::MemberId& member);
+  /// Desync the member index only: drop the indexed entry for `id` when
+  /// present, otherwise insert a phantom entry under `bogus`.
+  void chaos_corrupt_index_entry(GroupId id, const gcs::MemberId& bogus);
+
  private:
   void link(GroupId id, const gcs::MemberId& member);
   void unlink(GroupId id, const gcs::MemberId& member);
+  static std::uint64_t entry_hash(GroupId id, const gcs::MemberId& member);
 
   std::unordered_map<GroupId, gcs::MemberId> owners_;
   /// member -> groups it owns; load_of() is the set size.
   std::unordered_map<gcs::MemberId, std::unordered_set<GroupId>, MemberIdHash>
       members_;
+  std::uint64_t checksum_ = 0;
 };
 
 }  // namespace wam::wackamole

@@ -1,6 +1,7 @@
 #include "wackamole/wire.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 namespace wam::wackamole {
@@ -351,7 +352,14 @@ StateMsgV2 decode_state_v2(util::ByteView buf) {
   StateMsgV2 m;
   m.view = get_tag(r);
   m.mature = r.boolean();
-  m.weight = static_cast<std::uint32_t>(r.varint());
+  // weight is declared u32; a wider varint is corruption, not data —
+  // truncating it silently would desynchronize the balance arithmetic.
+  auto weight = r.varint();
+  if (weight > std::numeric_limits<std::uint32_t>::max()) {
+    throw util::DecodeError("state v2 weight out of range: " +
+                            std::to_string(weight));
+  }
+  m.weight = static_cast<std::uint32_t>(weight);
   auto table = get_id_table(r);
   m.owned = get_id_list(r, table);
   m.preferred = get_id_list(r, table);

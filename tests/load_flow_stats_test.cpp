@@ -60,6 +60,39 @@ TEST(FlowStats, SetOriginPinsTheGrid) {
   EXPECT_EQ(stats.timeline()[2].offered, 1u);
 }
 
+TEST(FlowStats, MarkEventBeforeSetOriginIsWellDefined) {
+  // A fail-over can be marked before the grid origin is pinned (the
+  // scenario wires its fault hooks before the generator starts); the mark
+  // must not disturb the grid and must still clamp at the origin.
+  FlowStats stats(sim::milliseconds(100));
+  stats.mark_event(at_ms(300), "early fault");
+  stats.set_origin(at_ms(0));
+  for (int i = 0; i < 10; ++i) {
+    stats.on_offered(at_ms(i * 100));
+    stats.on_response(at_ms(i * 100), sim::milliseconds(2));
+  }
+  EXPECT_EQ(stats.timeline()[0].start, at_ms(0));
+  auto windows = stats.failover_windows(sim::seconds(5.0));
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows.front().offered_before, 3u);
+  EXPECT_EQ(windows.front().offered_after, 7u);
+}
+
+TEST(FlowStats, MarkEventsSortStablyAndSkipExactDuplicates) {
+  FlowStats stats(sim::milliseconds(100));
+  stats.set_origin(at_ms(0));
+  stats.on_offered(at_ms(10));
+  stats.mark_event(at_ms(500), "b");
+  stats.mark_event(at_ms(200), "a");   // out of order: sorted in front
+  stats.mark_event(at_ms(500), "b");   // exact duplicate: skipped
+  stats.mark_event(at_ms(500), "c");   // same tick, new label: kept after b
+  auto windows = stats.failover_windows(sim::seconds(1.0));
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].label, "a");
+  EXPECT_EQ(windows[1].label, "b");
+  EXPECT_EQ(windows[2].label, "c");
+}
+
 /// Feed the same request timeline either into one FlowStats or split
 /// round-robin over `ways` instances that are then merged; every derived
 /// statistic must agree exactly.

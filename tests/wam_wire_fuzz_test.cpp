@@ -124,6 +124,54 @@ TEST(WamWireFuzz, OversizedCountsAreRejected) {
   }
 }
 
+// Hand-built v2 corruption: fields the generic mutators rarely hit.
+TEST(WamWireFuzz, StateV2WeightWiderThanU32Throws) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kStateV2));
+  w.u64(3);  // view tag
+  w.u32(0x0a000001);
+  w.u64(9);
+  w.boolean(true);
+  w.varint(std::uint64_t{1} << 40);  // weight is declared u32 on the wire
+  w.varint(0);                       // empty name table
+  w.varint(0);                       // owned
+  w.varint(0);                       // preferred
+  w.varint(0);                       // quarantined
+  EXPECT_THROW((void)decode_state_v2(w.take()), util::DecodeError);
+}
+
+TEST(WamWireFuzz, StateV2NameTableIndexOutOfRangeThrows) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kStateV2));
+  w.u64(3);
+  w.u32(0x0a000001);
+  w.u64(9);
+  w.boolean(true);
+  w.varint(7);       // weight
+  w.varint(1);       // name table of one entry...
+  w.vstr("vip0");
+  w.varint(1);       // ...but the owned list cites entry 5
+  w.varint(5);
+  w.varint(0);
+  w.varint(0);
+  EXPECT_THROW((void)decode_state_v2(w.take()), util::DecodeError);
+}
+
+TEST(WamWireFuzz, BalanceV2OwnerIndexOutOfRangeThrows) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WamMsgType::kBalanceV2));
+  w.u64(4);
+  w.u32(0x0a000002);
+  w.u64(2);
+  w.varint(1);  // one owner
+  w.u32(0x0a000001);
+  w.u32(1);
+  w.varint(1);  // one allocation entry pointing past the owner table
+  w.vstr("vip0");
+  w.varint(3);
+  EXPECT_THROW((void)decode_balance_v2(w.take()), util::DecodeError);
+}
+
 // Deterministic mutation fuzzing: flip random bytes of valid messages and
 // random buffers; the decoders must either succeed or throw DecodeError —
 // any other escape (crash, other exception type) fails the test. Runs
@@ -145,6 +193,29 @@ TEST(WamWireFuzz, MutatedMessagesNeverEscapeDecodeError) {
       c.decode(buf);
     } catch (const util::DecodeError&) {
       // expected for most mutations
+    }
+  }
+}
+
+// Varint-targeted mutation: splice runs of 0xff continuation bytes into
+// valid messages, stretching whatever varint (or length prefix) they land
+// in far past its declared width. Complements the byte-flip suite, which
+// rarely manufactures an over-wide varint.
+TEST(WamWireFuzz, VarintStuffedMutationsNeverEscapeDecodeError) {
+  sim::Rng rng(20260808);
+  auto all = codecs();
+  for (int round = 0; round < 2000; ++round) {
+    const auto& c = all[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(all.size())))];
+    auto buf = c.encoded;
+    auto pos = static_cast<std::ptrdiff_t>(
+        rng.below(static_cast<std::uint64_t>(buf.size())));
+    auto run = static_cast<std::size_t>(1 + rng.below(10));
+    buf.insert(buf.begin() + pos, run, 0xff);
+    try {
+      c.decode(buf);
+    } catch (const util::DecodeError&) {
+      // expected for most splices
     }
   }
 }
